@@ -1,0 +1,242 @@
+// Package banks is a from-scratch Go implementation of BANKS-II:
+// "Bidirectional Expansion For Keyword Search on Graph Databases"
+// (Kacholia et al., VLDB 2005).
+//
+// It provides schema-agnostic keyword search over graph-structured data:
+// relational rows become nodes, foreign keys become weighted directed
+// edges (plus derived backward edges that penalize hub shortcuts), and a
+// query is answered by minimal rooted trees connecting nodes that match
+// the keywords, ranked by a combination of path weights and node prestige.
+//
+// Three search algorithms are included: the paper's contribution,
+// Bidirectional expanding search guided by spreading activation, and the
+// two Backward expanding baselines (multi-iterator and single-iterator)
+// it is evaluated against.
+//
+// Basic use:
+//
+//	db := ...                           // *relational.Database, or use datagen
+//	bdb, err := banks.Build(db, banks.BuildOptions{})
+//	res, err := bdb.Search("gray transaction", banks.Bidirectional, banks.Options{K: 10})
+//	for _, a := range res.Answers {
+//	    fmt.Println(bdb.Explain(a))
+//	}
+package banks
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"banks/internal/convert"
+	"banks/internal/core"
+	"banks/internal/graph"
+	"banks/internal/index"
+	"banks/internal/prestige"
+	"banks/internal/relational"
+)
+
+// Re-exported types so callers only import this package.
+type (
+	// Options configures a search; the zero value selects the paper's
+	// defaults (k=10, µ=0.5, λ=0.2, dmax=8).
+	Options = core.Options
+	// Result is a search outcome: answers in output order plus counters.
+	Result = core.Result
+	// Answer is one minimal rooted answer tree.
+	Answer = core.Answer
+	// Stats carries the §5.2 performance counters.
+	Stats = core.Stats
+	// NearResult is a node ranked by activation ("near queries").
+	NearResult = core.NearResult
+	// NodeID identifies a graph node.
+	NodeID = graph.NodeID
+)
+
+// Algorithm selects a search strategy.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// Bidirectional is the paper's contribution (§4).
+	Bidirectional Algorithm = "bidirectional"
+	// SIBackward is single-iterator Backward expanding search (§4.6).
+	SIBackward Algorithm = "si-backward"
+	// MIBackward is the original Backward expanding search of BANKS (§3).
+	MIBackward Algorithm = "mi-backward"
+)
+
+// Algorithms lists all supported algorithm names.
+func Algorithms() []Algorithm {
+	return []Algorithm{Bidirectional, SIBackward, MIBackward}
+}
+
+// PrestigeMode selects how node prestige (§2.3) is computed at build time.
+type PrestigeMode int
+
+const (
+	// PrestigeRandomWalk is the paper's biased PageRank (default).
+	PrestigeRandomWalk PrestigeMode = iota
+	// PrestigeIndegree is the cheaper BANKS-I log-indegree prestige.
+	PrestigeIndegree
+	// PrestigeUniform assigns every node prestige 1 (rank by edge score
+	// only).
+	PrestigeUniform
+)
+
+// BuildOptions configures DB construction.
+type BuildOptions struct {
+	// Prestige selects the node-prestige computation.
+	Prestige PrestigeMode
+	// PrestigeOptions tunes the random-walk mode.
+	PrestigeOptions prestige.Options
+	// ForwardWeight optionally assigns schema-defined forward edge weights
+	// per foreign key (default: weight 1 for every edge).
+	ForwardWeight func(table, fk string) float64
+}
+
+// DB is a searchable BANKS database: the data graph, the keyword index,
+// and the mapping back to the source relational data.
+type DB struct {
+	Graph     *graph.Graph
+	Index     *index.Index
+	Mapping   *convert.Mapping
+	EdgeTypes *convert.EdgeTypes
+	Source    *relational.Database
+}
+
+// Build converts a frozen relational database into a searchable DB:
+// data-graph construction (§2.1), keyword indexing (§3) and prestige
+// precomputation (§2.3).
+func Build(src *relational.Database, opts BuildOptions) (*DB, error) {
+	if src == nil {
+		return nil, errors.New("banks: nil source database")
+	}
+	res, err := convert.Build(src, convert.Options{ForwardWeight: opts.ForwardWeight})
+	if err != nil {
+		return nil, err
+	}
+	var p []float64
+	switch opts.Prestige {
+	case PrestigeRandomWalk:
+		p, err = prestige.Compute(res.Graph, opts.PrestigeOptions)
+		if err != nil {
+			return nil, fmt.Errorf("banks: prestige: %w", err)
+		}
+	case PrestigeIndegree:
+		p = prestige.Indegree(res.Graph)
+	case PrestigeUniform:
+		p = make([]float64, res.Graph.NumNodes())
+		for i := range p {
+			p[i] = 1
+		}
+	default:
+		return nil, fmt.Errorf("banks: unknown prestige mode %d", opts.Prestige)
+	}
+	if err := res.Graph.SetPrestige(p); err != nil {
+		return nil, err
+	}
+	return &DB{
+		Graph:     res.Graph,
+		Index:     res.Index,
+		Mapping:   res.Mapping,
+		EdgeTypes: res.EdgeTypes,
+		Source:    src,
+	}, nil
+}
+
+// Keywords splits a free-text query into normalized keyword terms.
+func Keywords(query string) []string { return index.Tokenize(query) }
+
+// KeywordNodes returns the nodes matching one term (§2.2 semantics: text
+// matches plus relation-name matches).
+func (d *DB) KeywordNodes(term string) []NodeID { return d.Index.Lookup(term) }
+
+// Search runs a free-text keyword query with the selected algorithm.
+func (d *DB) Search(query string, algo Algorithm, opts Options) (*Result, error) {
+	terms := Keywords(query)
+	if len(terms) == 0 {
+		return nil, errors.New("banks: query contains no keywords")
+	}
+	return d.SearchTerms(terms, algo, opts)
+}
+
+// SearchTerms runs a query given as pre-split keyword terms.
+func (d *DB) SearchTerms(terms []string, algo Algorithm, opts Options) (*Result, error) {
+	kw := make([][]NodeID, len(terms))
+	for i, t := range terms {
+		kw[i] = d.Index.Lookup(t)
+	}
+	return d.SearchNodes(kw, algo, opts)
+}
+
+// SearchNodes runs a query given directly as per-keyword node sets.
+func (d *DB) SearchNodes(kw [][]NodeID, algo Algorithm, opts Options) (*Result, error) {
+	switch algo {
+	case Bidirectional:
+		return core.Bidirectional(d.Graph, kw, opts)
+	case SIBackward:
+		return core.SIBackward(d.Graph, kw, opts)
+	case MIBackward:
+		return core.MIBackward(d.Graph, kw, opts)
+	default:
+		return nil, fmt.Errorf("banks: unknown algorithm %q", algo)
+	}
+}
+
+// Near runs a near query (activation-ranked nodes, the §4.3 footnote-6
+// extension), e.g. "papers near ‘recovery’ and ‘gray’".
+func (d *DB) Near(query string, opts Options) ([]NearResult, Stats, error) {
+	terms := Keywords(query)
+	if len(terms) == 0 {
+		return nil, Stats{}, errors.New("banks: query contains no keywords")
+	}
+	kw := make([][]NodeID, len(terms))
+	for i, t := range terms {
+		kw[i] = d.Index.Lookup(t)
+	}
+	return core.Near(d.Graph, kw, opts)
+}
+
+// NodeLabel renders a node as "table[row]: text…" for display.
+func (d *DB) NodeLabel(u NodeID) string {
+	ref := d.Mapping.RowOf(d.Graph, u)
+	t := d.Source.Table(ref.Table)
+	if t == nil {
+		return fmt.Sprintf("%s[%d]", ref.Table, ref.Row)
+	}
+	row := t.Row(ref.Row)
+	text := strings.Join(row.Texts, " | ")
+	if len(text) > 60 {
+		text = text[:57] + "..."
+	}
+	if text == "" {
+		return fmt.Sprintf("%s[%d]", ref.Table, ref.Row)
+	}
+	return fmt.Sprintf("%s[%d]: %s", ref.Table, ref.Row, text)
+}
+
+// Explain renders an answer tree with source-row labels, one node per
+// line, children indented under parents.
+func (d *DB) Explain(a *Answer) string {
+	children := map[NodeID][]NodeID{}
+	for _, e := range a.Edges {
+		children[e.From] = append(children[e.From], e.To)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "score=%.4f (edge=%.3f, prestige=%.3f)\n", a.Score, a.EdgeScore, a.NodeScore)
+	var walk func(u NodeID, depth int)
+	walk = func(u NodeID, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		if depth > 0 {
+			sb.WriteString("└─ ")
+		}
+		sb.WriteString(d.NodeLabel(u))
+		sb.WriteByte('\n')
+		for _, c := range children[u] {
+			walk(c, depth+1)
+		}
+	}
+	walk(a.Root, 0)
+	return sb.String()
+}

@@ -1,0 +1,194 @@
+package banks
+
+import (
+	"strings"
+	"testing"
+
+	"banks/internal/relational"
+)
+
+// fixtureDB builds the small bibliography database shared by the facade
+// tests.
+func fixtureDB(t testing.TB) *relational.Database {
+	db := relational.NewDatabase()
+	author, _ := db.CreateTable("author", []string{"name"}, nil)
+	conf, _ := db.CreateTable("conference", []string{"name"}, nil)
+	paper, _ := db.CreateTable("paper", []string{"title"}, []relational.FK{{Name: "conf", RefTable: "conference"}})
+	writes, _ := db.CreateTable("writes", nil, []relational.FK{
+		{Name: "author", RefTable: "author"},
+		{Name: "paper", RefTable: "paper"},
+	})
+	author.Append([]string{"Jim Gray"}, nil)
+	author.Append([]string{"Pat Selinger"}, nil)
+	conf.Append([]string{"VLDB"}, nil)
+	paper.Append([]string{"Transaction Recovery Principles"}, []int32{0})
+	paper.Append([]string{"Access Path Selection"}, []int32{0})
+	writes.Append(nil, []int32{0, 0})
+	writes.Append(nil, []int32{1, 1})
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuildAndSearch(t *testing.T) {
+	bdb, err := Build(fixtureDB(t), BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range Algorithms() {
+		res, err := bdb.Search("gray transaction", algo, Options{K: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if len(res.Answers) == 0 {
+			t.Fatalf("%s: no answers", algo)
+		}
+		best := res.Answers[0]
+		labels := make([]string, 0, len(best.Nodes))
+		for _, u := range best.Nodes {
+			labels = append(labels, bdb.NodeLabel(u))
+		}
+		joined := strings.Join(labels, ";")
+		if !strings.Contains(joined, "Gray") || !strings.Contains(joined, "Transaction") {
+			t.Fatalf("%s: best answer does not connect Gray to Transaction: %v", algo, labels)
+		}
+	}
+}
+
+func TestBuildPrestigeModes(t *testing.T) {
+	src := fixtureDB(t)
+	for _, mode := range []PrestigeMode{PrestigeRandomWalk, PrestigeIndegree, PrestigeUniform} {
+		bdb, err := Build(src, BuildOptions{Prestige: mode})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		if bdb.Graph.MaxPrestige() <= 0 {
+			t.Fatalf("mode %d: prestige not set", mode)
+		}
+	}
+	if _, err := Build(src, BuildOptions{Prestige: PrestigeMode(99)}); err == nil {
+		t.Fatal("unknown prestige mode accepted")
+	}
+	if _, err := Build(nil, BuildOptions{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	bdb, err := Build(fixtureDB(t), BuildOptions{Prestige: PrestigeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bdb.Search("", Bidirectional, Options{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := bdb.Search("...!!!", Bidirectional, Options{}); err == nil {
+		t.Fatal("punctuation-only query accepted")
+	}
+	if _, err := bdb.Search("gray", Algorithm("nope"), Options{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSearchUnmatchedKeyword(t *testing.T) {
+	bdb, err := Build(fixtureDB(t), BuildOptions{Prestige: PrestigeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bdb.Search("gray zzzznotaword", Bidirectional, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Fatalf("answers for unmatched keyword: %v", res.Answers)
+	}
+}
+
+func TestRelationNameQuery(t *testing.T) {
+	bdb, err := Build(fixtureDB(t), BuildOptions{Prestige: PrestigeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "conference recovery": conference matches the relation (its only
+	// tuple), recovery matches the Gray paper; the answer connects them
+	// through the paper's conf FK.
+	res, err := bdb.Search("conference recovery", Bidirectional, Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers for relation-name query")
+	}
+}
+
+func TestNearQuery(t *testing.T) {
+	bdb, err := Build(fixtureDB(t), BuildOptions{Prestige: PrestigeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := bdb.Near("gray recovery", Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || stats.NodesExplored == 0 {
+		t.Fatalf("near query empty: %v %+v", res, stats)
+	}
+	if _, _, err := bdb.Near("", Options{}); err == nil {
+		t.Fatal("empty near query accepted")
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	bdb, err := Build(fixtureDB(t), BuildOptions{Prestige: PrestigeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bdb.Search("gray transaction", Bidirectional, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	out := bdb.Explain(res.Answers[0])
+	if !strings.Contains(out, "score=") || !strings.Contains(out, "writes[") {
+		t.Fatalf("Explain output unexpected:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+res.Answers[0].Size() {
+		t.Fatalf("Explain should print one line per node plus header:\n%s", out)
+	}
+}
+
+func TestKeywordsTokenizer(t *testing.T) {
+	got := Keywords("Gray, TRANSACTION; recovery!")
+	want := []string{"gray", "transaction", "recovery"}
+	if len(got) != len(want) {
+		t.Fatalf("Keywords = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keywords = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSearchNodesDirect(t *testing.T) {
+	bdb, err := Build(fixtureDB(t), BuildOptions{Prestige: PrestigeUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gray := bdb.KeywordNodes("gray")
+	trans := bdb.KeywordNodes("transaction")
+	if len(gray) != 1 || len(trans) != 1 {
+		t.Fatalf("keyword nodes: gray=%v trans=%v", gray, trans)
+	}
+	res, err := bdb.SearchNodes([][]NodeID{gray, trans}, SIBackward, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers from SearchNodes")
+	}
+}

@@ -1,0 +1,108 @@
+// Command banks runs interactive keyword search over a generated dataset,
+// the way the original BANKS web demo worked.
+//
+// Usage:
+//
+//	banks [-dataset dblp|imdb|patents] [-factor 0.25] [-algo bidirectional]
+//	      [-k 10] [-near] [-query "gray transaction"]
+//
+// Without -query it reads one query per line from standard input.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"banks"
+	"banks/internal/datagen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("banks: ")
+
+	dataset := flag.String("dataset", "dblp", "dataset family: dblp, imdb or patents")
+	factor := flag.Float64("factor", 0.25, "dataset scale factor (1 ≈ 180k tuples)")
+	algo := flag.String("algo", string(banks.Bidirectional), "search algorithm: bidirectional, si-backward or mi-backward")
+	k := flag.Int("k", 10, "answers to return")
+	near := flag.Bool("near", false, "run a near query (activation-ranked nodes) instead of tree search")
+	query := flag.String("query", "", "run a single query and exit (default: read queries from stdin)")
+	flag.Parse()
+
+	db, err := buildDataset(*dataset, *factor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s ready: %d nodes, %d edges, %d terms\n",
+		*dataset, db.Graph.NumNodes(), db.Graph.NumEdges(), db.Index.NumTerms())
+
+	runOne := func(q string) {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			return
+		}
+		start := time.Now()
+		if *near {
+			res, stats, err := db.Near(q, banks.Options{K: *k})
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				return
+			}
+			fmt.Printf("%d nodes in %v (explored %d):\n", len(res), time.Since(start).Round(time.Microsecond), stats.NodesExplored)
+			for i, r := range res {
+				fmt.Printf("%2d. a=%.5f %s\n", i+1, r.Activation, db.NodeLabel(r.Node))
+			}
+			return
+		}
+		res, err := db.Search(q, banks.Algorithm(*algo), banks.Options{K: *k})
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Printf("%d answers in %v (explored %d, touched %d):\n",
+			len(res.Answers), time.Since(start).Round(time.Microsecond),
+			res.Stats.NodesExplored, res.Stats.NodesTouched)
+		for i, a := range res.Answers {
+			fmt.Printf("--- answer %d ---\n%s", i+1, db.Explain(a))
+		}
+	}
+
+	if *query != "" {
+		runOne(*query)
+		return
+	}
+	fmt.Println("enter keyword queries, one per line (ctrl-D to exit):")
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		runOne(sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildDataset(name string, factor float64) (*banks.DB, error) {
+	var (
+		ds  *datagen.Dataset
+		err error
+	)
+	switch name {
+	case "dblp":
+		ds, err = datagen.DBLP(datagen.DefaultDBLP(factor))
+	case "imdb":
+		ds, err = datagen.IMDB(datagen.DefaultIMDB(factor))
+	case "patents":
+		ds, err = datagen.Patents(datagen.DefaultPatents(factor))
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return banks.Build(ds.DB, banks.BuildOptions{})
+}

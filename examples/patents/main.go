@@ -1,0 +1,53 @@
+// Patents example (the paper's US-Patents scenario): relation-name
+// keywords and prestige modes.
+//
+// Shows the §2.2 semantics where a query term that names a relation
+// matches every tuple of that relation ("assignee recovery" finds patents
+// about recovery connected to their assignee companies), and compares the
+// random-walk prestige ranking with the cheaper indegree prestige.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banks"
+	"banks/internal/datagen"
+)
+
+func main() {
+	ds, err := datagen.Patents(datagen.PatentsConfig{
+		Patents: 10_000, Inventors: 6_000, Assignees: 400, SeedsPerCombo: 8, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name string
+		m    banks.PrestigeMode
+	}{
+		{"random-walk prestige (paper §2.3)", banks.PrestigeRandomWalk},
+		{"indegree prestige (BANKS-I)", banks.PrestigeIndegree},
+	} {
+		db, err := banks.Build(ds.DB, banks.BuildOptions{Prestige: mode.m})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// "microsoft" matches an assignee tuple; "assignee" names the
+		// relation and therefore matches *all* assignee tuples (§2.2).
+		fmt.Printf("=== %s ===\n", mode.name)
+		fmt.Printf("keyword %q matches %d nodes (relation-name semantics)\n",
+			"assignee", len(db.KeywordNodes("assignee")))
+
+		res, err := db.Search("microsoft patent", banks.Bidirectional, banks.Options{K: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query \"microsoft patent\": %d answers (explored %d)\n",
+			len(res.Answers), res.Stats.NodesExplored)
+		if len(res.Answers) > 0 {
+			fmt.Println(db.Explain(res.Answers[0]))
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: build a tiny bibliography database by hand, convert it into
+// a BANKS data graph, and answer the paper's running example query
+// "gray transaction" with Bidirectional search.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"banks"
+	"banks/internal/relational"
+)
+
+func main() {
+	// 1. Define a relational database: authors, papers, and the writes
+	//    relationship connecting them.
+	db := relational.NewDatabase()
+	author, err := db.CreateTable("author", []string{"name"}, nil)
+	check(err)
+	paper, err := db.CreateTable("paper", []string{"title"}, nil)
+	check(err)
+	writes, err := db.CreateTable("writes", nil, []relational.FK{
+		{Name: "author", RefTable: "author"},
+		{Name: "paper", RefTable: "paper"},
+	})
+	check(err)
+
+	gray := author.Append([]string{"Jim Gray"}, nil)
+	selinger := author.Append([]string{"Pat Selinger"}, nil)
+	mohan := author.Append([]string{"C. Mohan"}, nil)
+
+	p1 := paper.Append([]string{"The Transaction Concept: Virtues and Limitations"}, nil)
+	p2 := paper.Append([]string{"Access Path Selection in a Relational Database"}, nil)
+	p3 := paper.Append([]string{"ARIES: A Transaction Recovery Method"}, nil)
+
+	writes.Append(nil, []int32{gray, p1})
+	writes.Append(nil, []int32{selinger, p2})
+	writes.Append(nil, []int32{mohan, p3})
+	check(db.Freeze())
+
+	// 2. Build the searchable BANKS database: data graph with derived
+	//    backward edges, keyword index, and node prestige.
+	bdb, err := banks.Build(db, banks.BuildOptions{})
+	check(err)
+
+	// 3. Search. An answer is a minimal rooted tree connecting nodes that
+	//    match every keyword — here a writes tuple joining Gray to his
+	//    transaction paper.
+	res, err := bdb.Search("gray transaction", banks.Bidirectional, banks.Options{K: 3})
+	check(err)
+
+	fmt.Printf("query %q: %d answers (explored %d nodes)\n\n",
+		"gray transaction", len(res.Answers), res.Stats.NodesExplored)
+	for i, a := range res.Answers {
+		fmt.Printf("answer %d:\n%s\n", i+1, bdb.Explain(a))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

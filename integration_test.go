@@ -1,0 +1,144 @@
+package banks_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"banks"
+	"banks/internal/datagen"
+	"banks/internal/experiments"
+	"banks/internal/sparse"
+	"banks/internal/workload"
+)
+
+// TestIntegrationAllDatasets runs the full pipeline — generate dataset,
+// build graph/index/prestige, generate a workload query with ground truth,
+// search with every algorithm — on each dataset family, and checks every
+// algorithm retrieves a ground-truth answer.
+func TestIntegrationAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short")
+	}
+	for _, name := range experiments.Datasets() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			env, err := experiments.NewEnv(name, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := &banks.DB{
+				Graph: env.Built.Graph, Index: env.Built.Index,
+				Mapping: env.Built.Mapping, EdgeTypes: env.Built.EdgeTypes,
+				Source: env.DS.DB,
+			}
+			rng := rand.New(rand.NewSource(17))
+			var q *workload.Query
+			ok := false
+			for tries := 0; tries < 500 && !ok; tries++ {
+				q, ok = env.Gen.SizeFive(rng, 3, workload.OriginAny)
+			}
+			if !ok {
+				t.Fatal("no workload query")
+			}
+			for _, algo := range banks.Algorithms() {
+				res, err := db.SearchNodes(q.Keywords, algo, banks.Options{K: 40, MaxNodes: 400_000})
+				if err != nil {
+					t.Fatalf("%s: %v", algo, err)
+				}
+				m := experiments.Measure(res, q)
+				if m.Found == 0 {
+					t.Errorf("%s on %s: ground-truth answer not retrieved (total %d, answers %d)",
+						algo, name, m.Total, len(res.Answers))
+				}
+			}
+		})
+	}
+}
+
+// TestIntegrationSparseAgreesWithGraphSearch checks that the Sparse
+// baseline retrieves the same ground-truth connections as the graph
+// algorithms on a combo query.
+func TestIntegrationSparseAgreesWithGraphSearch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short")
+	}
+	env, err := experiments.NewEnv("dblp", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	combo := [4]datagen.Band{datagen.BandTiny, datagen.BandSmall, datagen.BandMedium, datagen.BandLarge}
+	q, ok := env.Gen.Combo(rng, combo)
+	if !ok {
+		t.Fatal("no combo query")
+	}
+	out, err := sparse.Run(env.DS.DB, q.Terms, q.AnswerSize, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every ground-truth node set must appear among Sparse's results.
+	got := map[workload.NodeSet]bool{}
+	for _, r := range out.Results {
+		ids := make([]banks.NodeID, len(r.Rows))
+		for i, ref := range r.Rows {
+			ids[i] = env.Built.Mapping.NodeOf(ref)
+		}
+		got[workload.CanonNodes(ids)] = true
+	}
+	for set := range q.Relevant {
+		if !got[set] {
+			t.Errorf("sparse missed ground-truth result %s", set)
+		}
+	}
+	if len(out.CNs) == 0 {
+		t.Fatal("no candidate networks")
+	}
+}
+
+// TestIntegrationBidirectionalBeatsBackwardOnSkewedQuery asserts the
+// paper's central claim end to end: on a query mixing a tiny origin with a
+// large one, Bidirectional search generates the relevant answer after
+// exploring a fraction of what Backward search explores.
+func TestIntegrationBidirectionalBeatsBackwardOnSkewedQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short")
+	}
+	env, err := experiments.NewEnv("dblp", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	T, L := datagen.BandTiny, datagen.BandLarge
+	var sumSI, sumBI float64
+	n := 0
+	for i := 0; i < 5; i++ {
+		q, ok := env.Gen.Combo(rng, [4]datagen.Band{T, T, L, L})
+		if !ok {
+			continue
+		}
+		db := &banks.DB{Graph: env.Built.Graph, Index: env.Built.Index,
+			Mapping: env.Built.Mapping, EdgeTypes: env.Built.EdgeTypes, Source: env.DS.DB}
+		si, err := db.SearchNodes(q.Keywords, banks.SIBackward, banks.Options{K: 10, MaxNodes: 200_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := db.SearchNodes(q.Keywords, banks.Bidirectional, banks.Options{K: 10, MaxNodes: 200_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mSI, mBI := experiments.Measure(si, q), experiments.Measure(bi, q)
+		if mSI.Found == 0 || mBI.Found == 0 {
+			continue
+		}
+		sumSI += float64(mSI.Explored)
+		sumBI += float64(mBI.Explored)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no measurable queries")
+	}
+	if sumBI*1.5 >= sumSI {
+		t.Errorf("bidirectional explored %v vs backward %v at last relevant answer; expected ≥1.5× advantage",
+			sumBI/float64(n), sumSI/float64(n))
+	}
+}

@@ -1,0 +1,144 @@
+// Package convert turns a relational database into the BANKS data graph
+// and keyword index (§2.1, §3).
+//
+// For each row r the data graph gets a node u_r; for each foreign key from
+// r1 to r2 the graph gets a directed edge u_r1 → u_r2 with the
+// schema-defined forward weight (default 1). Backward edges and their
+// weights are derived inside the graph builder. Text attributes of each
+// row are tokenized into the keyword index attached to the row's node.
+package convert
+
+import (
+	"fmt"
+
+	"banks/internal/graph"
+	"banks/internal/index"
+	"banks/internal/relational"
+)
+
+// Mapping translates between (table, row) pairs and graph node IDs. Nodes
+// are assigned contiguously per table in table-creation order, so the
+// translation is a base offset per table.
+type Mapping struct {
+	base   map[string]graph.NodeID
+	tables []string
+}
+
+// NodeOf returns the node for a row reference.
+func (m *Mapping) NodeOf(ref relational.RowRef) graph.NodeID {
+	return m.base[ref.Table] + graph.NodeID(ref.Row)
+}
+
+// Node returns the node for (table, row).
+func (m *Mapping) Node(table string, row int32) graph.NodeID {
+	return m.base[table] + graph.NodeID(row)
+}
+
+// RowOf returns the row reference of node u; g must be the graph the
+// mapping was built with.
+func (m *Mapping) RowOf(g *graph.Graph, u graph.NodeID) relational.RowRef {
+	table := g.Table(u)
+	return relational.RowRef{Table: table, Row: int32(u - m.base[table])}
+}
+
+// EdgeTypeName returns the human-readable name of an edge type produced by
+// Build ("table.fk"). Type 0 is "".
+type EdgeTypes struct {
+	names []string
+}
+
+// Name returns the name of edge type t.
+func (e *EdgeTypes) Name(t graph.EdgeType) string {
+	if int(t) < len(e.names) {
+		return e.names[t]
+	}
+	return fmt.Sprintf("type%d", t)
+}
+
+// Lookup returns the edge type with the given name, or false.
+func (e *EdgeTypes) Lookup(name string) (graph.EdgeType, bool) {
+	for i, n := range e.names {
+		if n == name {
+			return graph.EdgeType(i), true
+		}
+	}
+	return 0, false
+}
+
+// Options configures conversion.
+type Options struct {
+	// ForwardWeight returns the schema-defined weight of the forward edge
+	// induced by the named foreign key. nil means weight 1 for all edges
+	// (the paper's default: "The weights of forward edges ... are defined
+	// by the schema, and default to 1").
+	ForwardWeight func(table, fk string) float64
+}
+
+// Result bundles the artifacts of a conversion.
+type Result struct {
+	Graph     *graph.Graph
+	Index     *index.Index
+	Mapping   *Mapping
+	EdgeTypes *EdgeTypes
+}
+
+// Build converts db (which must be frozen) into a data graph and keyword
+// index.
+func Build(db *relational.Database, opts Options) (*Result, error) {
+	b := graph.NewBuilder()
+	m := &Mapping{base: make(map[string]graph.NodeID), tables: db.TableNames()}
+
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		if t.NumRows() == 0 {
+			m.base[name] = graph.NodeID(b.NumNodes())
+			// Ensure the relation name is still known to the graph for
+			// relation-name keyword matching even when empty: skip —
+			// empty relations contribute no nodes and thus no matches.
+			continue
+		}
+		m.base[name] = b.AddNodes(name, t.NumRows())
+	}
+
+	et := &EdgeTypes{names: []string{""}}
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		for k, fk := range t.FKs {
+			etype := graph.EdgeType(len(et.names))
+			et.names = append(et.names, name+"."+fk.Name)
+			w := 1.0
+			if opts.ForwardWeight != nil {
+				if v := opts.ForwardWeight(name, fk.Name); v > 0 {
+					w = v
+				}
+			}
+			for i := int32(0); i < int32(t.NumRows()); i++ {
+				ref := t.Row(i).FKs[k]
+				if ref < 0 {
+					continue
+				}
+				from := m.Node(name, i)
+				to := m.Node(fk.RefTable, ref)
+				if err := b.AddEdge(from, to, w, etype); err != nil {
+					return nil, fmt.Errorf("convert: %s row %d fk %s: %w", name, i, fk.Name, err)
+				}
+			}
+		}
+	}
+
+	g := b.Build()
+
+	ix := index.New()
+	for _, name := range db.TableNames() {
+		t := db.Table(name)
+		for i := int32(0); i < int32(t.NumRows()); i++ {
+			u := m.Node(name, i)
+			for _, txt := range t.Row(i).Texts {
+				ix.AddText(u, txt)
+			}
+		}
+	}
+	ix.Freeze(g)
+
+	return &Result{Graph: g, Index: ix, Mapping: m, EdgeTypes: et}, nil
+}

@@ -1,0 +1,167 @@
+package convert
+
+import (
+	"testing"
+
+	"banks/internal/graph"
+	"banks/internal/relational"
+)
+
+func sampleDB(t *testing.T) *relational.Database {
+	t.Helper()
+	db := relational.NewDatabase()
+	author, _ := db.CreateTable("author", []string{"name"}, nil)
+	paper, _ := db.CreateTable("paper", []string{"title"}, nil)
+	writes, _ := db.CreateTable("writes", nil, []relational.FK{
+		{Name: "author", RefTable: "author"},
+		{Name: "paper", RefTable: "paper"},
+	})
+	author.Append([]string{"Jim Gray"}, nil)
+	author.Append([]string{"Pat Selinger"}, nil)
+	paper.Append([]string{"Transaction Recovery"}, nil)
+	writes.Append(nil, []int32{0, 0})
+	writes.Append(nil, []int32{1, 0})
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuildBasics(t *testing.T) {
+	db := sampleDB(t)
+	res, err := Build(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if g.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4 (two writes rows × two FKs)", g.NumEdges())
+	}
+	// Mapping round-trip.
+	ref := relational.RowRef{Table: "paper", Row: 0}
+	u := res.Mapping.NodeOf(ref)
+	if g.Table(u) != "paper" {
+		t.Fatalf("node %d has table %q", u, g.Table(u))
+	}
+	back := res.Mapping.RowOf(g, u)
+	if back != ref {
+		t.Fatalf("RowOf = %+v, want %+v", back, ref)
+	}
+}
+
+func TestBuildIndex(t *testing.T) {
+	db := sampleDB(t)
+	res, err := Build(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gray := res.Index.Lookup("gray")
+	if len(gray) != 1 || gray[0] != res.Mapping.Node("author", 0) {
+		t.Fatalf("Lookup(gray) = %v", gray)
+	}
+	// Relation-name matching.
+	papers := res.Index.Lookup("paper")
+	if len(papers) != 1 || papers[0] != res.Mapping.Node("paper", 0) {
+		t.Fatalf("Lookup(paper) = %v", papers)
+	}
+	writes := res.Index.Lookup("writes")
+	if len(writes) != 2 {
+		t.Fatalf("Lookup(writes) = %v, want both link tuples", writes)
+	}
+}
+
+func TestBuildEdgeTypes(t *testing.T) {
+	db := sampleDB(t)
+	res, err := Build(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, ok := res.EdgeTypes.Lookup("writes.author")
+	if !ok {
+		t.Fatal("edge type writes.author not registered")
+	}
+	if res.EdgeTypes.Name(et) != "writes.author" {
+		t.Fatalf("Name(%d) = %q", et, res.EdgeTypes.Name(et))
+	}
+	if _, ok := res.EdgeTypes.Lookup("nosuch.fk"); ok {
+		t.Fatal("unknown edge type looked up successfully")
+	}
+	// Every half-edge at a writes node must carry a writes.* type.
+	w0 := res.Mapping.Node("writes", 0)
+	for _, h := range res.Graph.Neighbors(w0) {
+		name := res.EdgeTypes.Name(h.Type)
+		if name != "writes.author" && name != "writes.paper" {
+			t.Fatalf("unexpected edge type %q at writes node", name)
+		}
+	}
+}
+
+func TestBuildCustomWeights(t *testing.T) {
+	db := sampleDB(t)
+	res, err := Build(db, Options{ForwardWeight: func(table, fk string) float64 {
+		if table == "writes" && fk == "paper" {
+			return 2.5
+		}
+		return 1
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := res.Mapping.Node("writes", 0)
+	p0 := res.Mapping.Node("paper", 0)
+	found := false
+	for _, h := range res.Graph.Neighbors(w0) {
+		if h.To == p0 && h.Forward {
+			found = true
+			if h.WOut != 2.5 {
+				t.Fatalf("custom weight not applied: %v", h.WOut)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("edge writes→paper missing")
+	}
+}
+
+func TestBuildNullFKsSkipped(t *testing.T) {
+	db := relational.NewDatabase()
+	parent, _ := db.CreateTable("parent", nil, nil)
+	child, _ := db.CreateTable("child", nil, []relational.FK{{Name: "p", RefTable: "parent"}})
+	parent.Append(nil, nil)
+	child.Append(nil, []int32{-1}) // NULL fk
+	child.Append(nil, []int32{0})
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Build(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (NULL fk skipped)", res.Graph.NumEdges())
+	}
+	if res.Graph.Degree(res.Mapping.Node("child", 0)) != 0 {
+		t.Fatal("NULL-fk child should be isolated")
+	}
+}
+
+func TestNodeIDsContiguousPerTable(t *testing.T) {
+	db := sampleDB(t)
+	res, err := Build(db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tables in creation order: author, paper, writes.
+	if res.Mapping.Node("author", 0) != 0 || res.Mapping.Node("author", 1) != 1 {
+		t.Fatal("author nodes not first")
+	}
+	if res.Mapping.Node("paper", 0) != 2 {
+		t.Fatal("paper node not at offset 2")
+	}
+	if res.Mapping.Node("writes", 1) != graph.NodeID(4) {
+		t.Fatal("writes nodes not contiguous")
+	}
+}

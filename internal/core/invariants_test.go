@@ -1,0 +1,296 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"banks/internal/graph"
+)
+
+// randomSearchable builds a random graph with random keyword sets.
+func randomSearchable(rng *rand.Rand) (*graph.Graph, [][]graph.NodeID) {
+	n := 4 + rng.Intn(40)
+	b := graph.NewBuilder()
+	b.AddNodes("t", n)
+	m := rng.Intn(4 * n)
+	for i := 0; i < m; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u != v {
+			_ = b.AddEdge(u, v, 0.5+rng.Float64()*2, graph.EdgeType(rng.Intn(3)))
+		}
+	}
+	g := b.Build()
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.1 + rng.Float64()*2
+	}
+	_ = g.SetPrestige(p)
+
+	nk := 1 + rng.Intn(3)
+	kw := make([][]graph.NodeID, nk)
+	for i := range kw {
+		sz := 1 + rng.Intn(4)
+		seen := map[graph.NodeID]bool{}
+		for len(kw[i]) < sz {
+			u := graph.NodeID(rng.Intn(n))
+			if !seen[u] {
+				seen[u] = true
+				kw[i] = append(kw[i], u)
+			}
+		}
+	}
+	return g, kw
+}
+
+// checkAnswerInvariants is the non-fatal version of verifyAnswer for
+// quick.Check properties.
+func checkAnswerInvariants(g *graph.Graph, kw [][]graph.NodeID, a *Answer, lambda float64) bool {
+	if len(a.Nodes) == 0 || a.Nodes[0] != a.Root {
+		return false
+	}
+	if len(a.Edges) != len(a.Nodes)-1 {
+		return false
+	}
+	parents := map[graph.NodeID]graph.NodeID{}
+	for _, e := range a.Edges {
+		if _, dup := parents[e.To]; dup {
+			return false
+		}
+		parents[e.To] = e.From
+	}
+	for _, u := range a.Nodes {
+		cur := u
+		for steps := 0; cur != a.Root; steps++ {
+			p, ok := parents[cur]
+			if !ok || steps > len(a.Nodes) {
+				return false
+			}
+			cur = p
+		}
+	}
+	if len(a.KeywordNodes) != len(kw) {
+		return false
+	}
+	inTree := map[graph.NodeID]bool{}
+	for _, u := range a.Nodes {
+		inTree[u] = true
+	}
+	for i, si := range kw {
+		if !inTree[a.KeywordNodes[i]] {
+			return false
+		}
+		ok := false
+		for _, u := range si {
+			if u == a.KeywordNodes[i] {
+				ok = true
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return math.Abs(overallScore(a.EdgeScore, a.NodeScore, lambda)-a.Score) <= 1e-12
+}
+
+// Property: every answer any algorithm emits on random inputs satisfies
+// the structural invariants.
+func TestQuickAnswersAreValidTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, kw := randomSearchable(rng)
+		opts := Options{K: 20, DMax: 10}
+		for _, algo := range algorithms {
+			res, err := algo(g, kw, opts)
+			if err != nil {
+				return false
+			}
+			for _, a := range res.Answers {
+				if !checkAnswerInvariants(g, kw, a, DefaultLambda) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a depth limit exceeding the graph size, the best
+// *generated* answer score agrees across all three algorithms up to
+// tie-breaking. All three converge to true shortest keyword distances at
+// frontier exhaustion, but the overall score EScore·N^λ is not monotone in
+// distance: equal-or-longer paths may end at higher-prestige leaves, and
+// which such variant an algorithm happens to emit depends on its
+// exploration order (the §4.6 "changing the answer set slightly" effect,
+// which the paper reports as negligible). We therefore require agreement
+// within a small relative tolerance, plus exact agreement on whether any
+// answer exists at all; exact distance correctness is covered separately
+// by TestQuickDistancesMatchReferenceDijkstra.
+func TestQuickAlgorithmsAgreeOnBest(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, kw := randomSearchable(rng)
+		opts := Options{K: 1000, DMax: 64}
+		best := map[string]float64{}
+		count := map[string]int{}
+		for name, algo := range algorithms {
+			res, err := algo(g, kw, opts)
+			if err != nil {
+				return false
+			}
+			best[name] = res.Stats.BestGeneratedScore
+			count[name] = len(res.Answers)
+		}
+		if (count["bidirectional"] == 0) != (count["si-backward"] == 0) ||
+			(count["mi-backward"] == 0) != (count["si-backward"] == 0) {
+			return false
+		}
+		lo, hi := math.Inf(1), 0.0
+		for _, b := range best {
+			lo = math.Min(lo, b)
+			hi = math.Max(hi, b)
+		}
+		return hi == 0 || (hi-lo)/hi < 0.20
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: answers never repeat a tree (signature) or a root in one
+// result list, and scores reported are positive.
+func TestQuickNoDuplicateAnswers(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, kw := randomSearchable(rng)
+		for _, algo := range algorithms {
+			res, err := algo(g, kw, Options{K: 50, DMax: 12})
+			if err != nil {
+				return false
+			}
+			sigs := map[uint64]bool{}
+			roots := map[graph.NodeID]bool{}
+			for _, a := range res.Answers {
+				if a.Score <= 0 {
+					return false
+				}
+				if sigs[a.Signature()] || roots[a.Root] {
+					return false
+				}
+				sigs[a.Signature()] = true
+				roots[a.Root] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SI-Backward's keyword distances at emitted roots match a
+// reference Dijkstra (multi-source, per keyword) over the combined graph.
+func TestQuickDistancesMatchReferenceDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, kw := randomSearchable(rng)
+		res, err := SIBackward(g, kw, Options{K: 1000, DMax: 64})
+		if err != nil {
+			return false
+		}
+		// Reference: for each keyword, true multi-source shortest distance
+		// from every node to the keyword set, following combined out-edges
+		// (root→keyword direction).
+		ref := make([]map[graph.NodeID]float64, len(kw))
+		for i, si := range kw {
+			ref[i] = referenceDijkstra(g, si)
+		}
+		for _, a := range res.Answers {
+			for i := range kw {
+				want := ref[i][a.Root]
+				// The realized path weight can exceed the true shortest
+				// distance only from splicing; it must never beat it.
+				if a.PathWeights[i] < want-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// referenceDijkstra computes, for every node u, the length of the shortest
+// combined-graph path from u to any node in targets (following edges
+// u→...→target).
+func referenceDijkstra(g *graph.Graph, targets []graph.NodeID) map[graph.NodeID]float64 {
+	dist := make(map[graph.NodeID]float64)
+	type qe struct {
+		u graph.NodeID
+		d float64
+	}
+	var queue []qe
+	push := func(u graph.NodeID, d float64) {
+		if old, ok := dist[u]; !ok || d < old {
+			dist[u] = d
+			queue = append(queue, qe{u, d})
+		}
+	}
+	for _, u := range targets {
+		push(u, 0)
+	}
+	for len(queue) > 0 {
+		// simple O(n²) extract-min; graphs are tiny
+		bi := 0
+		for i := 1; i < len(queue); i++ {
+			if queue[i].d < queue[bi].d {
+				bi = i
+			}
+		}
+		cur := queue[bi]
+		queue = append(queue[:bi], queue[bi+1:]...)
+		if cur.d > dist[cur.u] {
+			continue
+		}
+		// Relax edges INTO cur.u: predecessor x pays w(x→u).
+		for _, h := range g.Neighbors(cur.u) {
+			push(h.To, cur.d+h.WIn)
+		}
+	}
+	return dist
+}
+
+// Property: stats counters are internally consistent.
+func TestQuickStatsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, kw := randomSearchable(rng)
+		for _, algo := range algorithms {
+			res, err := algo(g, kw, Options{K: 10})
+			if err != nil {
+				return false
+			}
+			s := res.Stats
+			if s.NodesExplored < 0 || s.NodesTouched < 0 || s.EdgesRelaxed < 0 {
+				return false
+			}
+			if s.NodesExplored > s.NodesTouched {
+				return false // every pop was inserted first
+			}
+			if len(res.Answers) > 0 && s.AnswersGenerated < len(res.Answers) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"banks/internal/graph"
+)
+
+func mkAnswer(root graph.NodeID, score float64, edges ...TreeEdge) *Answer {
+	nodes := []graph.NodeID{root}
+	for _, e := range edges {
+		nodes = append(nodes, e.To)
+	}
+	return &Answer{Root: root, Nodes: nodes, Edges: edges, Score: score}
+}
+
+func TestOutputHeapOrdersByScore(t *testing.T) {
+	stats := &Stats{}
+	o := newOutputHeap(10, false, time.Now(), stats)
+	o.add(mkAnswer(1, 0.3, TreeEdge{From: 1, To: 2}))
+	o.add(mkAnswer(3, 0.9, TreeEdge{From: 3, To: 4}))
+	o.add(mkAnswer(5, 0.6, TreeEdge{From: 5, To: 6}))
+	o.flush()
+	res := o.results()
+	if len(res) != 3 || res[0].Score != 0.9 || res[1].Score != 0.6 || res[2].Score != 0.3 {
+		t.Fatalf("flush order wrong: %v", res)
+	}
+	if stats.AnswersGenerated != 3 {
+		t.Fatalf("AnswersGenerated = %d", stats.AnswersGenerated)
+	}
+}
+
+func TestOutputHeapDrainRespectsBound(t *testing.T) {
+	o := newOutputHeap(10, false, time.Now(), &Stats{})
+	o.add(mkAnswer(1, 0.3, TreeEdge{From: 1, To: 2}))
+	o.add(mkAnswer(3, 0.9, TreeEdge{From: 3, To: 4}))
+	if o.drain(0.5, 0) {
+		t.Fatal("drain reported full prematurely")
+	}
+	if len(o.results()) != 1 || o.results()[0].Score != 0.9 {
+		t.Fatalf("drain(0.5) released %v", o.results())
+	}
+	o.drain(0.0, 0)
+	if len(o.results()) != 2 {
+		t.Fatalf("drain(0) should release everything: %v", o.results())
+	}
+}
+
+func TestOutputHeapRotationDedup(t *testing.T) {
+	// Same undirected tree {1-2}, two rootings with different scores: the
+	// better one must win regardless of arrival order.
+	o := newOutputHeap(10, false, time.Now(), &Stats{})
+	worse := mkAnswer(1, 0.4, TreeEdge{From: 1, To: 2})
+	better := mkAnswer(2, 0.8, TreeEdge{From: 2, To: 1})
+	if !o.add(worse) {
+		t.Fatal("first add rejected")
+	}
+	if !o.add(better) {
+		t.Fatal("better rotation rejected")
+	}
+	// Re-adding a worse duplicate must be dropped.
+	if o.add(mkAnswer(1, 0.2, TreeEdge{From: 1, To: 2})) {
+		t.Fatal("worse duplicate accepted")
+	}
+	o.flush()
+	res := o.results()
+	if len(res) != 1 || res[0].Score != 0.8 {
+		t.Fatalf("rotation dedup failed: %v", res)
+	}
+}
+
+func TestOutputHeapRootReplacement(t *testing.T) {
+	// Improved tree for the same root replaces the buffered one.
+	o := newOutputHeap(10, false, time.Now(), &Stats{})
+	o.add(mkAnswer(1, 0.4, TreeEdge{From: 1, To: 2}))
+	o.add(mkAnswer(1, 0.7, TreeEdge{From: 1, To: 3}))
+	o.flush()
+	res := o.results()
+	if len(res) != 1 || res[0].Score != 0.7 {
+		t.Fatalf("root replacement failed: %v", res)
+	}
+}
+
+func TestOutputHeapEmittedSuppression(t *testing.T) {
+	o := newOutputHeap(10, false, time.Now(), &Stats{})
+	o.add(mkAnswer(1, 0.4, TreeEdge{From: 1, To: 2}))
+	o.drain(0.0, 0)
+	// The same tree cannot be emitted twice, even as a rotation or an
+	// improvement, once released.
+	if o.add(mkAnswer(2, 0.9, TreeEdge{From: 2, To: 1})) {
+		t.Fatal("released tree re-accepted via rotation")
+	}
+	if o.add(mkAnswer(1, 0.9, TreeEdge{From: 1, To: 3})) {
+		t.Fatal("released root re-accepted")
+	}
+	if len(o.results()) != 1 {
+		t.Fatalf("results = %v", o.results())
+	}
+}
+
+func TestOutputHeapKZero(t *testing.T) {
+	o := newOutputHeap(0, false, time.Now(), &Stats{})
+	if o.add(mkAnswer(1, 0.4, TreeEdge{From: 1, To: 2})) {
+		t.Fatal("K=0 accepted an answer")
+	}
+	if !o.full() {
+		t.Fatal("K=0 heap should always be full")
+	}
+}
+
+func TestOutputHeapKLimit(t *testing.T) {
+	o := newOutputHeap(2, false, time.Now(), &Stats{})
+	for i := 0; i < 5; i++ {
+		o.add(mkAnswer(graph.NodeID(i*2), float64(i)/10+0.1,
+			TreeEdge{From: graph.NodeID(i * 2), To: graph.NodeID(i*2 + 1)}))
+	}
+	o.flush()
+	if len(o.results()) != 2 {
+		t.Fatalf("K=2 released %d answers", len(o.results()))
+	}
+}
+
+func TestNearBasic(t *testing.T) {
+	g, kw := grayGraph(t)
+	res, stats, err := Near(g, kw, Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("near query returned nothing")
+	}
+	if stats.NodesExplored == 0 {
+		t.Fatal("near query explored nothing")
+	}
+	// Results sorted by activation.
+	for i := 1; i < len(res); i++ {
+		if res[i].Activation > res[i-1].Activation {
+			t.Fatalf("near results unsorted: %v", res)
+		}
+	}
+	// The writes node W1(4) bridging Gray and a transaction paper should
+	// rank at or near the top (activation from both keywords).
+	top := map[graph.NodeID]bool{}
+	for i := 0; i < len(res) && i < 3; i++ {
+		top[res[i].Node] = true
+	}
+	if !top[4] && !top[0] && !top[2] {
+		t.Fatalf("expected the Gray cluster near the top, got %v", res)
+	}
+}
+
+func TestNearValidation(t *testing.T) {
+	g, kw := grayGraph(t)
+	if _, _, err := Near(nil, kw, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, _, err := Near(g, nil, Options{}); err == nil {
+		t.Fatal("no keywords accepted")
+	}
+	// Unmatched keyword → empty result, no error.
+	res, _, err := Near(g, [][]graph.NodeID{{0}, nil}, Options{})
+	if err != nil || len(res) != 0 {
+		t.Fatalf("unmatched keyword: res=%v err=%v", res, err)
+	}
+}
+
+func TestEdgeFilterRestrictsSearch(t *testing.T) {
+	// Two parallel routes between keyword endpoints, distinguished by edge
+	// type; filtering out type 1 must force answers through type-2 edges.
+	b := graph.NewBuilder()
+	a := b.AddNode("t")
+	mid1 := b.AddNode("t")
+	mid2 := b.AddNode("t")
+	z := b.AddNode("t")
+	_ = b.AddEdge(a, mid1, 1, 1)
+	_ = b.AddEdge(mid1, z, 1, 1)
+	_ = b.AddEdge(a, mid2, 5, 2)
+	_ = b.AddEdge(mid2, z, 5, 2)
+	g := b.Build()
+	_ = g.SetPrestige([]float64{1, 1, 1, 1})
+	kw := [][]graph.NodeID{{a}, {z}}
+
+	opts := Options{K: 5, EdgeFilter: func(t graph.EdgeType, forward bool) bool { return t == 2 }}
+	for name, algo := range algorithms {
+		res, err := algo(g, kw, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Answers) == 0 {
+			t.Fatalf("%s: no answers with edge filter", name)
+		}
+		for _, ans := range res.Answers {
+			for _, e := range ans.Edges {
+				if e.Type != 2 {
+					t.Fatalf("%s: filtered edge type %d used: %v", name, e.Type, ans)
+				}
+			}
+			for _, u := range ans.Nodes {
+				if u == mid1 {
+					t.Fatalf("%s: path through filtered route: %v", name, ans)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package datagen
+
+import (
+	"testing"
+
+	"banks/internal/relational"
+)
+
+// smallDBLP is shared across tests; generation is deterministic.
+func smallDBLP(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := DBLP(DBLPConfig{Papers: 2000, Authors: 1200, Confs: 12, SeedsPerCombo: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestDBLPShape(t *testing.T) {
+	ds := smallDBLP(t)
+	db := ds.DB
+	for _, name := range []string{"author", "conference", "paper", "writes", "cites"} {
+		if db.Table(name) == nil {
+			t.Fatalf("missing table %s", name)
+		}
+	}
+	if db.Table("paper").NumRows() != 2000 {
+		t.Fatalf("papers = %d", db.Table("paper").NumRows())
+	}
+	if db.Table("author").NumRows() != 1200 {
+		t.Fatalf("authors = %d", db.Table("author").NumRows())
+	}
+	w := db.Table("writes").NumRows()
+	if w < 2000 || w > 4*2000 {
+		t.Fatalf("writes rows = %d, want between 1 and 4 per paper", w)
+	}
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	cfg := DBLPConfig{Papers: 500, Authors: 300, Confs: 8, SeedsPerCombo: 2, Seed: 9}
+	a, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DBLP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 500; i++ {
+		if a.DB.Table("paper").Row(i).Texts[0] != b.DB.Table("paper").Row(i).Texts[0] {
+			t.Fatalf("row %d differs between identical-seed runs", i)
+		}
+	}
+	if len(a.Seeds) != len(b.Seeds) {
+		t.Fatalf("seed counts differ: %d vs %d", len(a.Seeds), len(b.Seeds))
+	}
+}
+
+func TestDBLPRejectsTinyConfig(t *testing.T) {
+	if _, err := DBLP(DBLPConfig{Papers: 1, Authors: 1, Confs: 1}); err == nil {
+		t.Fatal("tiny config accepted")
+	}
+}
+
+func TestBandCountsRoughlyOnTarget(t *testing.T) {
+	ds := smallDBLP(t)
+	paper := ds.DB.Table("paper")
+	author := ds.DB.Table("author")
+	for _, bt := range ds.Bands {
+		var got int
+		switch bt.Table {
+		case "paper":
+			got = len(paper.MatchingRows(bt.Term))
+		case "author":
+			got = len(author.MatchingRows(bt.Term))
+		default:
+			t.Fatalf("band term in unexpected table %s", bt.Table)
+		}
+		if got == 0 {
+			t.Errorf("band term %s (band %s) matches nothing", bt.Term, bt.Band)
+			continue
+		}
+		// Combo seeding can add a few extra occurrences beyond the target.
+		if got > bt.Count+40 {
+			t.Errorf("band term %s: %d occurrences, planned %d", bt.Term, got, bt.Count)
+		}
+	}
+}
+
+func TestBandOrdering(t *testing.T) {
+	// Average count per band must increase from tiny to large.
+	ds, err := DBLP(DBLPConfig{Papers: 20_000, Authors: 10_000, Confs: 20, SeedsPerCombo: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := ds.DB.Table("paper")
+	avg := make(map[Band]float64)
+	n := make(map[Band]int)
+	for _, bt := range ds.Bands {
+		if bt.Table != "paper" {
+			continue
+		}
+		avg[bt.Band] += float64(len(paper.MatchingRows(bt.Term)))
+		n[bt.Band]++
+	}
+	for b := BandTiny; b < numBands; b++ {
+		if n[b] == 0 {
+			t.Fatalf("no paper-side terms for band %s", b)
+		}
+		avg[b] /= float64(n[b])
+	}
+	if !(avg[BandTiny] < avg[BandSmall] && avg[BandSmall] < avg[BandMedium] && avg[BandMedium] < avg[BandLarge]) {
+		t.Fatalf("band averages not increasing: %v", avg)
+	}
+}
+
+func TestComboSeedsAreConnectedAndMatch(t *testing.T) {
+	ds := smallDBLP(t)
+	if len(ds.Seeds) == 0 {
+		t.Fatal("no combo seeds planted")
+	}
+	paper := ds.DB.Table("paper")
+	author := ds.DB.Table("author")
+	writes := ds.DB.Table("writes")
+	for _, s := range ds.Seeds {
+		// The entity tuple must contain both entity terms.
+		for _, term := range s.EntityTerms {
+			if !contains(paper.MatchingRows(term), s.EntityRow) {
+				t.Fatalf("seed %v: paper %d does not match %s", s.Combo, s.EntityRow, term)
+			}
+		}
+		for _, term := range s.NameTerms {
+			if !contains(author.MatchingRows(term), s.NameRow) {
+				t.Fatalf("seed %v: author %d does not match %s", s.Combo, s.NameRow, term)
+			}
+		}
+		// There must be a writes row linking them.
+		linked := false
+		for _, w := range writes.RefRows(ds.LinkEntityFK, s.EntityRow) {
+			if writes.Row(w).FKs[ds.LinkNameFK] == s.NameRow {
+				linked = true
+				break
+			}
+		}
+		if !linked {
+			t.Fatalf("seed %v: paper %d and author %d not linked", s.Combo, s.EntityRow, s.NameRow)
+		}
+	}
+}
+
+func TestAllCombosSeeded(t *testing.T) {
+	ds := smallDBLP(t)
+	seen := make(map[[4]Band]int)
+	for _, s := range ds.Seeds {
+		seen[s.Combo]++
+	}
+	for _, c := range Combos() {
+		if seen[c] == 0 {
+			t.Errorf("combo %s has no seeds", ComboLabel(c))
+		}
+	}
+}
+
+func TestIMDBShape(t *testing.T) {
+	ds, err := IMDB(IMDBConfig{Movies: 800, Actors: 700, Directors: 30, SeedsPerCombo: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"actor", "director", "movie", "casts"} {
+		if ds.DB.Table(name) == nil {
+			t.Fatalf("missing table %s", name)
+		}
+	}
+	if ds.EntityTable != "movie" || ds.NameTable != "actor" || ds.LinkTable != "casts" {
+		t.Fatalf("metadata wrong: %+v", ds)
+	}
+	// Casts rows carry role text.
+	if len(ds.DB.Table("casts").Row(0).Texts) != 1 {
+		t.Fatal("casts rows should have a role text column")
+	}
+	if len(ds.Seeds) == 0 {
+		t.Fatal("no combo seeds")
+	}
+}
+
+func TestPatentsShape(t *testing.T) {
+	ds, err := Patents(PatentsConfig{Patents: 900, Inventors: 600, Assignees: 20, SeedsPerCombo: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"assignee", "inventor", "patent", "invents", "cites"} {
+		if ds.DB.Table(name) == nil {
+			t.Fatalf("missing table %s", name)
+		}
+	}
+	if ds.DB.Table("cites").NumRows() == 0 {
+		t.Fatal("patents should cite each other")
+	}
+}
+
+func TestBandString(t *testing.T) {
+	if BandTiny.String() != "T" || BandLarge.String() != "L" {
+		t.Fatal("band labels wrong")
+	}
+	if ComboLabel([4]Band{BandTiny, BandSmall, BandMedium, BandLarge}) != "(T,S,M,L)" {
+		t.Fatalf("ComboLabel = %s", ComboLabel([4]Band{BandTiny, BandSmall, BandMedium, BandLarge}))
+	}
+}
+
+func TestHubConferenceExists(t *testing.T) {
+	ds := smallDBLP(t)
+	paper := ds.DB.Table("paper")
+	counts := make(map[int32]int)
+	for i := int32(0); i < int32(paper.NumRows()); i++ {
+		counts[paper.Row(i).FKs[0]]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	// Zipf skew must create at least one hub conference holding >20% of
+	// papers — the large fan-in scenario of §4.1.
+	if maxCount < paper.NumRows()/5 {
+		t.Fatalf("largest conference has only %d/%d papers; want a hub", maxCount, paper.NumRows())
+	}
+}
+
+func TestBandTermsFor(t *testing.T) {
+	ds := smallDBLP(t)
+	terms := ds.BandTermsFor("paper", BandTiny)
+	if len(terms) != bandTermsPerSide[BandTiny] {
+		t.Fatalf("BandTermsFor(paper,tiny) = %d terms, want %d", len(terms), bandTermsPerSide[BandTiny])
+	}
+	if len(ds.BandTermsFor("author", BandLarge)) != bandTermsPerSide[BandLarge] {
+		t.Fatal("author large band terms missing")
+	}
+}
+
+func contains(list []int32, v int32) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = relational.RowRef{} // keep import if test edits remove direct uses

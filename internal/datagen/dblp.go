@@ -1,0 +1,264 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"banks/internal/relational"
+)
+
+// DBLPConfig sizes the synthetic bibliography dataset (the DBLP stand-in).
+type DBLPConfig struct {
+	Papers  int
+	Authors int
+	Confs   int
+	// SeedsPerCombo is how many linked (paper, author) pairs are seeded
+	// with band terms per Figure-6(c) combination. Default 25.
+	SeedsPerCombo int
+	Seed          int64
+}
+
+// DefaultDBLP returns a config scaled by factor: factor 1 is the bench
+// default (~180k tuples); the paper's DBLP has roughly 2M nodes, i.e.
+// factor ≈ 11.
+func DefaultDBLP(factor float64) DBLPConfig {
+	if factor <= 0 {
+		factor = 1
+	}
+	return DBLPConfig{
+		Papers:        int(30_000 * factor),
+		Authors:       int(18_000 * factor),
+		Confs:         int(60 * factor),
+		SeedsPerCombo: 25,
+		Seed:          1,
+	}
+}
+
+// DBLP generates the bibliography dataset:
+//
+//	author(name)
+//	conference(name)
+//	paper(title) → conference            (the hub edge of §2.1)
+//	writes(author→author, paper→paper)   (authorship link table)
+//	cites(src→paper, dst→paper)          (citation links)
+func DBLP(cfg DBLPConfig) (*Dataset, error) {
+	if cfg.Papers < 10 || cfg.Authors < 10 || cfg.Confs < 2 {
+		return nil, fmt.Errorf("datagen: DBLP config too small: %+v", cfg)
+	}
+	if cfg.SeedsPerCombo <= 0 {
+		cfg.SeedsPerCombo = 25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// --- base content ---
+	firstPool := makeNamePool(max(20, cfg.Authors/40), 2)
+	lastPool := makeNamePool(max(40, cfg.Authors/4), 3)
+	// First names are Zipf-distributed so a few names ("John") match very
+	// many tuples — the frequent-keyword scenario of §4.1 and the
+	// large-origin class of §5.4.
+	firstZipf := rand.NewZipf(rng, 1.4, 3, uint64(len(firstPool)-1))
+	authorNames := make([]string, cfg.Authors)
+	for i := range authorNames {
+		authorNames[i] = firstPool[firstZipf.Uint64()] + " " + lastPool[rng.Intn(len(lastPool))]
+	}
+
+	confNames := make([]string, cfg.Confs)
+	famous := []string{"VLDB", "SIGMOD", "ICDE", "PODS", "EDBT"}
+	confPool := makeNamePool(cfg.Confs, 2)
+	for i := range confNames {
+		if i < len(famous) {
+			confNames[i] = famous[i]
+		} else {
+			confNames[i] = "Conf" + confPool[i]
+		}
+	}
+
+	voc := newVocab(rng, 2000)
+	titles := make([]string, cfg.Papers)
+	for i := range titles {
+		titles[i] = voc.title(4 + rng.Intn(5))
+	}
+
+	// Paper → conference assignment, Zipf-skewed so a few conferences have
+	// enormous fan-in (the paper's "conference node with large degree").
+	confZipf := rand.NewZipf(rng, 1.2, 2, uint64(cfg.Confs-1))
+	paperConf := make([]int32, cfg.Papers)
+	for i := range paperConf {
+		paperConf[i] = int32(confZipf.Uint64())
+	}
+
+	// Authorship: 1–4 authors per paper; half the picks are Zipf-skewed so
+	// prolific authors exist (the "C. Mohan" case of §5.5 with large
+	// fan-in on a tiny origin).
+	authorZipf := rand.NewZipf(rng, 1.3, 8, uint64(cfg.Authors-1))
+	paperAuthors := make([][]int32, cfg.Papers)
+	for i := range paperAuthors {
+		na := 1 + rng.Intn(4)
+		seen := make(map[int32]struct{}, na)
+		for len(seen) < na {
+			var a int32
+			if rng.Intn(2) == 0 {
+				a = int32(authorZipf.Uint64())
+			} else {
+				a = int32(rng.Intn(cfg.Authors))
+			}
+			seen[a] = struct{}{}
+		}
+		for a := range seen {
+			paperAuthors[i] = append(paperAuthors[i], a)
+		}
+		// Map iteration order is random; sort so identical seeds yield
+		// identical datasets.
+		slices.Sort(paperAuthors[i])
+	}
+
+	// Citations: papers cite earlier papers, skewed toward low ids so some
+	// papers are highly cited (prestige differentiation, §2.3).
+	type cite struct{ src, dst int32 }
+	var cites []cite
+	for i := 1; i < cfg.Papers; i++ {
+		nc := rng.Intn(5)
+		for c := 0; c < nc; c++ {
+			a, b := rng.Intn(i), rng.Intn(i)
+			cites = append(cites, cite{int32(i), int32(min(a, b))})
+		}
+	}
+
+	// --- band planting ---
+	entity := newPlanner("paper", "p", cfg.Papers)
+	namePl := newPlanner("author", "a", cfg.Papers)
+	planted := make(map[string]map[int32]struct{})
+	plant := func(term string, row int32) bool {
+		rows, ok := planted[term]
+		if !ok {
+			rows = make(map[int32]struct{})
+			planted[term] = rows
+		}
+		if _, dup := rows[row]; dup {
+			return false
+		}
+		rows[row] = struct{}{}
+		return true
+	}
+
+	var seeds []ComboSeed
+	for _, combo := range allCombos() {
+		for s := 0; s < cfg.SeedsPerCombo; s++ {
+			p := int32(rng.Intn(cfg.Papers))
+			if len(paperAuthors[p]) == 0 {
+				continue
+			}
+			a := paperAuthors[p][rng.Intn(len(paperAuthors[p]))]
+			t1, t2 := takePair(rng, entity, combo[0], combo[1])
+			n1, n2 := takePair(rng, namePl, combo[2], combo[3])
+			if !plant(t1, p) || !plant(t2, p) || !plant(n1, a) || !plant(n2, a) {
+				continue // rare collision; skip this seed
+			}
+			titles[p] += " " + t1 + " " + t2
+			authorNames[a] += " " + n1 + " " + n2
+			seeds = append(seeds, ComboSeed{
+				Combo:       combo,
+				EntityTerms: [2]string{t1, t2},
+				NameTerms:   [2]string{n1, n2},
+				EntityTable: "paper", EntityRow: p,
+				NameTable: "author", NameRow: a,
+			})
+		}
+	}
+
+	// Top-up each planted term to its exact band count.
+	topUp(rng, entity, plant, func(term string, row int32) { titles[row] += " " + term }, cfg.Papers)
+	topUp(rng, namePl, plant, func(term string, row int32) { authorNames[row] += " " + term }, cfg.Authors)
+
+	// --- assemble relational database ---
+	db := relational.NewDatabase()
+	author, err := db.CreateTable("author", []string{"name"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	conference, err := db.CreateTable("conference", []string{"name"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	paper, err := db.CreateTable("paper", []string{"title"}, []relational.FK{{Name: "conf", RefTable: "conference"}})
+	if err != nil {
+		return nil, err
+	}
+	writes, err := db.CreateTable("writes", nil, []relational.FK{
+		{Name: "author", RefTable: "author"},
+		{Name: "paper", RefTable: "paper"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	citesT, err := db.CreateTable("cites", nil, []relational.FK{
+		{Name: "src", RefTable: "paper"},
+		{Name: "dst", RefTable: "paper"},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, n := range authorNames {
+		author.Append([]string{n}, nil)
+	}
+	for _, n := range confNames {
+		conference.Append([]string{n}, nil)
+	}
+	for i, t := range titles {
+		paper.Append([]string{t}, []int32{paperConf[i]})
+	}
+	for p, as := range paperAuthors {
+		for _, a := range as {
+			writes.Append(nil, []int32{a, int32(p)})
+		}
+	}
+	for _, c := range cites {
+		citesT.Append(nil, []int32{c.src, c.dst})
+	}
+	if err := db.Freeze(); err != nil {
+		return nil, err
+	}
+
+	ds := &Dataset{
+		Name:        "dblp",
+		DB:          db,
+		Bands:       append(entity.bandTermsMeta(), namePl.bandTermsMeta()...),
+		Seeds:       seeds,
+		EntityTable: "paper", NameTable: "author",
+		LinkTable: "writes", LinkEntityFK: 1, LinkNameFK: 0,
+	}
+	return ds, nil
+}
+
+// takePair draws two distinct terms for bands b1 and b2 from planner p.
+func takePair(rng *rand.Rand, p *planner, b1, b2 Band) (string, string) {
+	t1 := p.take(rng, b1)
+	t2 := p.take(rng, b2)
+	for tries := 0; t2 == t1 && tries < 32; tries++ {
+		t2 = p.take(rng, b2)
+	}
+	return t1, t2
+}
+
+// topUp plants each term's remaining occurrences into random rows. The
+// tries budget guards against pathological configs where a term's target
+// exceeds the number of available rows.
+func topUp(rng *rand.Rand, p *planner, plant func(string, int32) bool, apply func(string, int32), numRows int) {
+	// Iterate bands in fixed order (p.terms is a map) so identical seeds
+	// consume the rng identically and yield identical datasets.
+	for b := BandTiny; b < numBands; b++ {
+		terms := p.terms[b]
+		for _, term := range terms {
+			left := min(p.remaining(term), numRows/2)
+			for tries := 0; left > 0 && tries < 50*numRows; tries++ {
+				row := int32(rng.Intn(numRows))
+				if plant(term, row) {
+					apply(term, row)
+					left--
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"banks/internal/relational"
+)
+
+// IMDBConfig sizes the synthetic movie dataset (the IMDB stand-in).
+type IMDBConfig struct {
+	Movies    int
+	Actors    int
+	Directors int
+	// SeedsPerCombo as in DBLPConfig. Default 25.
+	SeedsPerCombo int
+	Seed          int64
+}
+
+// DefaultIMDB returns a config scaled by factor (factor 1 ≈ 170k tuples;
+// the paper says IMDB "has a similar size" to DBLP).
+func DefaultIMDB(factor float64) IMDBConfig {
+	if factor <= 0 {
+		factor = 1
+	}
+	return IMDBConfig{
+		Movies:        int(25_000 * factor),
+		Actors:        int(20_000 * factor),
+		Directors:     int(3_000 * factor),
+		SeedsPerCombo: 25,
+		Seed:          2,
+	}
+}
+
+// IMDB generates the movie dataset:
+//
+//	actor(name)
+//	director(name)
+//	movie(title) → director
+//	casts(actor→actor, movie→movie, role text)
+//
+// Casts rows carry a role string so keywords can also match relationship
+// tuples (the paper's graphs associate text with link tuples too).
+func IMDB(cfg IMDBConfig) (*Dataset, error) {
+	if cfg.Movies < 10 || cfg.Actors < 10 || cfg.Directors < 2 {
+		return nil, fmt.Errorf("datagen: IMDB config too small: %+v", cfg)
+	}
+	if cfg.SeedsPerCombo <= 0 {
+		cfg.SeedsPerCombo = 25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	firstPool := makeNamePool(max(20, cfg.Actors/50), 2)
+	lastPool := makeNamePool(max(40, cfg.Actors/5), 3)
+	// First names are Zipf-distributed so a few names ("John") match very
+	// many tuples — the frequent-keyword scenario of §4.1 and the
+	// large-origin class of §5.4.
+	firstZipf := rand.NewZipf(rng, 1.4, 3, uint64(len(firstPool)-1))
+	actorNames := make([]string, cfg.Actors)
+	for i := range actorNames {
+		actorNames[i] = firstPool[firstZipf.Uint64()] + " " + lastPool[rng.Intn(len(lastPool))]
+	}
+	directorNames := make([]string, cfg.Directors)
+	for i := range directorNames {
+		directorNames[i] = firstPool[rng.Intn(len(firstPool))] + " " + lastPool[rng.Intn(len(lastPool))]
+	}
+
+	voc := newVocab(rng, 1500)
+	titles := make([]string, cfg.Movies)
+	for i := range titles {
+		titles[i] = voc.title(2 + rng.Intn(4))
+	}
+
+	movieDirector := make([]int32, cfg.Movies)
+	dirZipf := rand.NewZipf(rng, 1.2, 4, uint64(cfg.Directors-1))
+	for i := range movieDirector {
+		movieDirector[i] = int32(dirZipf.Uint64())
+	}
+
+	// Casts: 2–8 actors per movie; star actors (low Zipf rank) appear in
+	// very many movies — the "John" case from §4.1 with large fan-in.
+	actorZipf := rand.NewZipf(rng, 1.25, 6, uint64(cfg.Actors-1))
+	movieActors := make([][]int32, cfg.Movies)
+	for i := range movieActors {
+		na := 2 + rng.Intn(7)
+		seen := make(map[int32]struct{}, na)
+		for len(seen) < na {
+			var a int32
+			if rng.Intn(2) == 0 {
+				a = int32(actorZipf.Uint64())
+			} else {
+				a = int32(rng.Intn(cfg.Actors))
+			}
+			seen[a] = struct{}{}
+		}
+		for a := range seen {
+			movieActors[i] = append(movieActors[i], a)
+		}
+		// Map iteration order is random; sort so identical seeds yield
+		// identical datasets.
+		slices.Sort(movieActors[i])
+	}
+
+	entity := newPlanner("movie", "p", cfg.Movies)
+	namePl := newPlanner("actor", "a", cfg.Movies)
+	planted := make(map[string]map[int32]struct{})
+	plant := func(term string, row int32) bool {
+		rows, ok := planted[term]
+		if !ok {
+			rows = make(map[int32]struct{})
+			planted[term] = rows
+		}
+		if _, dup := rows[row]; dup {
+			return false
+		}
+		rows[row] = struct{}{}
+		return true
+	}
+
+	var seeds []ComboSeed
+	for _, combo := range allCombos() {
+		for s := 0; s < cfg.SeedsPerCombo; s++ {
+			m := int32(rng.Intn(cfg.Movies))
+			if len(movieActors[m]) == 0 {
+				continue
+			}
+			a := movieActors[m][rng.Intn(len(movieActors[m]))]
+			t1, t2 := takePair(rng, entity, combo[0], combo[1])
+			n1, n2 := takePair(rng, namePl, combo[2], combo[3])
+			if !plant(t1, m) || !plant(t2, m) || !plant(n1, a) || !plant(n2, a) {
+				continue
+			}
+			titles[m] += " " + t1 + " " + t2
+			actorNames[a] += " " + n1 + " " + n2
+			seeds = append(seeds, ComboSeed{
+				Combo:       combo,
+				EntityTerms: [2]string{t1, t2},
+				NameTerms:   [2]string{n1, n2},
+				EntityTable: "movie", EntityRow: m,
+				NameTable: "actor", NameRow: a,
+			})
+		}
+	}
+	topUp(rng, entity, plant, func(term string, row int32) { titles[row] += " " + term }, cfg.Movies)
+	topUp(rng, namePl, plant, func(term string, row int32) { actorNames[row] += " " + term }, cfg.Actors)
+
+	roles := []string{"lead", "villain", "cameo", "support", "narrator", "hero", "detective", "captain"}
+
+	db := relational.NewDatabase()
+	actor, err := db.CreateTable("actor", []string{"name"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	director, err := db.CreateTable("director", []string{"name"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	movie, err := db.CreateTable("movie", []string{"title"}, []relational.FK{{Name: "director", RefTable: "director"}})
+	if err != nil {
+		return nil, err
+	}
+	casts, err := db.CreateTable("casts", []string{"role"}, []relational.FK{
+		{Name: "actor", RefTable: "actor"},
+		{Name: "movie", RefTable: "movie"},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, n := range actorNames {
+		actor.Append([]string{n}, nil)
+	}
+	for _, n := range directorNames {
+		director.Append([]string{n}, nil)
+	}
+	for i, t := range titles {
+		movie.Append([]string{t}, []int32{movieDirector[i]})
+	}
+	for m, as := range movieActors {
+		for _, a := range as {
+			casts.Append([]string{roles[rng.Intn(len(roles))]}, []int32{a, int32(m)})
+		}
+	}
+	if err := db.Freeze(); err != nil {
+		return nil, err
+	}
+
+	return &Dataset{
+		Name:        "imdb",
+		DB:          db,
+		Bands:       append(entity.bandTermsMeta(), namePl.bandTermsMeta()...),
+		Seeds:       seeds,
+		EntityTable: "movie", NameTable: "actor",
+		LinkTable: "casts", LinkEntityFK: 1, LinkNameFK: 0,
+	}, nil
+}

@@ -1,0 +1,219 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"banks/internal/relational"
+)
+
+// PatentsConfig sizes the synthetic patent dataset (the US-Patents
+// stand-in). The paper's subset has 4M nodes and 15M edges; the default
+// factor-1 config keeps the same *relative* proportions at bench scale.
+type PatentsConfig struct {
+	Patents   int
+	Inventors int
+	Assignees int
+	// SeedsPerCombo as in DBLPConfig. Default 25.
+	SeedsPerCombo int
+	Seed          int64
+}
+
+// DefaultPatents returns a config scaled by factor (factor 1 ≈ 200k
+// tuples).
+func DefaultPatents(factor float64) PatentsConfig {
+	if factor <= 0 {
+		factor = 1
+	}
+	return PatentsConfig{
+		Patents:       int(40_000 * factor),
+		Inventors:     int(25_000 * factor),
+		Assignees:     int(1_500 * factor),
+		SeedsPerCombo: 25,
+		Seed:          3,
+	}
+}
+
+// Patents generates the patent dataset:
+//
+//	assignee(name)
+//	inventor(name)
+//	patent(title) → assignee           (company hub edge)
+//	invents(inventor→inventor, patent→patent)
+//	cites(src→patent, dst→patent)
+func Patents(cfg PatentsConfig) (*Dataset, error) {
+	if cfg.Patents < 10 || cfg.Inventors < 10 || cfg.Assignees < 2 {
+		return nil, fmt.Errorf("datagen: Patents config too small: %+v", cfg)
+	}
+	if cfg.SeedsPerCombo <= 0 {
+		cfg.SeedsPerCombo = 25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	firstPool := makeNamePool(max(20, cfg.Inventors/50), 2)
+	lastPool := makeNamePool(max(40, cfg.Inventors/5), 3)
+	// First names are Zipf-distributed so a few names ("John") match very
+	// many tuples — the frequent-keyword scenario of §4.1 and the
+	// large-origin class of §5.4.
+	firstZipf := rand.NewZipf(rng, 1.4, 3, uint64(len(firstPool)-1))
+	inventorNames := make([]string, cfg.Inventors)
+	for i := range inventorNames {
+		inventorNames[i] = firstPool[firstZipf.Uint64()] + " " + lastPool[rng.Intn(len(lastPool))]
+	}
+	assigneeNames := make([]string, cfg.Assignees)
+	companies := []string{"Microsoft", "Oracle", "Lucent", "Kodak", "Xerox"}
+	companyPool := makeNamePool(cfg.Assignees, 3)
+	for i := range assigneeNames {
+		if i < len(companies) {
+			assigneeNames[i] = companies[i] + " Corporation"
+		} else {
+			assigneeNames[i] = companyPool[i] + " Inc"
+		}
+	}
+
+	voc := newVocab(rng, 2500)
+	titles := make([]string, cfg.Patents)
+	for i := range titles {
+		titles[i] = voc.title(5 + rng.Intn(6))
+	}
+
+	patentAssignee := make([]int32, cfg.Patents)
+	assigneeZipf := rand.NewZipf(rng, 1.15, 2, uint64(cfg.Assignees-1))
+	for i := range patentAssignee {
+		patentAssignee[i] = int32(assigneeZipf.Uint64())
+	}
+
+	inventorZipf := rand.NewZipf(rng, 1.3, 8, uint64(cfg.Inventors-1))
+	patentInventors := make([][]int32, cfg.Patents)
+	for i := range patentInventors {
+		ni := 1 + rng.Intn(3)
+		seen := make(map[int32]struct{}, ni)
+		for len(seen) < ni {
+			var a int32
+			if rng.Intn(2) == 0 {
+				a = int32(inventorZipf.Uint64())
+			} else {
+				a = int32(rng.Intn(cfg.Inventors))
+			}
+			seen[a] = struct{}{}
+		}
+		for a := range seen {
+			patentInventors[i] = append(patentInventors[i], a)
+		}
+		// Map iteration order is random; sort so identical seeds yield
+		// identical datasets.
+		slices.Sort(patentInventors[i])
+	}
+
+	type cite struct{ src, dst int32 }
+	var cites []cite
+	for i := 1; i < cfg.Patents; i++ {
+		nc := rng.Intn(7) // patents cite heavily: ~3 on average
+		for c := 0; c < nc; c++ {
+			a, b := rng.Intn(i), rng.Intn(i)
+			cites = append(cites, cite{int32(i), int32(min(a, b))})
+		}
+	}
+
+	entity := newPlanner("patent", "p", cfg.Patents)
+	namePl := newPlanner("inventor", "a", cfg.Patents)
+	planted := make(map[string]map[int32]struct{})
+	plant := func(term string, row int32) bool {
+		rows, ok := planted[term]
+		if !ok {
+			rows = make(map[int32]struct{})
+			planted[term] = rows
+		}
+		if _, dup := rows[row]; dup {
+			return false
+		}
+		rows[row] = struct{}{}
+		return true
+	}
+
+	var seeds []ComboSeed
+	for _, combo := range allCombos() {
+		for s := 0; s < cfg.SeedsPerCombo; s++ {
+			p := int32(rng.Intn(cfg.Patents))
+			if len(patentInventors[p]) == 0 {
+				continue
+			}
+			a := patentInventors[p][rng.Intn(len(patentInventors[p]))]
+			t1, t2 := takePair(rng, entity, combo[0], combo[1])
+			n1, n2 := takePair(rng, namePl, combo[2], combo[3])
+			if !plant(t1, p) || !plant(t2, p) || !plant(n1, a) || !plant(n2, a) {
+				continue
+			}
+			titles[p] += " " + t1 + " " + t2
+			inventorNames[a] += " " + n1 + " " + n2
+			seeds = append(seeds, ComboSeed{
+				Combo:       combo,
+				EntityTerms: [2]string{t1, t2},
+				NameTerms:   [2]string{n1, n2},
+				EntityTable: "patent", EntityRow: p,
+				NameTable: "inventor", NameRow: a,
+			})
+		}
+	}
+	topUp(rng, entity, plant, func(term string, row int32) { titles[row] += " " + term }, cfg.Patents)
+	topUp(rng, namePl, plant, func(term string, row int32) { inventorNames[row] += " " + term }, cfg.Inventors)
+
+	db := relational.NewDatabase()
+	assignee, err := db.CreateTable("assignee", []string{"name"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	inventor, err := db.CreateTable("inventor", []string{"name"}, nil)
+	if err != nil {
+		return nil, err
+	}
+	patent, err := db.CreateTable("patent", []string{"title"}, []relational.FK{{Name: "assignee", RefTable: "assignee"}})
+	if err != nil {
+		return nil, err
+	}
+	invents, err := db.CreateTable("invents", nil, []relational.FK{
+		{Name: "inventor", RefTable: "inventor"},
+		{Name: "patent", RefTable: "patent"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	citesT, err := db.CreateTable("cites", nil, []relational.FK{
+		{Name: "src", RefTable: "patent"},
+		{Name: "dst", RefTable: "patent"},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, n := range assigneeNames {
+		assignee.Append([]string{n}, nil)
+	}
+	for _, n := range inventorNames {
+		inventor.Append([]string{n}, nil)
+	}
+	for i, t := range titles {
+		patent.Append([]string{t}, []int32{patentAssignee[i]})
+	}
+	for p, is := range patentInventors {
+		for _, a := range is {
+			invents.Append(nil, []int32{a, int32(p)})
+		}
+	}
+	for _, c := range cites {
+		citesT.Append(nil, []int32{c.src, c.dst})
+	}
+	if err := db.Freeze(); err != nil {
+		return nil, err
+	}
+
+	return &Dataset{
+		Name:        "patents",
+		DB:          db,
+		Bands:       append(entity.bandTermsMeta(), namePl.bandTermsMeta()...),
+		Seeds:       seeds,
+		EntityTable: "patent", NameTable: "inventor",
+		LinkTable: "invents", LinkEntityFK: 1, LinkNameFK: 0,
+	}, nil
+}

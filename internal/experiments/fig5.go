@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"banks/internal/datagen"
+	"banks/internal/sparse"
+	"banks/internal/workload"
+)
+
+// F5Row is one line of the Figure 5 table.
+type F5Row struct {
+	Label string
+	Terms []string
+	// KwNodes is |Sᵢ| per keyword (the "#Keyword nodes" column).
+	KwNodes []int
+	// RelAns / AnsSize are the relevant-answer count and join size.
+	RelAns, AnsSize int
+	// MIOverSI is the MI-Backward / SI-Backward output-time ratio.
+	MIOverSI float64
+	// SIOverBidir* are the SI-Backward / Bidirectional ratios.
+	SIOverBidirExplored float64
+	SIOverBidirTouched  float64
+	SIOverBidirGenTime  float64
+	SIOverBidirOutTime  float64
+	// Absolute times.
+	SITime, BidirTime, SparseTime time.Duration
+	// NumCNs is the candidate-network count for the Sparse lower bound.
+	NumCNs int
+}
+
+// fig5Spec describes how to synthesize one sample query in the spirit of
+// the paper's DQ/IQ/UQ queries.
+type fig5Spec struct {
+	label   string
+	dataset string
+	// mode: "size5" (author–paper–author workload query with nk keywords
+	// and class) or "combo" (band-combo query).
+	mode  string
+	nk    int
+	class workload.OriginClass
+	combo [4]datagen.Band
+}
+
+func fig5Specs() []fig5Spec {
+	T, S, M, L := datagen.BandTiny, datagen.BandSmall, datagen.BandMedium, datagen.BandLarge
+	return []fig5Spec{
+		// DQ1 "David Fernandez parametric": two selective names, 2 kw.
+		{label: "DQ1", dataset: "dblp", mode: "size5", nk: 2, class: workload.OriginSmall},
+		// DQ3 "Giora Fernandez": 2 kw, mixed selectivity.
+		{label: "DQ3", dataset: "dblp", mode: "size5", nk: 2, class: workload.OriginAny},
+		// DQ5 "Krishnamurthy parametric query optimization": 4 kw, spread bands.
+		{label: "DQ5", dataset: "dblp", mode: "combo", combo: [4]datagen.Band{T, S, M, L}},
+		// DQ7 "Naughton Dewitt query processing": 4 kw with large terms.
+		{label: "DQ7", dataset: "dblp", mode: "combo", combo: [4]datagen.Band{T, T, L, L}},
+		// DQ9 six keywords: 6 kw workload query.
+		{label: "DQ9", dataset: "dblp", mode: "size5", nk: 6, class: workload.OriginAny},
+		// IQ1 "Keanu Matrix Thomas": 3 kw, large span.
+		{label: "IQ1", dataset: "imdb", mode: "size5", nk: 3, class: workload.OriginLarge},
+		// IQ2 "Zellweger Jude Nicole": 3 kw, small.
+		{label: "IQ2", dataset: "imdb", mode: "size5", nk: 3, class: workload.OriginSmall},
+		// UQ1 "Microsoft recovery": 2 kw, large side.
+		{label: "UQ1", dataset: "patents", mode: "size5", nk: 2, class: workload.OriginLarge},
+		// UQ3 "Cindy Joshua": 2 kw small.
+		{label: "UQ3", dataset: "patents", mode: "size5", nk: 2, class: workload.OriginSmall},
+		// UQ5 "Chawathe Philip": 2 kw, mixed.
+		{label: "UQ5", dataset: "patents", mode: "size5", nk: 2, class: workload.OriginAny},
+	}
+}
+
+// Figure5 regenerates the sample-query table.
+func Figure5(cfg Config) ([]F5Row, error) {
+	var rows []F5Row
+	for i, spec := range fig5Specs() {
+		env, err := NewEnv(spec.dataset, cfg.Factor)
+		if err != nil {
+			return nil, err
+		}
+		rng := newRng(cfg, int64(i+1))
+		var q *workload.Query
+		ok := false
+		switch spec.mode {
+		case "combo":
+			for t := 0; t < 50 && !ok; t++ {
+				q, ok = env.Gen.Combo(rng, spec.combo)
+			}
+		default:
+			for t := 0; t < 2000 && !ok; t++ {
+				q, ok = env.Gen.SizeFive(rng, spec.nk, spec.class)
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("experiments: could not generate %s", spec.label)
+		}
+
+		row := F5Row{Label: spec.label, Terms: q.Terms, RelAns: len(q.Relevant), AnsSize: q.AnswerSize}
+		for _, s := range q.Keywords {
+			row.KwNodes = append(row.KwNodes, len(s))
+		}
+
+		mi, err := runAlgo(env, q, "mi-backward", cfg)
+		if err != nil {
+			return nil, err
+		}
+		si, err := runAlgo(env, q, "si-backward", cfg)
+		if err != nil {
+			return nil, err
+		}
+		bi, err := runAlgo(env, q, "bidirectional", cfg)
+		if err != nil {
+			return nil, err
+		}
+		mMI, mSI, mBI := Measure(mi, q), Measure(si, q), Measure(bi, q)
+
+		row.MIOverSI = ratio(float64(mMI.Time), float64(mSI.Time))
+		row.SIOverBidirExplored = ratio(float64(mSI.Explored), float64(mBI.Explored))
+		row.SIOverBidirTouched = ratio(float64(mSI.Touched), float64(mBI.Touched))
+		row.SIOverBidirGenTime = ratio(float64(mSI.GenTime), float64(mBI.GenTime))
+		row.SIOverBidirOutTime = ratio(float64(mSI.Time), float64(mBI.Time))
+		row.SITime = mSI.Time
+		row.BidirTime = mBI.Time
+
+		// Sparse lower bound: evaluate all CNs no larger than the relevant
+		// answer (§5.2).
+		sp, err := sparse.Run(env.DS.DB, q.Terms, q.AnswerSize, 0)
+		if err != nil {
+			return nil, err
+		}
+		row.SparseTime = sp.Elapsed
+		row.NumCNs = len(sp.CNs)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFigure5 renders the table in the paper's column layout.
+func FormatFigure5(rows []F5Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: Bidirectional vs. Backward search on sample queries\n")
+	sb.WriteString("query | #kw-nodes | RelAns | AnsSize | MI/SI time | SI/Bidir expl | SI/Bidir touch | SI/Bidir gen | SI/Bidir out | SI(ms) | Bidir(ms) | Sparse-LB(ms) (#CN)\n")
+	for _, r := range rows {
+		kw := make([]string, len(r.KwNodes))
+		for i, k := range r.KwNodes {
+			kw[i] = fmt.Sprint(k)
+		}
+		fmt.Fprintf(&sb, "%-4s %q | (%s) | %d | %d | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f | %.2f (%d)\n",
+			r.Label, strings.Join(r.Terms, " "), strings.Join(kw, ", "),
+			r.RelAns, r.AnsSize, r.MIOverSI,
+			r.SIOverBidirExplored, r.SIOverBidirTouched, r.SIOverBidirGenTime, r.SIOverBidirOutTime,
+			ms(r.SITime), ms(r.BidirTime), ms(r.SparseTime), r.NumCNs)
+	}
+	return sb.String()
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"banks/internal/datagen"
+	"banks/internal/workload"
+)
+
+// F6Row is one cell of Figure 6(a)/(b): average time ratios at one keyword
+// count and origin class.
+type F6Row struct {
+	NKeywords int
+	Class     workload.OriginClass
+	// MIOverSI reproduces Figure 6(a); SIOverBidir reproduces 6(b).
+	MIOverSI    float64
+	SIOverBidir float64
+	// NodesMIOverSI is 6(a)'s companion: the paper observes the
+	// nodes-explored ratio is "identical to the time ratio as both the
+	// algorithms explore the graph in a similar fashion" (§5.4).
+	NodesMIOverSI float64
+	// GenSIOverBidir is the companion generation-time ratio (§5.2/§5.3:
+	// "the generation time ratio tells us the effectiveness of our
+	// prioritization techniques, whereas the output time ratios also take
+	// into account secondary effects that affect the score upper bounds").
+	GenSIOverBidir float64
+	// NodesSIOverBidir is the nodes-explored companion ratio the paper
+	// reports follows the time ratio (§5.5).
+	NodesSIOverBidir float64
+	// N is the number of queries measured.
+	N int
+}
+
+// Figure6AB regenerates Figures 6(a) and 6(b) on the DBLP-like dataset:
+// for 2–7 keywords and small/large origins, the average MI/SI and
+// SI/Bidirectional time ratios over a generated workload with relevant
+// result size 5 (§5.4).
+func Figure6AB(cfg Config) ([]F6Row, error) {
+	env, err := NewEnv("dblp", cfg.Factor)
+	if err != nil {
+		return nil, err
+	}
+	var rows []F6Row
+	for nk := 2; nk <= 7; nk++ {
+		for _, class := range []workload.OriginClass{workload.OriginSmall, workload.OriginLarge} {
+			rng := newRng(cfg, int64(nk*10)+int64(class))
+			queries := env.Gen.Batch(rng, cfg.QueriesPerCell, nk, class, 400*cfg.QueriesPerCell)
+			row := F6Row{NKeywords: nk, Class: class}
+			var sumMISI, sumMISINodes, sumSIBI, sumGen, sumNodes float64
+			for _, q := range queries {
+				mi, err := runAlgo(env, q, "mi-backward", cfg)
+				if err != nil {
+					return nil, err
+				}
+				si, err := runAlgo(env, q, "si-backward", cfg)
+				if err != nil {
+					return nil, err
+				}
+				bi, err := runAlgo(env, q, "bidirectional", cfg)
+				if err != nil {
+					return nil, err
+				}
+				mMI, mSI, mBI := Measure(mi, q), Measure(si, q), Measure(bi, q)
+				sumMISI += ratio(float64(mMI.Time), float64(mSI.Time))
+				sumMISINodes += ratio(float64(mMI.Explored), float64(mSI.Explored))
+				sumSIBI += ratio(float64(mSI.Time), float64(mBI.Time))
+				sumGen += ratio(float64(mSI.GenTime), float64(mBI.GenTime))
+				sumNodes += ratio(float64(mSI.Explored), float64(mBI.Explored))
+				row.N++
+			}
+			if row.N > 0 {
+				row.MIOverSI = sumMISI / float64(row.N)
+				row.NodesMIOverSI = sumMISINodes / float64(row.N)
+				row.SIOverBidir = sumSIBI / float64(row.N)
+				row.GenSIOverBidir = sumGen / float64(row.N)
+				row.NodesSIOverBidir = sumNodes / float64(row.N)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatFigure6AB renders both series.
+func FormatFigure6AB(rows []F6Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6(a): MI-Backward / SI-Backward time ratio\n")
+	sb.WriteString("#kw | origin<small | origin>large\n")
+	writeSeries(&sb, rows, func(r F6Row) float64 { return r.MIOverSI })
+	sb.WriteString("\nFigure 6(a) companion: MI/SI nodes-explored ratio\n")
+	sb.WriteString("#kw | origin<small | origin>large\n")
+	writeSeries(&sb, rows, func(r F6Row) float64 { return r.NodesMIOverSI })
+	sb.WriteString("\nFigure 6(b): SI-Backward / Bidirectional time ratio\n")
+	sb.WriteString("#kw | origin<small | origin>large\n")
+	writeSeries(&sb, rows, func(r F6Row) float64 { return r.SIOverBidir })
+	sb.WriteString("\nFigure 6(b) companion: SI/Bidir nodes-explored ratio\n")
+	sb.WriteString("#kw | origin<small | origin>large\n")
+	writeSeries(&sb, rows, func(r F6Row) float64 { return r.NodesSIOverBidir })
+	sb.WriteString("\nFigure 6(b) companion: SI/Bidir generation-time ratio\n")
+	sb.WriteString("#kw | origin<small | origin>large\n")
+	writeSeries(&sb, rows, func(r F6Row) float64 { return r.GenSIOverBidir })
+	return sb.String()
+}
+
+func writeSeries(sb *strings.Builder, rows []F6Row, get func(F6Row) float64) {
+	byKey := map[int]map[workload.OriginClass]F6Row{}
+	for _, r := range rows {
+		if byKey[r.NKeywords] == nil {
+			byKey[r.NKeywords] = map[workload.OriginClass]F6Row{}
+		}
+		byKey[r.NKeywords][r.Class] = r
+	}
+	for nk := 2; nk <= 7; nk++ {
+		s := byKey[nk][workload.OriginSmall]
+		l := byKey[nk][workload.OriginLarge]
+		fmt.Fprintf(sb, "%d | %.2f (n=%d) | %.2f (n=%d)\n", nk, get(s), s.N, get(l), l.N)
+	}
+}
+
+// F6CRow is one bar group of Figure 6(c): the join-order comparison for
+// one selectivity-band combination.
+type F6CRow struct {
+	Combo      [4]datagen.Band
+	TimeRatio  float64 // SI-Backward / Bidirectional output time
+	GenRatio   float64 // SI-Backward / Bidirectional generation time
+	NodesRatio float64 // SI-Backward / Bidirectional nodes explored
+	N          int
+}
+
+// Figure6C regenerates the join-order experiment (§5.6): 4 keywords,
+// relevant answer size 3, selectivity-band combinations.
+func Figure6C(cfg Config) ([]F6CRow, error) {
+	env, err := NewEnv("dblp", cfg.Factor)
+	if err != nil {
+		return nil, err
+	}
+	var rows []F6CRow
+	for ci, combo := range datagen.Combos() {
+		rng := newRng(cfg, 1000+int64(ci))
+		row := F6CRow{Combo: combo}
+		var sumT, sumG, sumN float64
+		for i := 0; i < cfg.QueriesPerCell; i++ {
+			q, ok := env.Gen.Combo(rng, combo)
+			if !ok {
+				continue
+			}
+			si, err := runAlgo(env, q, "si-backward", cfg)
+			if err != nil {
+				return nil, err
+			}
+			bi, err := runAlgo(env, q, "bidirectional", cfg)
+			if err != nil {
+				return nil, err
+			}
+			mSI, mBI := Measure(si, q), Measure(bi, q)
+			sumT += ratio(float64(mSI.Time), float64(mBI.Time))
+			sumG += ratio(float64(mSI.GenTime), float64(mBI.GenTime))
+			sumN += ratio(float64(mSI.Explored), float64(mBI.Explored))
+			row.N++
+		}
+		if row.N > 0 {
+			row.TimeRatio = sumT / float64(row.N)
+			row.GenRatio = sumG / float64(row.N)
+			row.NodesRatio = sumN / float64(row.N)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatFigure6C renders the bar data.
+func FormatFigure6C(rows []F6CRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6(c): SI-Backward / Bidirectional, 4 keywords, answer size 3\n")
+	sb.WriteString("combo | nodes-explored ratio | gen-time ratio | out-time ratio | n\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s | %.2f | %.2f | %.2f | %d\n",
+			datagen.ComboLabel(r.Combo), r.NodesRatio, r.GenRatio, r.TimeRatio, r.N)
+	}
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"banks/internal/workload"
+)
+
+// RPRow is one algorithm's aggregate recall/precision over the workload
+// (§5.7).
+type RPRow struct {
+	Algorithm string
+	// Recall is the fraction of ground-truth relevant answers retrieved
+	// (averaged over queries).
+	Recall float64
+	// Precision is the fraction of outputs, up to and including the last
+	// relevant one, that are relevant (averaged over queries) — the
+	// paper's "precision at near full recall".
+	Precision float64
+	// N is the number of queries measured.
+	N int
+}
+
+// RecallPrecision reproduces the §5.7 experiment: on the §5.4 workload,
+// all algorithms should retrieve essentially all relevant answers before
+// any irrelevant one.
+func RecallPrecision(cfg Config) ([]RPRow, error) {
+	env, err := NewEnv("dblp", cfg.Factor)
+	if err != nil {
+		return nil, err
+	}
+	var queries []*workload.Query
+	for nk := 2; nk <= 5; nk++ {
+		rng := newRng(cfg, 5000+int64(nk))
+		queries = append(queries, env.Gen.Batch(rng, cfg.QueriesPerCell, nk, workload.OriginAny, 300*cfg.QueriesPerCell)...)
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("experiments: no workload queries generated")
+	}
+
+	var rows []RPRow
+	for _, algo := range []string{"mi-backward", "si-backward", "bidirectional"} {
+		row := RPRow{Algorithm: algo}
+		var sumRecall, sumPrec float64
+		for _, q := range queries {
+			res, err := runAlgo(env, q, algo, cfg)
+			if err != nil {
+				return nil, err
+			}
+			m := Measure(res, q)
+			total := m.Total
+			if total > cfg.K {
+				// Recall is capped by K outputs; normalize by what is
+				// retrievable.
+				total = cfg.K
+			}
+			if total > 0 {
+				sumRecall += float64(m.Found) / float64(total)
+			}
+			denom := m.Found + m.IrrelevantBefore
+			if denom > 0 {
+				sumPrec += float64(m.Found) / float64(denom)
+			} else {
+				sumPrec += 1
+			}
+			row.N++
+		}
+		row.Recall = sumRecall / float64(row.N)
+		row.Precision = sumPrec / float64(row.N)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatRecallPrecision renders the §5.7 summary.
+func FormatRecallPrecision(rows []RPRow) string {
+	var sb strings.Builder
+	sb.WriteString("§5.7 recall/precision (ground truth = originating join network results)\n")
+	sb.WriteString("algorithm | recall | precision@last-relevant | queries\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-13s | %.3f | %.3f | %d\n", r.Algorithm, r.Recall, r.Precision, r.N)
+	}
+	return sb.String()
+}

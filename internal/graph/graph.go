@@ -1,0 +1,241 @@
+// Package graph implements the weighted directed data-graph model of
+// BANKS-II (§2.1).
+//
+// The database is modeled as a directed graph whose nodes are tuples (or
+// XML elements, web pages, ...) and whose edges are relationships such as
+// foreign-key references. For every original edge u→v with weight w_uv the
+// model adds a backward edge v→u whose weight grows with the indegree of v
+// (w_vu = w_uv·log2(1+indegree(v))), discouraging meaningless shortcuts
+// through hub nodes (§2.1, §2.3).
+//
+// Search runs over the combined graph G′ that contains both edge families.
+// Because the backward edge of u→v connects the same node pair in the
+// opposite direction, u and v are mutually adjacent in G′; the package
+// therefore stores a single compact adjacency array per node where each
+// entry carries both directed weights (self→neighbour and neighbour→self).
+// This keeps the in-memory footprint close to the paper's 16·|V|+8·|E|
+// bytes figure while serving both the incoming (backward) and outgoing
+// (forward) iterators from one array scan.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node. IDs are dense: 0 ≤ id < Graph.NumNodes().
+type NodeID int32
+
+// InvalidNode is a sentinel for "no node".
+const InvalidNode NodeID = -1
+
+// EdgeType identifies the relationship type of an edge (e.g. which foreign
+// key induced it). Type 0 is the generic default.
+type EdgeType uint16
+
+// Half describes, from the perspective of one endpoint u, the half-edge to
+// a neighbour v in the combined graph G′.
+type Half struct {
+	// To is the neighbour node v.
+	To NodeID
+	// WOut is the weight of the combined edge u→v. If the original graph
+	// had edge u→v this is its forward weight; otherwise it is the derived
+	// backward weight of the original edge v→u.
+	WOut float64
+	// WIn is the weight of the combined edge v→u (symmetric companion of
+	// WOut).
+	WIn float64
+	// Type is the relationship type of the underlying original edge.
+	Type EdgeType
+	// Forward reports whether the combined edge u→v is an original
+	// (forward) edge; when false, u→v is a derived backward edge and v→u
+	// is the original edge.
+	Forward bool
+}
+
+// Graph is an immutable weighted directed data graph in combined (G′)
+// form. Build one with a Builder.
+type Graph struct {
+	offsets []int32 // len = n+1; adjacency of node i is halves[offsets[i]:offsets[i+1]]
+	halves  []Half
+
+	nodeTable []int32   // table index per node (relation the tuple belongs to)
+	prestige  []float64 // node prestige; filled by SetPrestige
+	tables    []string  // table names; nodeTable values index into this
+
+	numOrigEdges int
+	maxPrestige  float64
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of original directed edges (before backward
+// edges are added).
+func (g *Graph) NumEdges() int { return g.numOrigEdges }
+
+// Neighbors returns the adjacency slice of u in the combined graph. The
+// returned slice is shared with the graph and must not be modified.
+func (g *Graph) Neighbors(u NodeID) []Half {
+	return g.halves[g.offsets[u]:g.offsets[u+1]]
+}
+
+// Degree returns the number of combined-graph neighbours of u (counting
+// parallel edges separately).
+func (g *Graph) Degree(u NodeID) int {
+	return int(g.offsets[u+1] - g.offsets[u])
+}
+
+// Table returns the name of the relation node u belongs to.
+func (g *Graph) Table(u NodeID) string { return g.tables[g.nodeTable[u]] }
+
+// TableIndex returns the dense index of node u's relation.
+func (g *Graph) TableIndex(u NodeID) int { return int(g.nodeTable[u]) }
+
+// Tables returns the relation names known to the graph; TableIndex values
+// index into this slice. The returned slice must not be modified.
+func (g *Graph) Tables() []string { return g.tables }
+
+// Prestige returns the prestige score of node u (0 until SetPrestige is
+// called).
+func (g *Graph) Prestige(u NodeID) float64 { return g.prestige[u] }
+
+// MaxPrestige returns the largest prestige over all nodes. It is used for
+// the answer-score upper bound of §4.5.
+func (g *Graph) MaxPrestige() float64 { return g.maxPrestige }
+
+// SetPrestige installs node prestige scores (one per node). It is typically
+// called with the output of the prestige package.
+func (g *Graph) SetPrestige(p []float64) error {
+	if len(p) != g.NumNodes() {
+		return fmt.Errorf("graph: prestige length %d does not match %d nodes", len(p), g.NumNodes())
+	}
+	g.prestige = p
+	g.maxPrestige = 0
+	for _, v := range p {
+		if v > g.maxPrestige {
+			g.maxPrestige = v
+		}
+	}
+	return nil
+}
+
+// Builder accumulates nodes and original directed edges and produces an
+// immutable Graph with derived backward-edge weights.
+type Builder struct {
+	tables    []string
+	tableIdx  map[string]int
+	nodeTable []int32
+
+	from, to []NodeID
+	weight   []float64
+	etype    []EdgeType
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{tableIdx: make(map[string]int)}
+}
+
+// AddNode appends a node belonging to the named relation and returns its
+// NodeID.
+func (b *Builder) AddNode(table string) NodeID {
+	ti, ok := b.tableIdx[table]
+	if !ok {
+		ti = len(b.tables)
+		b.tables = append(b.tables, table)
+		b.tableIdx[table] = ti
+	}
+	id := NodeID(len(b.nodeTable))
+	b.nodeTable = append(b.nodeTable, int32(ti))
+	return id
+}
+
+// AddNodes appends n nodes of the named relation and returns the first
+// assigned NodeID (the rest are consecutive).
+func (b *Builder) AddNodes(table string, n int) NodeID {
+	first := b.AddNode(table)
+	for i := 1; i < n; i++ {
+		b.AddNode(table)
+	}
+	return first
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.nodeTable) }
+
+// AddEdge appends an original directed edge u→v with the given forward
+// weight (the paper's schema-defined weight; 1 by default) and type.
+func (b *Builder) AddEdge(u, v NodeID, weight float64, etype EdgeType) error {
+	n := NodeID(len(b.nodeTable))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) references node outside [0,%d)", u, v, n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d not allowed", u)
+	}
+	if weight <= 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("graph: edge (%d,%d) has invalid weight %v", u, v, weight)
+	}
+	b.from = append(b.from, u)
+	b.to = append(b.to, v)
+	b.weight = append(b.weight, weight)
+	b.etype = append(b.etype, etype)
+	return nil
+}
+
+// Build assembles the immutable combined graph. The Builder can be reused
+// afterwards, but further additions do not affect already-built graphs.
+func (b *Builder) Build() *Graph {
+	n := len(b.nodeTable)
+	m := len(b.from)
+
+	indeg := make([]int32, n)
+	for _, v := range b.to {
+		indeg[v]++
+	}
+
+	// Each original edge u→v contributes one half-edge at u (toward v) and
+	// one at v (toward u).
+	deg := make([]int32, n+1)
+	for i := 0; i < m; i++ {
+		deg[b.from[i]+1]++
+		deg[b.to[i]+1]++
+	}
+	offsets := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + deg[i+1]
+	}
+
+	halves := make([]Half, offsets[n])
+	next := make([]int32, n)
+	copy(next, offsets[:n])
+	for i := 0; i < m; i++ {
+		u, v, w := b.from[i], b.to[i], b.weight[i]
+		// Backward edge v→u of original u→v (§2.3): w_vu = w_uv·log2(1+indeg(v)).
+		back := w * math.Log2(1+float64(indeg[v]))
+		if back < w {
+			// indeg(v) == 0 cannot happen here (v has edge u→v), so
+			// log2(1+indeg) ≥ 1; kept as a safety clamp for exotic weights.
+			back = w
+		}
+		halves[next[u]] = Half{To: v, WOut: w, WIn: back, Type: b.etype[i], Forward: true}
+		next[u]++
+		halves[next[v]] = Half{To: u, WOut: back, WIn: w, Type: b.etype[i], Forward: false}
+		next[v]++
+	}
+
+	tables := make([]string, len(b.tables))
+	copy(tables, b.tables)
+	nodeTable := make([]int32, n)
+	copy(nodeTable, b.nodeTable)
+
+	return &Graph{
+		offsets:      offsets,
+		halves:       halves,
+		nodeTable:    nodeTable,
+		prestige:     make([]float64, n),
+		tables:       tables,
+		numOrigEdges: m,
+	}
+}

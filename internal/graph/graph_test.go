@@ -1,0 +1,275 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder()
+	// paper(0), paper(1), author(2), conf(3)
+	p0 := b.AddNode("paper")
+	p1 := b.AddNode("paper")
+	a := b.AddNode("author")
+	c := b.AddNode("conference")
+	// writes-style edges: author side modeled as paper→author? Keep it
+	// simple: p0→a, p1→a (papers reference author), p0→c, p1→c.
+	for _, e := range [][2]NodeID{{p0, a}, {p1, a}, {p0, c}, {p1, c}} {
+		if err := b.AddEdge(e[0], e[1], 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	g := buildSmall(t)
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.Table(0) != "paper" || g.Table(2) != "author" || g.Table(3) != "conference" {
+		t.Fatalf("table names wrong: %q %q %q", g.Table(0), g.Table(2), g.Table(3))
+	}
+	if g.Degree(0) != 2 || g.Degree(2) != 2 || g.Degree(3) != 2 {
+		t.Fatalf("degrees wrong: %d %d %d", g.Degree(0), g.Degree(2), g.Degree(3))
+	}
+}
+
+func TestBackwardWeightFormula(t *testing.T) {
+	g := buildSmall(t)
+	// Node 2 (author) has indegree 2, node 3 (conference) indegree 2.
+	// Forward edge p0→a has weight 1; backward edge a→p0 must weigh
+	// 1·log2(1+2) = log2(3).
+	want := math.Log2(3)
+	var found bool
+	for _, h := range g.Neighbors(0) {
+		if h.To == 2 {
+			found = true
+			if h.WOut != 1 {
+				t.Fatalf("forward weight = %v, want 1", h.WOut)
+			}
+			if math.Abs(h.WIn-want) > 1e-12 {
+				t.Fatalf("backward weight = %v, want %v", h.WIn, want)
+			}
+			if !h.Forward {
+				t.Fatal("edge p0→a should be Forward at p0's adjacency")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("edge p0→a not found in adjacency of p0")
+	}
+	// The mirrored half at the author node must flip the labels.
+	for _, h := range g.Neighbors(2) {
+		if h.To == 0 {
+			if math.Abs(h.WOut-want) > 1e-12 || h.WIn != 1 {
+				t.Fatalf("mirror half = (%v,%v), want (%v,1)", h.WOut, h.WIn, want)
+			}
+			if h.Forward {
+				t.Fatal("edge a→p0 is a backward edge and must not be Forward")
+			}
+		}
+	}
+}
+
+func TestHighFaninBackwardWeight(t *testing.T) {
+	// A hub with indegree 1000 must have expensive backward edges:
+	// log2(1001) ≈ 9.97.
+	b := NewBuilder()
+	hub := b.AddNode("conference")
+	first := b.AddNodes("paper", 1000)
+	for i := 0; i < 1000; i++ {
+		if err := b.AddEdge(first+NodeID(i), hub, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	h := g.Neighbors(first)[0]
+	want := math.Log2(1001)
+	if math.Abs(h.WIn-want) > 1e-9 {
+		t.Fatalf("hub backward weight = %v, want %v", h.WIn, want)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("t")
+	v := b.AddNode("t")
+	cases := []struct {
+		name    string
+		u, v    NodeID
+		w       float64
+		wantErr bool
+	}{
+		{"ok", u, v, 1, false},
+		{"self-loop", u, u, 1, true},
+		{"bad-from", -1, v, 1, true},
+		{"bad-to", u, 99, 1, true},
+		{"zero-weight", u, v, 0, true},
+		{"neg-weight", u, v, -2, true},
+		{"nan-weight", u, v, math.NaN(), true},
+		{"inf-weight", u, v, math.Inf(1), true},
+	}
+	for _, c := range cases {
+		err := b.AddEdge(c.u, c.v, c.w, 0)
+		if (err != nil) != c.wantErr {
+			t.Errorf("%s: AddEdge err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestSetPrestige(t *testing.T) {
+	g := buildSmall(t)
+	if err := g.SetPrestige([]float64{1, 2}); err == nil {
+		t.Fatal("SetPrestige with wrong length should fail")
+	}
+	if err := g.SetPrestige([]float64{1, 2, 3, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Prestige(1) != 2 {
+		t.Fatalf("Prestige(1) = %v, want 2", g.Prestige(1))
+	}
+	if g.MaxPrestige() != 3 {
+		t.Fatalf("MaxPrestige = %v, want 3", g.MaxPrestige())
+	}
+}
+
+func TestParallelEdgesKept(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddNode("a")
+	v := b.AddNode("b")
+	if err := b.AddEdge(u, v, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(u, v, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.Degree(u) != 2 || g.Degree(v) != 2 {
+		t.Fatalf("parallel edges collapsed: deg(u)=%d deg(v)=%d", g.Degree(u), g.Degree(v))
+	}
+}
+
+// Property: for random graphs, every original edge appears exactly once as
+// a Forward half at its source and once as a non-Forward half at its
+// target, with the documented backward weight.
+func TestQuickAdjacencyRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder()
+		b.AddNodes("t", n)
+		type edge struct {
+			u, v NodeID
+			w    float64
+		}
+		var edges []edge
+		indeg := make([]int, n)
+		m := rng.Intn(80)
+		for i := 0; i < m; i++ {
+			u := NodeID(rng.Intn(n))
+			v := NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			w := 0.5 + rng.Float64()*4
+			if err := b.AddEdge(u, v, w, 0); err != nil {
+				return false
+			}
+			edges = append(edges, edge{u, v, w})
+			indeg[v]++
+		}
+		g := b.Build()
+		if g.NumEdges() != len(edges) {
+			return false
+		}
+		// Count halves.
+		total := 0
+		for u := 0; u < n; u++ {
+			total += g.Degree(NodeID(u))
+		}
+		if total != 2*len(edges) {
+			return false
+		}
+		// Each edge must be present with correct weights.
+		for _, e := range edges {
+			wantBack := e.w * math.Log2(1+float64(indeg[e.v]))
+			okFwd, okBack := false, false
+			for _, h := range g.Neighbors(e.u) {
+				if h.To == e.v && h.Forward && h.WOut == e.w && math.Abs(h.WIn-wantBack) < 1e-9 {
+					okFwd = true
+					break
+				}
+			}
+			for _, h := range g.Neighbors(e.v) {
+				if h.To == e.u && !h.Forward && math.Abs(h.WOut-wantBack) < 1e-9 && h.WIn == e.w {
+					okBack = true
+					break
+				}
+			}
+			if !okFwd || !okBack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 100_000
+	const m = 400_000
+	us := make([]NodeID, m)
+	vs := make([]NodeID, m)
+	for i := 0; i < m; i++ {
+		us[i] = NodeID(rng.Intn(n))
+		vs[i] = NodeID(rng.Intn(n))
+		if us[i] == vs[i] {
+			vs[i] = (vs[i] + 1) % n
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := NewBuilder()
+		bl.AddNodes("t", n)
+		for j := 0; j < m; j++ {
+			_ = bl.AddEdge(us[j], vs[j], 1, 0)
+		}
+		g := bl.Build()
+		if g.NumNodes() != n {
+			b.Fatal("bad build")
+		}
+	}
+}
+
+func BenchmarkNeighborScan(b *testing.B) {
+	bl := NewBuilder()
+	bl.AddNodes("t", 10_000)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50_000; i++ {
+		u := NodeID(rng.Intn(10_000))
+		v := NodeID(rng.Intn(10_000))
+		if u != v {
+			_ = bl.AddEdge(u, v, 1, 0)
+		}
+	}
+	g := bl.Build()
+	b.ResetTimer()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		for _, h := range g.Neighbors(NodeID(i % 10_000)) {
+			sum += h.WOut
+		}
+	}
+	_ = sum
+}

@@ -1,0 +1,220 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary serialization of a built Graph. The format is a simple
+// little-endian dump guarded by a magic header and version so that cached
+// dataset graphs (cmd/datagen) can be reloaded without rebuilding.
+//
+// Layout:
+//
+//	magic "BNK2" | version u32 | numNodes u64 | numHalves u64 | numOrigEdges u64
+//	offsets  []i32
+//	halves   []{to i32, wout f64, win f64, type u16, forward u8}
+//	nodeTable []i32
+//	prestige []f64
+//	numTables u32 | tables []{len u32, bytes}
+
+const (
+	magic   = "BNK2"
+	version = uint32(1)
+)
+
+// WriteTo serializes the graph. It implements io.WriterTo.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+
+	if _, err := cw.Write([]byte(magic)); err != nil {
+		return cw.n, err
+	}
+	hdr := []uint64{uint64(version), uint64(g.NumNodes()), uint64(len(g.halves)), uint64(g.numOrigEdges)}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(hdr[0])); err != nil {
+		return cw.n, err
+	}
+	for _, v := range hdr[1:] {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, g.offsets); err != nil {
+		return cw.n, err
+	}
+	for _, h := range g.halves {
+		if err := writeHalf(cw, h); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, g.nodeTable); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, g.prestige); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(g.tables))); err != nil {
+		return cw.n, err
+	}
+	for _, t := range g.tables {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(t))); err != nil {
+			return cw.n, err
+		}
+		if _, err := cw.Write([]byte(t)); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom deserializes a graph written by WriteTo. It implements
+// io.ReaderFrom semantics via the Read function below; use Read.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("graph: bad magic %q", m)
+	}
+	var ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("graph: unsupported version %d", ver)
+	}
+	var numNodes, numHalves, numOrig uint64
+	for _, p := range []*uint64{&numNodes, &numHalves, &numOrig} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	const maxReasonable = 1 << 33
+	if numNodes > maxReasonable || numHalves > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes nodes=%d halves=%d", numNodes, numHalves)
+	}
+
+	g := &Graph{
+		offsets:      make([]int32, numNodes+1),
+		halves:       make([]Half, numHalves),
+		nodeTable:    make([]int32, numNodes),
+		prestige:     make([]float64, numNodes),
+		numOrigEdges: int(numOrig),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		return nil, err
+	}
+	for i := range g.halves {
+		h, err := readHalf(br)
+		if err != nil {
+			return nil, err
+		}
+		g.halves[i] = h
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.nodeTable); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.prestige); err != nil {
+		return nil, err
+	}
+	for _, v := range g.prestige {
+		if v > g.maxPrestige {
+			g.maxPrestige = v
+		}
+	}
+	var numTables uint32
+	if err := binary.Read(br, binary.LittleEndian, &numTables); err != nil {
+		return nil, err
+	}
+	if numTables > 1<<20 {
+		return nil, fmt.Errorf("graph: implausible table count %d", numTables)
+	}
+	g.tables = make([]string, numTables)
+	for i := range g.tables {
+		var n uint32
+		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("graph: implausible table name length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		g.tables[i] = string(buf)
+	}
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (g *Graph) validate() error {
+	n := int32(g.NumNodes())
+	if g.offsets[0] != 0 || int(g.offsets[n]) != len(g.halves) {
+		return fmt.Errorf("graph: corrupt offsets")
+	}
+	for i := int32(0); i < n; i++ {
+		if g.offsets[i] > g.offsets[i+1] {
+			return fmt.Errorf("graph: decreasing offsets at node %d", i)
+		}
+		if g.nodeTable[i] < 0 || int(g.nodeTable[i]) >= len(g.tables) {
+			return fmt.Errorf("graph: node %d references unknown table %d", i, g.nodeTable[i])
+		}
+	}
+	for i, h := range g.halves {
+		if h.To < 0 || h.To >= NodeID(n) {
+			return fmt.Errorf("graph: half %d references node %d outside [0,%d)", i, h.To, n)
+		}
+	}
+	return nil
+}
+
+func writeHalf(w io.Writer, h Half) error {
+	var buf [4 + 8 + 8 + 2 + 1]byte
+	binary.LittleEndian.PutUint32(buf[0:], uint32(h.To))
+	binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(h.WOut))
+	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(h.WIn))
+	binary.LittleEndian.PutUint16(buf[20:], uint16(h.Type))
+	if h.Forward {
+		buf[22] = 1
+	}
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHalf(r io.Reader) (Half, error) {
+	var buf [4 + 8 + 8 + 2 + 1]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Half{}, err
+	}
+	return Half{
+		To:      NodeID(int32(binary.LittleEndian.Uint32(buf[0:]))),
+		WOut:    math.Float64frombits(binary.LittleEndian.Uint64(buf[4:])),
+		WIn:     math.Float64frombits(binary.LittleEndian.Uint64(buf[12:])),
+		Type:    EdgeType(binary.LittleEndian.Uint16(buf[20:])),
+		Forward: buf[22] == 1,
+	}, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

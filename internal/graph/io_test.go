@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func randomGraph(seed int64, n, m int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			b.AddNode("alpha")
+		} else {
+			b.AddNode("beta")
+		}
+	}
+	for i := 0; i < m; i++ {
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		_ = b.AddEdge(u, v, 0.5+rng.Float64(), EdgeType(rng.Intn(4)))
+	}
+	g := b.Build()
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = rng.Float64() * 3
+	}
+	_ = g.SetPrestige(p)
+	return g
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	g := randomGraph(42, 50, 200)
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("sizes differ: (%d,%d) vs (%d,%d)",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	if !reflect.DeepEqual(g.offsets, g2.offsets) {
+		t.Fatal("offsets differ after round trip")
+	}
+	if !reflect.DeepEqual(g.halves, g2.halves) {
+		t.Fatal("halves differ after round trip")
+	}
+	if !reflect.DeepEqual(g.nodeTable, g2.nodeTable) {
+		t.Fatal("nodeTable differs after round trip")
+	}
+	if !reflect.DeepEqual(g.prestige, g2.prestige) {
+		t.Fatal("prestige differs after round trip")
+	}
+	if !reflect.DeepEqual(g.tables, g2.tables) {
+		t.Fatal("tables differ after round trip")
+	}
+	if g2.MaxPrestige() != g.MaxPrestige() {
+		t.Fatalf("MaxPrestige %v vs %v", g2.MaxPrestige(), g.MaxPrestige())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad-magic": []byte("NOPE0123456789"),
+		"truncated": func() []byte {
+			g := randomGraph(1, 10, 20)
+			var buf bytes.Buffer
+			if _, err := g.WriteTo(&buf); err != nil {
+				t.Fatal(err)
+			}
+			return buf.Bytes()[:buf.Len()/2]
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Read accepted corrupt input", name)
+		}
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	g := randomGraph(2, 5, 5)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // clobber version
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("Read accepted wrong version")
+	}
+}
+
+func TestEmptyGraphRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("only")
+	g := b.Build()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 1 || g2.NumEdges() != 0 {
+		t.Fatalf("round trip of single-node graph: %d nodes %d edges", g2.NumNodes(), g2.NumEdges())
+	}
+	if g2.Table(0) != "only" {
+		t.Fatalf("table = %q", g2.Table(0))
+	}
+}

@@ -1,0 +1,147 @@
+// Package index implements the keyword index of BANKS-II (§3).
+//
+// "A single index is built on values from selected string-valued attributes
+// from multiple tables. The index maps from keywords to (table-name,
+// tuple-id) pairs." Here tuples are graph nodes, so the index maps a term
+// to the sorted set of NodeIDs whose text contains the term. Per §2.2, a
+// term that matches a relation name matches every tuple of that relation.
+package index
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"banks/internal/graph"
+)
+
+// Index is an inverted index from lower-cased terms to node IDs.
+type Index struct {
+	postings map[string][]graph.NodeID
+	// relation name → all nodes of that relation (materialized lazily at
+	// Freeze time from the graph's node→table mapping).
+	relations map[string][]graph.NodeID
+	frozen    bool
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		postings:  make(map[string][]graph.NodeID),
+		relations: make(map[string][]graph.NodeID),
+	}
+}
+
+// AddText tokenizes text and adds a posting for each distinct term to node
+// u. Safe to call repeatedly for the same node (e.g. one call per string
+// attribute).
+func (ix *Index) AddText(u graph.NodeID, text string) {
+	for _, term := range Tokenize(text) {
+		ix.postings[term] = append(ix.postings[term], u)
+	}
+}
+
+// AddTerm adds a single pre-tokenized term for node u. The term is
+// normalized (lower-cased) first.
+func (ix *Index) AddTerm(u graph.NodeID, term string) {
+	t := Normalize(term)
+	if t == "" {
+		return
+	}
+	ix.postings[t] = append(ix.postings[t], u)
+}
+
+// Freeze sorts and deduplicates all posting lists and records relation-name
+// pseudo-postings from g (a query term equal to a relation name matches all
+// tuples of the relation). Lookup before Freeze returns unsorted data;
+// always Freeze after loading.
+func (ix *Index) Freeze(g *graph.Graph) {
+	for term, list := range ix.postings {
+		ix.postings[term] = dedupe(list)
+	}
+	byTable := make(map[int][]graph.NodeID)
+	for u := 0; u < g.NumNodes(); u++ {
+		ti := g.TableIndex(graph.NodeID(u))
+		byTable[ti] = append(byTable[ti], graph.NodeID(u))
+	}
+	for ti, name := range g.Tables() {
+		ix.relations[Normalize(name)] = byTable[ti]
+	}
+	ix.frozen = true
+}
+
+// Lookup returns the nodes matching term: the union of the term's posting
+// list and, if the term names a relation, all tuples of that relation. The
+// result is sorted and deduplicated; it must not be modified.
+func (ix *Index) Lookup(term string) []graph.NodeID {
+	t := Normalize(term)
+	post := ix.postings[t]
+	rel := ix.relations[t]
+	switch {
+	case len(rel) == 0:
+		return post
+	case len(post) == 0:
+		return rel
+	default:
+		merged := make([]graph.NodeID, 0, len(post)+len(rel))
+		merged = append(merged, post...)
+		merged = append(merged, rel...)
+		return dedupe(merged)
+	}
+}
+
+// Count returns the number of nodes matching term without materializing a
+// merged list (used for workload selectivity classification).
+func (ix *Index) Count(term string) int {
+	return len(ix.Lookup(term))
+}
+
+// Terms returns all indexed terms (not relation names) in unspecified
+// order. Intended for workload generation and tests.
+func (ix *Index) Terms() []string {
+	out := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		out = append(out, t)
+	}
+	return out
+}
+
+// NumTerms returns the number of distinct indexed terms.
+func (ix *Index) NumTerms() int { return len(ix.postings) }
+
+// Normalize lower-cases a term and trims surrounding punctuation.
+func Normalize(term string) string {
+	return strings.ToLower(strings.TrimFunc(term, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+	}))
+}
+
+// Tokenize splits text into normalized terms on any non-alphanumeric rune.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(text, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+	})
+	out := fields[:0]
+	for _, f := range fields {
+		t := strings.ToLower(f)
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func dedupe(list []graph.NodeID) []graph.NodeID {
+	if len(list) < 2 {
+		return list
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	w := 1
+	for i := 1; i < len(list); i++ {
+		if list[i] != list[i-1] {
+			list[w] = list[i]
+			w++
+		}
+	}
+	return list[:w]
+}

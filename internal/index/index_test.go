@@ -1,0 +1,170 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"banks/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	b := graph.NewBuilder()
+	b.AddNodes("paper", 3)  // nodes 0,1,2
+	b.AddNodes("author", 2) // nodes 3,4
+	_ = b.AddEdge(0, 3, 1, 0)
+	return b.Build()
+}
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Transaction Processing: Concepts", []string{"transaction", "processing", "concepts"}},
+		{"", nil},
+		{"   ", nil},
+		{"XML-based B2B!", []string{"xml", "based", "b2b"}},
+		{"Gray,Jim", []string{"gray", "jim"}},
+		{"naïve Café", []string{"naïve", "café"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"Gray":      "gray",
+		"  Gray!? ": "gray",
+		"'quoted'":  "quoted",
+		"":          "",
+		"--":        "",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := testGraph()
+	ix := New()
+	ix.AddText(0, "Transaction recovery in databases")
+	ix.AddText(1, "Query optimization")
+	ix.AddText(3, "Jim Gray")
+	ix.AddText(4, "Jim Smith")
+	ix.Freeze(g)
+
+	if got := ix.Lookup("transaction"); !reflect.DeepEqual(got, []graph.NodeID{0}) {
+		t.Fatalf("Lookup(transaction) = %v", got)
+	}
+	if got := ix.Lookup("JIM"); !reflect.DeepEqual(got, []graph.NodeID{3, 4}) {
+		t.Fatalf("Lookup(JIM) = %v, want [3 4]", got)
+	}
+	if got := ix.Lookup("nosuchterm"); len(got) != 0 {
+		t.Fatalf("Lookup(nosuchterm) = %v, want empty", got)
+	}
+	if ix.Count("jim") != 2 {
+		t.Fatalf("Count(jim) = %d, want 2", ix.Count("jim"))
+	}
+}
+
+func TestRelationNameMatchesAllTuples(t *testing.T) {
+	g := testGraph()
+	ix := New()
+	ix.AddText(0, "some paper text")
+	ix.Freeze(g)
+	// §2.2: "if a term matches a relation name, all tuples in the relation
+	// are assumed to match the term."
+	if got := ix.Lookup("paper"); !reflect.DeepEqual(got, []graph.NodeID{0, 1, 2}) {
+		t.Fatalf("Lookup(paper) = %v, want [0 1 2]", got)
+	}
+	if got := ix.Lookup("Author"); !reflect.DeepEqual(got, []graph.NodeID{3, 4}) {
+		t.Fatalf("Lookup(Author) = %v, want [3 4]", got)
+	}
+}
+
+func TestRelationNameMergesWithTextMatches(t *testing.T) {
+	g := testGraph()
+	ix := New()
+	ix.AddText(3, "the paper writer") // author node whose text contains "paper"
+	ix.Freeze(g)
+	got := ix.Lookup("paper")
+	want := []graph.NodeID{0, 1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Lookup(paper) = %v, want %v", got, want)
+	}
+}
+
+func TestDuplicatePostingsDeduped(t *testing.T) {
+	g := testGraph()
+	ix := New()
+	ix.AddText(0, "gray gray gray")
+	ix.AddText(0, "gray again")
+	ix.Freeze(g)
+	if got := ix.Lookup("gray"); !reflect.DeepEqual(got, []graph.NodeID{0}) {
+		t.Fatalf("Lookup(gray) = %v, want [0]", got)
+	}
+}
+
+func TestAddTerm(t *testing.T) {
+	g := testGraph()
+	ix := New()
+	ix.AddTerm(2, "  Special-Term ") // trims punctuation only at ends
+	ix.AddTerm(2, "")
+	ix.Freeze(g)
+	if got := ix.Lookup("special-term"); !reflect.DeepEqual(got, []graph.NodeID{2}) {
+		t.Fatalf("Lookup(special-term) = %v, want [2]", got)
+	}
+	if ix.NumTerms() != 1 {
+		t.Fatalf("NumTerms = %d, want 1", ix.NumTerms())
+	}
+}
+
+// Property: Lookup results are always sorted, unique and within node range.
+func TestQuickLookupInvariants(t *testing.T) {
+	g := testGraph()
+	f := func(texts []string) bool {
+		ix := New()
+		for i, txt := range texts {
+			ix.AddText(graph.NodeID(i%5), txt)
+		}
+		ix.Freeze(g)
+		for _, term := range ix.Terms() {
+			list := ix.Lookup(term)
+			for j, id := range list {
+				if id < 0 || int(id) >= 5 {
+					return false
+				}
+				if j > 0 && list[j-1] >= id {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	g := testGraph()
+	ix := New()
+	for i := 0; i < 5; i++ {
+		ix.AddText(graph.NodeID(i), "alpha beta gamma delta epsilon zeta")
+	}
+	ix.Freeze(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup("gamma")
+	}
+}

@@ -1,0 +1,229 @@
+// Package pqueue provides hand-rolled indexed binary heaps used by the
+// search iterators.
+//
+// The BANKS-II iterators need priority queues whose entries can have their
+// priority changed in place while queued: the Attach and Activate procedures
+// of the paper (Figure 3) update distances and activations of nodes that are
+// already on a frontier. container/heap supports Fix, but requires every
+// element to record its own heap index through an interface; the algorithms
+// here are hot enough that we keep a dedicated implementation with an
+// item→position map and no interface dispatch.
+package pqueue
+
+// Item is the constraint for heap payloads. Payloads are identified by
+// value, so they must be comparable (node IDs in practice).
+type Item comparable
+
+// Heap is an indexed binary heap over items of type T with float64
+// priorities. Whether it is a min-heap or a max-heap is decided by the
+// constructor. The zero value is not usable; use NewMin or NewMax.
+type Heap[T Item] struct {
+	items []T
+	prio  []float64
+	pos   map[T]int
+	// less reports whether priority a should be popped before priority b.
+	less func(a, b float64) bool
+}
+
+// NewMin returns a heap that pops the smallest priority first.
+func NewMin[T Item]() *Heap[T] {
+	return &Heap[T]{pos: make(map[T]int), less: func(a, b float64) bool { return a < b }}
+}
+
+// NewMax returns a heap that pops the largest priority first.
+func NewMax[T Item]() *Heap[T] {
+	return &Heap[T]{pos: make(map[T]int), less: func(a, b float64) bool { return a > b }}
+}
+
+// Len returns the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Contains reports whether item is currently queued.
+func (h *Heap[T]) Contains(item T) bool {
+	_, ok := h.pos[item]
+	return ok
+}
+
+// Priority returns the queued priority of item. The second result is false
+// if the item is not queued.
+func (h *Heap[T]) Priority(item T) (float64, bool) {
+	i, ok := h.pos[item]
+	if !ok {
+		return 0, false
+	}
+	return h.prio[i], true
+}
+
+// Push inserts item with the given priority. If the item is already queued
+// its priority is updated instead (equivalent to Update).
+func (h *Heap[T]) Push(item T, priority float64) {
+	if i, ok := h.pos[item]; ok {
+		h.update(i, priority)
+		return
+	}
+	h.items = append(h.items, item)
+	h.prio = append(h.prio, priority)
+	i := len(h.items) - 1
+	h.pos[item] = i
+	h.up(i)
+}
+
+// PushIfAbsent inserts item only if it is not queued, reporting whether an
+// insertion happened. Unlike Push it never updates an existing entry, and
+// it costs a single position lookup.
+func (h *Heap[T]) PushIfAbsent(item T, priority float64) bool {
+	if _, ok := h.pos[item]; ok {
+		return false
+	}
+	h.items = append(h.items, item)
+	h.prio = append(h.prio, priority)
+	i := len(h.items) - 1
+	h.pos[item] = i
+	h.up(i)
+	return true
+}
+
+// Update changes the priority of a queued item and restores heap order.
+// It reports whether the item was present.
+func (h *Heap[T]) Update(item T, priority float64) bool {
+	i, ok := h.pos[item]
+	if !ok {
+		return false
+	}
+	h.update(i, priority)
+	return true
+}
+
+// Improve raises the item toward the front of the queue: it updates the
+// priority only if the new priority would pop earlier than the current one.
+// It reports whether an update happened. Items that are not queued are
+// inserted.
+func (h *Heap[T]) Improve(item T, priority float64) bool {
+	i, ok := h.pos[item]
+	if !ok {
+		h.Push(item, priority)
+		return true
+	}
+	if !h.less(priority, h.prio[i]) {
+		return false
+	}
+	h.update(i, priority)
+	return true
+}
+
+// Bump is Improve without insertion: it raises the priority of item only
+// if item is queued and the new priority pops earlier. Absent items are
+// left absent. It reports whether an update happened.
+func (h *Heap[T]) Bump(item T, priority float64) bool {
+	i, ok := h.pos[item]
+	if !ok || !h.less(priority, h.prio[i]) {
+		return false
+	}
+	h.update(i, priority)
+	return true
+}
+
+// Peek returns the front item and its priority without removing it.
+// ok is false when the heap is empty.
+func (h *Heap[T]) Peek() (item T, priority float64, ok bool) {
+	if len(h.items) == 0 {
+		return item, 0, false
+	}
+	return h.items[0], h.prio[0], true
+}
+
+// Pop removes and returns the front item and its priority.
+// ok is false when the heap is empty.
+func (h *Heap[T]) Pop() (item T, priority float64, ok bool) {
+	if len(h.items) == 0 {
+		return item, 0, false
+	}
+	item, priority = h.items[0], h.prio[0]
+	h.swap(0, len(h.items)-1)
+	h.items = h.items[:len(h.items)-1]
+	h.prio = h.prio[:len(h.prio)-1]
+	delete(h.pos, item)
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	return item, priority, true
+}
+
+// Remove deletes an arbitrary queued item. It reports whether the item was
+// present.
+func (h *Heap[T]) Remove(item T) bool {
+	i, ok := h.pos[item]
+	if !ok {
+		return false
+	}
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	h.prio = h.prio[:last]
+	delete(h.pos, item)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	return true
+}
+
+// Items returns the queued items in heap (not priority) order. The slice
+// is shared with the heap and must not be modified; it is invalidated by
+// the next mutating call. Used for frontier scans (the §4.5 bound needs
+// the minimum keyword distance over all queued nodes).
+func (h *Heap[T]) Items() []T { return h.items }
+
+// Clear removes all items, retaining allocated capacity.
+func (h *Heap[T]) Clear() {
+	h.items = h.items[:0]
+	h.prio = h.prio[:0]
+	clear(h.pos)
+}
+
+func (h *Heap[T]) update(i int, priority float64) {
+	old := h.prio[i]
+	h.prio[i] = priority
+	if h.less(priority, old) {
+		h.up(i)
+	} else {
+		h.down(i)
+	}
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.prio[i], h.prio[j] = h.prio[j], h.prio[i]
+	h.pos[h.items[i]] = i
+	h.pos[h.items[j]] = j
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.prio[i], h.prio[parent]) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.less(h.prio[l], h.prio[best]) {
+			best = l
+		}
+		if r < n && h.less(h.prio[r], h.prio[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}

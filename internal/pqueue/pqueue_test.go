@@ -1,0 +1,287 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinHeapBasic(t *testing.T) {
+	h := NewMin[int]()
+	if _, _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap returned ok")
+	}
+	if _, _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap returned ok")
+	}
+	h.Push(1, 3.0)
+	h.Push(2, 1.0)
+	h.Push(3, 2.0)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	item, prio, ok := h.Peek()
+	if !ok || item != 2 || prio != 1.0 {
+		t.Fatalf("Peek = (%d,%v,%v), want (2,1,true)", item, prio, ok)
+	}
+	want := []int{2, 3, 1}
+	for _, w := range want {
+		got, _, ok := h.Pop()
+		if !ok || got != w {
+			t.Fatalf("Pop = %d, want %d", got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len after draining = %d, want 0", h.Len())
+	}
+}
+
+func TestMaxHeapBasic(t *testing.T) {
+	h := NewMax[string]()
+	h.Push("a", 1)
+	h.Push("b", 5)
+	h.Push("c", 3)
+	want := []string{"b", "c", "a"}
+	for _, w := range want {
+		got, _, _ := h.Pop()
+		if got != w {
+			t.Fatalf("Pop = %q, want %q", got, w)
+		}
+	}
+}
+
+func TestPushExistingUpdates(t *testing.T) {
+	h := NewMin[int]()
+	h.Push(7, 10)
+	h.Push(8, 5)
+	h.Push(7, 1) // update, not duplicate
+	if h.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", h.Len())
+	}
+	got, prio, _ := h.Pop()
+	if got != 7 || prio != 1 {
+		t.Fatalf("Pop = (%d,%v), want (7,1)", got, prio)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	h := NewMin[int]()
+	h.Push(1, 1)
+	h.Push(2, 2)
+	h.Push(3, 3)
+	if !h.Update(3, 0.5) {
+		t.Fatal("Update of queued item returned false")
+	}
+	if h.Update(99, 1) {
+		t.Fatal("Update of missing item returned true")
+	}
+	got, _, _ := h.Pop()
+	if got != 3 {
+		t.Fatalf("after decrease-key Pop = %d, want 3", got)
+	}
+	// Increase key as well.
+	h.Update(1, 10)
+	got, _, _ = h.Pop()
+	if got != 2 {
+		t.Fatalf("after increase-key Pop = %d, want 2", got)
+	}
+}
+
+func TestImprove(t *testing.T) {
+	min := NewMin[int]()
+	min.Push(1, 5)
+	if min.Improve(1, 7) {
+		t.Fatal("min-heap Improve to worse priority reported update")
+	}
+	if p, _ := min.Priority(1); p != 5 {
+		t.Fatalf("priority changed to %v, want 5", p)
+	}
+	if !min.Improve(1, 2) {
+		t.Fatal("min-heap Improve to better priority reported no update")
+	}
+	if !min.Improve(42, 9) {
+		t.Fatal("Improve of absent item should insert and report true")
+	}
+
+	max := NewMax[int]()
+	max.Push(1, 5)
+	if max.Improve(1, 2) {
+		t.Fatal("max-heap Improve to worse priority reported update")
+	}
+	if !max.Improve(1, 9) {
+		t.Fatal("max-heap Improve to better priority reported no update")
+	}
+	if p, _ := max.Priority(1); p != 9 {
+		t.Fatalf("priority = %v, want 9", p)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := NewMin[int]()
+	for i := 0; i < 10; i++ {
+		h.Push(i, float64(10-i))
+	}
+	if !h.Remove(5) {
+		t.Fatal("Remove of queued item returned false")
+	}
+	if h.Remove(5) {
+		t.Fatal("Remove of already-removed item returned true")
+	}
+	if h.Contains(5) {
+		t.Fatal("Contains(5) after Remove")
+	}
+	var got []int
+	for h.Len() > 0 {
+		v, _, _ := h.Pop()
+		got = append(got, v)
+	}
+	want := []int{9, 8, 7, 6, 4, 3, 2, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	h := NewMax[int]()
+	h.Push(1, 1)
+	h.Push(2, 2)
+	h.Clear()
+	if h.Len() != 0 || h.Contains(1) {
+		t.Fatal("Clear did not empty the heap")
+	}
+	h.Push(3, 3)
+	if v, _, _ := h.Pop(); v != 3 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+func TestPriorityLookup(t *testing.T) {
+	h := NewMin[int]()
+	h.Push(4, 2.5)
+	if p, ok := h.Priority(4); !ok || p != 2.5 {
+		t.Fatalf("Priority(4) = (%v,%v), want (2.5,true)", p, ok)
+	}
+	if _, ok := h.Priority(5); ok {
+		t.Fatal("Priority of missing item reported ok")
+	}
+}
+
+// Property: popping everything yields priorities in sorted order, whatever
+// mixture of pushes and updates was applied.
+func TestQuickSortedDrain(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewMin[int]()
+		ref := make(map[int]float64)
+		for i := 0; i < int(n)+1; i++ {
+			item := rng.Intn(20)
+			prio := float64(rng.Intn(1000))
+			switch rng.Intn(3) {
+			case 0:
+				h.Push(item, prio)
+				ref[item] = prio
+			case 1:
+				if h.Update(item, prio) {
+					ref[item] = prio
+				}
+			case 2:
+				if h.Remove(item) {
+					delete(ref, item)
+				}
+			}
+		}
+		if h.Len() != len(ref) {
+			return false
+		}
+		var want []float64
+		for _, p := range ref {
+			want = append(want, p)
+		}
+		sort.Float64s(want)
+		for _, w := range want {
+			item, p, ok := h.Pop()
+			if !ok || p != w || ref[item] != p {
+				return false
+			}
+		}
+		_, _, ok := h.Pop()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: position map stays consistent — every queued item's Priority
+// agrees with what Pop eventually yields, under random churn.
+func TestQuickPositionConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewMax[int32]()
+		for i := 0; i < 200; i++ {
+			op := rng.Intn(4)
+			item := int32(rng.Intn(30))
+			switch op {
+			case 0, 1:
+				h.Push(item, rng.Float64())
+			case 2:
+				h.Improve(item, rng.Float64())
+			case 3:
+				h.Pop()
+			}
+			if item2, prio, ok := h.Peek(); ok {
+				got, ok2 := h.Priority(item2)
+				if !ok2 || got != prio {
+					return false
+				}
+			}
+		}
+		// Drain and verify monotone non-increasing priorities.
+		prev := 2.0
+		for {
+			_, p, ok := h.Pop()
+			if !ok {
+				break
+			}
+			if p > prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHeapPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewMin[int32]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Push(int32(i%4096), rng.Float64())
+		if h.Len() > 2048 {
+			h.Pop()
+		}
+	}
+}
+
+func BenchmarkHeapImprove(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewMax[int32]()
+	for i := 0; i < 2048; i++ {
+		h.Push(int32(i), rng.Float64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Improve(int32(i%2048), rng.Float64())
+	}
+}

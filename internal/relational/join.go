@@ -1,0 +1,238 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// JoinNode is one relation occurrence in a join network (a "candidate
+// network" in Discover/Sparse terminology, or the shape of a SQL join
+// query in the workload generator). A node optionally carries a keyword
+// predicate: only rows whose text contains Term qualify. An empty Term
+// means the occurrence is a pure connector ("free tuple set").
+type JoinNode struct {
+	Table string
+	// Term restricts this occurrence to rows matching the term ("" = all).
+	Term string
+	// Terms restricts to rows matching all listed terms (AND semantics);
+	// used when several query keywords must fall on the same tuple.
+	Terms    []string
+	Children []JoinEdge
+}
+
+// JoinEdge connects a parent occurrence to a child occurrence through a
+// foreign key on exactly one of the two sides.
+type JoinEdge struct {
+	Child *JoinNode
+	// ParentFK ≥ 0 selects parent.FKs[ParentFK] == child-row join.
+	// ChildFK ≥ 0 selects child.FKs[ChildFK] == parent-row join.
+	// Exactly one must be ≥ 0; the other must be -1.
+	ParentFK int
+	ChildFK  int
+}
+
+// RowRef identifies a tuple.
+type RowRef struct {
+	Table string
+	Row   int32
+}
+
+// JoinResult is one instantiation of a join network: the matched rows in
+// pre-order of the join tree.
+type JoinResult []RowRef
+
+// Size returns the number of JoinNode occurrences in the tree rooted at n.
+func (n *JoinNode) Size() int {
+	s := 1
+	for _, e := range n.Children {
+		s += e.Child.Size()
+	}
+	return s
+}
+
+// EvalJoin evaluates the join network rooted at root using indexed
+// nested-loop joins, returning up to limit results (limit ≤ 0 means
+// unlimited). Results are produced in row-id order of the root occurrence.
+func (db *Database) EvalJoin(root *JoinNode, limit int) ([]JoinResult, error) {
+	if !db.frozen {
+		return nil, fmt.Errorf("relational: EvalJoin before Freeze")
+	}
+	if err := db.checkJoinTree(root); err != nil {
+		return nil, err
+	}
+	t := db.tables[root.Table]
+	candidates, all := db.nodeCandidates(root)
+	var out []JoinResult
+
+	emit := func(rows JoinResult) bool {
+		out = append(out, append(JoinResult(nil), rows...))
+		return limit > 0 && len(out) >= limit
+	}
+
+	tryRow := func(r int32) bool {
+		prefix := make(JoinResult, 0, root.Size())
+		prefix = append(prefix, RowRef{root.Table, r})
+		return db.expandSubtree(root, r, prefix, emit)
+	}
+
+	if all {
+		for r := int32(0); r < int32(t.NumRows()); r++ {
+			if tryRow(r) {
+				break
+			}
+		}
+	} else {
+		for _, r := range candidates {
+			if tryRow(r) {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// CountJoin returns the number of results of the join network, up to limit.
+func (db *Database) CountJoin(root *JoinNode, limit int) (int, error) {
+	res, err := db.EvalJoin(root, limit)
+	return len(res), err
+}
+
+// expandSubtree enumerates all instantiations of n's subtree below the
+// bound row (depth-first over the cartesian product of children matches),
+// invoking cont with the accumulated rows. Slices passed to cont are
+// reused; cont must copy what it keeps. It returns true when enumeration
+// should stop.
+func (db *Database) expandSubtree(n *JoinNode, row int32, acc JoinResult, cont func(JoinResult) bool) bool {
+	if len(n.Children) == 0 {
+		return cont(acc)
+	}
+	var rec func(ci int, cur JoinResult) bool
+	rec = func(ci int, cur JoinResult) bool {
+		if ci == len(n.Children) {
+			return cont(cur)
+		}
+		e := n.Children[ci]
+		child := db.tables[e.Child.Table]
+		var rows []int32
+		switch {
+		case e.ParentFK >= 0:
+			v := db.tables[n.Table].rows[row].FKs[e.ParentFK]
+			if v >= 0 {
+				rows = []int32{v}
+			}
+		default:
+			rows = child.RefRows(e.ChildFK, row)
+		}
+		for _, cr := range rows {
+			if !db.rowMatches(e.Child, cr) {
+				continue
+			}
+			if db.expandSubtree(e.Child, cr, append(cur, RowRef{e.Child.Table, cr}), func(full JoinResult) bool {
+				return rec(ci+1, full)
+			}) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0, acc)
+}
+
+// nodeCandidates returns the candidate root rows: the term posting list if
+// the node has predicates, else "all rows" (all == true).
+func (db *Database) nodeCandidates(n *JoinNode) (rows []int32, all bool) {
+	t := db.tables[n.Table]
+	terms := n.allTerms()
+	if len(terms) == 0 {
+		return nil, true
+	}
+	// Intersect posting lists, smallest first (§1: "it is standard to
+	// intersect inverted lists starting with the smallest one").
+	lists := make([][]int32, len(terms))
+	for i, term := range terms {
+		lists[i] = t.MatchingRows(term)
+		if len(lists[i]) == 0 {
+			return nil, false
+		}
+	}
+	res := lists[0]
+	for _, l := range lists {
+		if len(l) < len(res) {
+			res = l
+		}
+	}
+	var filtered []int32
+	for _, r := range res {
+		if db.rowMatches(n, r) {
+			filtered = append(filtered, r)
+		}
+	}
+	return filtered, false
+}
+
+func (n *JoinNode) allTerms() []string {
+	if n.Term == "" {
+		return n.Terms
+	}
+	return append([]string{n.Term}, n.Terms...)
+}
+
+func (db *Database) rowMatches(n *JoinNode, row int32) bool {
+	t := db.tables[n.Table]
+	for _, term := range n.allTerms() {
+		if !containsSorted(t.MatchingRows(term), row) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsSorted(list []int32, v int32) bool {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo] == v
+}
+
+func (db *Database) checkJoinTree(n *JoinNode) error {
+	t, ok := db.tables[n.Table]
+	if !ok {
+		return fmt.Errorf("relational: join references unknown table %q", n.Table)
+	}
+	for _, e := range n.Children {
+		if (e.ParentFK >= 0) == (e.ChildFK >= 0) {
+			return fmt.Errorf("relational: join edge %s→%s must set exactly one of ParentFK/ChildFK",
+				n.Table, e.Child.Table)
+		}
+		if e.ParentFK >= 0 {
+			if e.ParentFK >= len(t.FKs) {
+				return fmt.Errorf("relational: %s has no fk #%d", n.Table, e.ParentFK)
+			}
+			if t.FKs[e.ParentFK].RefTable != e.Child.Table {
+				return fmt.Errorf("relational: %s fk #%d references %s, not %s",
+					n.Table, e.ParentFK, t.FKs[e.ParentFK].RefTable, e.Child.Table)
+			}
+		} else {
+			ct, ok := db.tables[e.Child.Table]
+			if !ok {
+				return fmt.Errorf("relational: join references unknown table %q", e.Child.Table)
+			}
+			if e.ChildFK >= len(ct.FKs) {
+				return fmt.Errorf("relational: %s has no fk #%d", e.Child.Table, e.ChildFK)
+			}
+			if ct.FKs[e.ChildFK].RefTable != n.Table {
+				return fmt.Errorf("relational: %s fk #%d references %s, not %s",
+					e.Child.Table, e.ChildFK, ct.FKs[e.ChildFK].RefTable, n.Table)
+			}
+		}
+		if err := db.checkJoinTree(e.Child); err != nil {
+			return err
+		}
+	}
+	return nil
+}

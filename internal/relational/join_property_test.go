@@ -1,0 +1,161 @@
+package relational
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// randomTwoTableDB builds a parent/child database with random rows, texts
+// drawn from a tiny vocabulary, and random FKs.
+func randomTwoTableDB(rng *rand.Rand) (*Database, int, int) {
+	db := NewDatabase()
+	parent, _ := db.CreateTable("parent", []string{"txt"}, nil)
+	child, _ := db.CreateTable("child", []string{"txt"}, []FK{{Name: "p", RefTable: "parent"}})
+	vocab := []string{"alpha", "beta", "gamma", "delta"}
+	np := 1 + rng.Intn(8)
+	nc := rng.Intn(20)
+	for i := 0; i < np; i++ {
+		parent.Append([]string{vocab[rng.Intn(len(vocab))] + " " + vocab[rng.Intn(len(vocab))]}, nil)
+	}
+	for i := 0; i < nc; i++ {
+		fk := int32(rng.Intn(np))
+		if rng.Intn(10) == 0 {
+			fk = -1 // NULL
+		}
+		child.Append([]string{vocab[rng.Intn(len(vocab))]}, []int32{fk})
+	}
+	if err := db.Freeze(); err != nil {
+		panic(err)
+	}
+	return db, np, nc
+}
+
+// bruteForceJoin evaluates child{termC} ⋈ parent{termP} by scanning every
+// row pair.
+func bruteForceJoin(db *Database, termC, termP string) []string {
+	parent := db.Table("parent")
+	child := db.Table("child")
+	match := func(t *Table, row int32, term string) bool {
+		if term == "" {
+			return true
+		}
+		for _, r := range t.MatchingRows(term) {
+			if r == row {
+				return true
+			}
+		}
+		return false
+	}
+	var out []string
+	for c := int32(0); c < int32(child.NumRows()); c++ {
+		fk := child.Row(c).FKs[0]
+		if fk < 0 {
+			continue
+		}
+		if match(child, c, termC) && match(parent, fk, termP) {
+			out = append(out, fmt.Sprintf("c%d-p%d", c, fk))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Property: EvalJoin over child→parent with keyword predicates agrees with
+// brute-force enumeration, for random databases and random predicates.
+func TestQuickEvalJoinMatchesBruteForce(t *testing.T) {
+	vocab := []string{"", "alpha", "beta", "gamma", "delta", "nomatch"}
+	f := func(seed int64, ci, pi uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db, _, _ := randomTwoTableDB(rng)
+		termC := vocab[int(ci)%len(vocab)]
+		termP := vocab[int(pi)%len(vocab)]
+
+		root := &JoinNode{
+			Table: "child",
+			Term:  termC,
+			Children: []JoinEdge{{
+				Child:    &JoinNode{Table: "parent", Term: termP},
+				ParentFK: 0,
+				ChildFK:  -1,
+			}},
+		}
+		res, err := db.EvalJoin(root, 0)
+		if err != nil {
+			return false
+		}
+		var got []string
+		for _, r := range res {
+			if len(r) != 2 || r[0].Table != "child" || r[1].Table != "parent" {
+				return false
+			}
+			got = append(got, fmt.Sprintf("c%d-p%d", r[0].Row, r[1].Row))
+		}
+		sort.Strings(got)
+		want := bruteForceJoin(db, termC, termP)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reversing the join direction (parent root, child via reverse
+// index) yields the same pair multiset.
+func TestQuickEvalJoinReverseDirection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db, _, _ := randomTwoTableDB(rng)
+
+		fwd := &JoinNode{
+			Table: "child",
+			Children: []JoinEdge{{
+				Child:    &JoinNode{Table: "parent"},
+				ParentFK: 0,
+				ChildFK:  -1,
+			}},
+		}
+		rev := &JoinNode{
+			Table: "parent",
+			Children: []JoinEdge{{
+				Child:    &JoinNode{Table: "child"},
+				ParentFK: -1,
+				ChildFK:  0,
+			}},
+		}
+		fr, err := db.EvalJoin(fwd, 0)
+		if err != nil {
+			return false
+		}
+		rr, err := db.EvalJoin(rev, 0)
+		if err != nil {
+			return false
+		}
+		pairs := func(res []JoinResult, childFirst bool) []string {
+			var out []string
+			for _, r := range res {
+				c, p := r[0].Row, r[1].Row
+				if !childFirst {
+					c, p = r[1].Row, r[0].Row
+				}
+				out = append(out, fmt.Sprintf("c%d-p%d", c, p))
+			}
+			sort.Strings(out)
+			return out
+		}
+		a, b := pairs(fr, true), pairs(rr, false)
+		if len(a) == 0 && len(b) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

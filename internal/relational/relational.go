@@ -1,0 +1,195 @@
+// Package relational is a minimal in-memory relational engine.
+//
+// It provides exactly the substrate the BANKS-II evaluation depends on:
+// tables of tuples with string-valued attributes and foreign keys, hash
+// indexes on join columns, and evaluation of join networks (trees of
+// relation occurrences connected by FK edges). The Sparse baseline of
+// Hristidis et al. [8] runs its candidate networks against this engine with
+// warm in-memory indexes, matching the paper's measurement methodology
+// (§5.2: "Indices were created on all join columns ... ran each query
+// several times to get a warm cache"). The workload generator (§5.4) uses
+// the same machinery to produce ground-truth relevant answers by executing
+// join networks with keyword predicates.
+package relational
+
+import (
+	"fmt"
+	"sort"
+
+	"banks/internal/index"
+)
+
+// FK declares a foreign-key column: each row stores the row id of a tuple
+// in RefTable (or -1 for NULL).
+type FK struct {
+	// Name of the foreign-key column (for diagnostics and edge typing).
+	Name string
+	// RefTable is the referenced table's name.
+	RefTable string
+}
+
+// Row is one tuple: text attribute values parallel to the table's text
+// columns, and FK row ids parallel to the table's FK declarations.
+type Row struct {
+	Texts []string
+	FKs   []int32
+}
+
+// Table holds the rows of one relation plus its indexes.
+type Table struct {
+	Name     string
+	TextCols []string
+	FKs      []FK
+
+	rows []Row
+
+	// termIndex maps normalized term → sorted row ids (built by Freeze).
+	termIndex map[string][]int32
+	// fkIndex[k] maps referenced row id → rows of this table whose k-th FK
+	// points at it (built by Freeze). This is the hash index on the join
+	// column used by indexed nested-loop joins.
+	fkIndex []map[int32][]int32
+
+	frozen bool
+}
+
+// NumRows returns the number of tuples.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns tuple i. The returned value shares storage with the table.
+func (t *Table) Row(i int32) Row { return t.rows[i] }
+
+// Append adds a tuple and returns its row id. It panics if the arity is
+// wrong or the table is frozen — generator bugs, not runtime conditions.
+func (t *Table) Append(texts []string, fks []int32) int32 {
+	if t.frozen {
+		panic(fmt.Sprintf("relational: append to frozen table %s", t.Name))
+	}
+	if len(texts) != len(t.TextCols) || len(fks) != len(t.FKs) {
+		panic(fmt.Sprintf("relational: arity mismatch appending to %s: %d texts (want %d), %d fks (want %d)",
+			t.Name, len(texts), len(t.TextCols), len(fks), len(t.FKs)))
+	}
+	t.rows = append(t.rows, Row{Texts: texts, FKs: fks})
+	return int32(len(t.rows) - 1)
+}
+
+// MatchingRows returns the sorted row ids whose text contains term.
+// Only valid after Database.Freeze.
+func (t *Table) MatchingRows(term string) []int32 {
+	return t.termIndex[index.Normalize(term)]
+}
+
+// RefRows returns the rows of this table whose fk-th foreign key references
+// refRow (the reverse join index). Only valid after Database.Freeze.
+func (t *Table) RefRows(fk int, refRow int32) []int32 {
+	return t.fkIndex[fk][refRow]
+}
+
+// Terms returns all distinct indexed terms of this table.
+func (t *Table) Terms() []string {
+	out := make([]string, 0, len(t.termIndex))
+	for k := range t.termIndex {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Database is a set of tables.
+type Database struct {
+	tables map[string]*Table
+	order  []string
+	frozen bool
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// CreateTable declares a table. Referenced tables may be declared later;
+// Freeze validates all references.
+func (db *Database) CreateTable(name string, textCols []string, fks []FK) (*Table, error) {
+	if db.frozen {
+		return nil, fmt.Errorf("relational: database is frozen")
+	}
+	if name == "" {
+		return nil, fmt.Errorf("relational: empty table name")
+	}
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("relational: duplicate table %q", name)
+	}
+	t := &Table{Name: name, TextCols: textCols, FKs: fks}
+	db.tables[name] = t
+	db.order = append(db.order, name)
+	return t, nil
+}
+
+// Table returns the named table or nil.
+func (db *Database) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns table names in creation order.
+func (db *Database) TableNames() []string { return db.order }
+
+// Freeze validates foreign keys and builds all indexes. The database is
+// immutable afterwards.
+func (db *Database) Freeze() error {
+	if db.frozen {
+		return nil
+	}
+	for _, name := range db.order {
+		t := db.tables[name]
+		for k, fk := range t.FKs {
+			ref, ok := db.tables[fk.RefTable]
+			if !ok {
+				return fmt.Errorf("relational: table %s fk %s references unknown table %s",
+					name, fk.Name, fk.RefTable)
+			}
+			for i, row := range t.rows {
+				v := row.FKs[k]
+				if v < -1 || v >= int32(len(ref.rows)) {
+					return fmt.Errorf("relational: %s row %d fk %s = %d out of range (ref %s has %d rows)",
+						name, i, fk.Name, v, fk.RefTable, len(ref.rows))
+				}
+			}
+		}
+	}
+	for _, name := range db.order {
+		t := db.tables[name]
+		t.termIndex = make(map[string][]int32)
+		for i, row := range t.rows {
+			seen := make(map[string]struct{}, 8)
+			for _, txt := range row.Texts {
+				for _, term := range index.Tokenize(txt) {
+					if _, dup := seen[term]; dup {
+						continue
+					}
+					seen[term] = struct{}{}
+					t.termIndex[term] = append(t.termIndex[term], int32(i))
+				}
+			}
+		}
+		t.fkIndex = make([]map[int32][]int32, len(t.FKs))
+		for k := range t.FKs {
+			idx := make(map[int32][]int32)
+			for i, row := range t.rows {
+				if v := row.FKs[k]; v >= 0 {
+					idx[v] = append(idx[v], int32(i))
+				}
+			}
+			t.fkIndex[k] = idx
+		}
+		t.frozen = true
+	}
+	db.frozen = true
+	return nil
+}
+
+// NumRows returns the total tuple count across tables.
+func (db *Database) NumRows() int {
+	n := 0
+	for _, name := range db.order {
+		n += db.tables[name].NumRows()
+	}
+	return n
+}

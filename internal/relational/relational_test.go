@@ -1,0 +1,304 @@
+package relational
+
+import (
+	"reflect"
+	"testing"
+)
+
+// miniDBLP builds the small bibliography database used across the tests:
+//
+//	author:  0 "Jim Gray", 1 "Pat Selinger", 2 "Jim Smith"
+//	conf:    0 "VLDB", 1 "SIGMOD"
+//	paper:   0 "Transaction Recovery" (VLDB), 1 "Query Optimization" (SIGMOD),
+//	         2 "Transaction Models" (VLDB)
+//	writes:  (Gray,0) (Gray,2) (Selinger,1) (Smith,1)
+func miniDBLP(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	author, err := db.CreateTable("author", []string{"name"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf, err := db.CreateTable("conf", []string{"name"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := db.CreateTable("paper", []string{"title"}, []FK{{Name: "conf", RefTable: "conf"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, err := db.CreateTable("writes", nil, []FK{
+		{Name: "author", RefTable: "author"},
+		{Name: "paper", RefTable: "paper"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	author.Append([]string{"Jim Gray"}, nil)
+	author.Append([]string{"Pat Selinger"}, nil)
+	author.Append([]string{"Jim Smith"}, nil)
+	conf.Append([]string{"VLDB"}, nil)
+	conf.Append([]string{"SIGMOD"}, nil)
+	paper.Append([]string{"Transaction Recovery"}, []int32{0})
+	paper.Append([]string{"Query Optimization"}, []int32{1})
+	paper.Append([]string{"Transaction Models"}, []int32{0})
+	writes.Append(nil, []int32{0, 0})
+	writes.Append(nil, []int32{0, 2})
+	writes.Append(nil, []int32{1, 1})
+	writes.Append(nil, []int32{2, 1})
+
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.CreateTable("", nil, nil); err == nil {
+		t.Fatal("empty table name accepted")
+	}
+	if _, err := db.CreateTable("a", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("a", nil, nil); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+}
+
+func TestFreezeValidatesFKs(t *testing.T) {
+	db := NewDatabase()
+	tbl, _ := db.CreateTable("child", nil, []FK{{Name: "p", RefTable: "nosuch"}})
+	tbl.Append(nil, []int32{0})
+	if err := db.Freeze(); err == nil {
+		t.Fatal("Freeze accepted fk to unknown table")
+	}
+
+	db2 := NewDatabase()
+	parent, _ := db2.CreateTable("parent", nil, nil)
+	child, _ := db2.CreateTable("child", nil, []FK{{Name: "p", RefTable: "parent"}})
+	parent.Append(nil, nil)
+	child.Append(nil, []int32{5}) // out of range
+	if err := db2.Freeze(); err == nil {
+		t.Fatal("Freeze accepted out-of-range fk")
+	}
+}
+
+func TestMatchingRows(t *testing.T) {
+	db := miniDBLP(t)
+	paper := db.Table("paper")
+	if got := paper.MatchingRows("transaction"); !reflect.DeepEqual(got, []int32{0, 2}) {
+		t.Fatalf("MatchingRows(transaction) = %v, want [0 2]", got)
+	}
+	if got := paper.MatchingRows("TRANSACTION"); !reflect.DeepEqual(got, []int32{0, 2}) {
+		t.Fatalf("MatchingRows is not case-insensitive: %v", got)
+	}
+	if got := paper.MatchingRows("nosuch"); len(got) != 0 {
+		t.Fatalf("MatchingRows(nosuch) = %v", got)
+	}
+	author := db.Table("author")
+	if got := author.MatchingRows("jim"); !reflect.DeepEqual(got, []int32{0, 2}) {
+		t.Fatalf("MatchingRows(jim) = %v, want [0 2]", got)
+	}
+}
+
+func TestRefRows(t *testing.T) {
+	db := miniDBLP(t)
+	writes := db.Table("writes")
+	// Rows of writes whose author fk (index 0) references author 0 (Gray).
+	if got := writes.RefRows(0, 0); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("RefRows(author=0) = %v, want [0 1]", got)
+	}
+	// Rows of writes whose paper fk (index 1) references paper 1.
+	if got := writes.RefRows(1, 1); !reflect.DeepEqual(got, []int32{2, 3}) {
+		t.Fatalf("RefRows(paper=1) = %v, want [2 3]", got)
+	}
+}
+
+// The classic "Gray transaction" query: author ← writes → paper with
+// keyword predicates on the endpoints.
+func TestEvalJoinPath(t *testing.T) {
+	db := miniDBLP(t)
+	paperNode := &JoinNode{Table: "paper", Term: "transaction"}
+	root := &JoinNode{
+		Table: "author",
+		Term:  "gray",
+		Children: []JoinEdge{{
+			Child: &JoinNode{
+				Table:    "writes",
+				Children: []JoinEdge{{Child: paperNode, ParentFK: 1, ChildFK: -1}},
+			},
+			ParentFK: -1,
+			ChildFK:  0,
+		}},
+	}
+	res, err := db.EvalJoin(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2 (Gray wrote two transaction papers): %v", len(res), res)
+	}
+	for _, r := range res {
+		if len(r) != 3 || r[0].Table != "author" || r[0].Row != 0 || r[2].Table != "paper" {
+			t.Fatalf("malformed result %v", r)
+		}
+	}
+}
+
+func TestEvalJoinLimit(t *testing.T) {
+	db := miniDBLP(t)
+	root := &JoinNode{
+		Table: "writes",
+		Children: []JoinEdge{
+			{Child: &JoinNode{Table: "author"}, ParentFK: 0, ChildFK: -1},
+			{Child: &JoinNode{Table: "paper"}, ParentFK: 1, ChildFK: -1},
+		},
+	}
+	all, err := db.EvalJoin(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("unlimited join returned %d results, want 4", len(all))
+	}
+	two, err := db.EvalJoin(root, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("limited join returned %d results, want 2", len(two))
+	}
+}
+
+func TestEvalJoinMultiTermNode(t *testing.T) {
+	db := miniDBLP(t)
+	// Both terms on the same tuple: papers containing "transaction" AND
+	// "recovery" — only paper 0.
+	root := &JoinNode{Table: "paper", Terms: []string{"transaction", "recovery"}}
+	res, err := db.EvalJoin(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0][0].Row != 0 {
+		t.Fatalf("multi-term node: %v", res)
+	}
+}
+
+func TestEvalJoinNoMatches(t *testing.T) {
+	db := miniDBLP(t)
+	root := &JoinNode{Table: "paper", Term: "zzzz"}
+	res, err := db.EvalJoin(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("expected no results, got %v", res)
+	}
+}
+
+func TestEvalJoinValidation(t *testing.T) {
+	db := miniDBLP(t)
+	cases := []*JoinNode{
+		{Table: "nosuch"},
+		{Table: "paper", Children: []JoinEdge{{Child: &JoinNode{Table: "conf"}, ParentFK: -1, ChildFK: -1}}},
+		{Table: "paper", Children: []JoinEdge{{Child: &JoinNode{Table: "conf"}, ParentFK: 0, ChildFK: 0}}},
+		{Table: "paper", Children: []JoinEdge{{Child: &JoinNode{Table: "conf"}, ParentFK: 5, ChildFK: -1}}},
+		{Table: "paper", Children: []JoinEdge{{Child: &JoinNode{Table: "author"}, ParentFK: 0, ChildFK: -1}}},
+	}
+	for i, c := range cases {
+		if _, err := db.EvalJoin(c, 0); err == nil {
+			t.Errorf("case %d: invalid join tree accepted", i)
+		}
+	}
+}
+
+// Deep join: conf ← paper ← writes → author (size-4 network), verifying
+// nested expansion through an intermediate node with its own child.
+func TestEvalJoinDeep(t *testing.T) {
+	db := miniDBLP(t)
+	root := &JoinNode{
+		Table: "conf",
+		Term:  "vldb",
+		Children: []JoinEdge{{
+			Child: &JoinNode{
+				Table: "paper",
+				Children: []JoinEdge{{
+					Child: &JoinNode{
+						Table:    "writes",
+						Children: []JoinEdge{{Child: &JoinNode{Table: "author", Term: "gray"}, ParentFK: 0, ChildFK: -1}},
+					},
+					ParentFK: -1,
+					ChildFK:  1,
+				}},
+			},
+			ParentFK: -1,
+			ChildFK:  0,
+		}},
+	}
+	res, err := db.EvalJoin(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gray wrote papers 0 and 2, both at VLDB.
+	if len(res) != 2 {
+		t.Fatalf("deep join returned %d results, want 2: %v", len(res), res)
+	}
+	for _, r := range res {
+		if len(r) != 4 {
+			t.Fatalf("result arity %d, want 4: %v", len(r), r)
+		}
+	}
+}
+
+func TestAppendPanics(t *testing.T) {
+	db := NewDatabase()
+	tbl, _ := db.CreateTable("t", []string{"a"}, nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("arity mismatch did not panic")
+			}
+		}()
+		tbl.Append(nil, nil)
+	}()
+	tbl.Append([]string{"x"}, nil)
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("append to frozen table did not panic")
+			}
+		}()
+		tbl.Append([]string{"y"}, nil)
+	}()
+}
+
+func TestNumRowsAndTerms(t *testing.T) {
+	db := miniDBLP(t)
+	if db.NumRows() != 3+2+3+4 {
+		t.Fatalf("NumRows = %d, want 12", db.NumRows())
+	}
+	terms := db.Table("conf").Terms()
+	if !reflect.DeepEqual(terms, []string{"sigmod", "vldb"}) {
+		t.Fatalf("conf terms = %v", terms)
+	}
+	if names := db.TableNames(); !reflect.DeepEqual(names, []string{"author", "conf", "paper", "writes"}) {
+		t.Fatalf("TableNames = %v", names)
+	}
+}
+
+func TestJoinNodeSize(t *testing.T) {
+	n := &JoinNode{Table: "a", Children: []JoinEdge{
+		{Child: &JoinNode{Table: "b"}, ParentFK: 0, ChildFK: -1},
+		{Child: &JoinNode{Table: "c", Children: []JoinEdge{
+			{Child: &JoinNode{Table: "d"}, ParentFK: 0, ChildFK: -1},
+		}}, ParentFK: 1, ChildFK: -1},
+	}}
+	if n.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", n.Size())
+	}
+}

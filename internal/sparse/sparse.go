@@ -1,0 +1,399 @@
+// Package sparse implements the Sparse algorithm of Hristidis, Gravano and
+// Papakonstantinou, "Efficient IR-style keyword search over relational
+// databases" (VLDB 2003) — the candidate-network baseline the paper
+// compares against in §5.
+//
+// A candidate network (CN) is a join tree of relation occurrences, each
+// optionally annotated with query keywords its tuples must contain, whose
+// annotations together cover the whole query (AND semantics, the setting
+// where the paper reports Sparse works best). Sparse evaluates each CN as
+// a join — here with indexed nested-loop joins over the in-memory
+// relational engine, matching the warm-cache, indexed measurement
+// methodology of §5.2 — and merges the per-CN results.
+//
+// The experiment harness uses this package for the "Sparse-LB" columns of
+// Figure 5: evaluating all CNs no larger than the relevant answer is a
+// lower bound on Sparse's cost, because the real algorithm must also try
+// larger networks before it can bound the result stream.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"banks/internal/index"
+	"banks/internal/relational"
+)
+
+// CN is one candidate network.
+type CN struct {
+	Root *relational.JoinNode
+	// Size is the number of relation occurrences.
+	Size int
+	// Signature is the canonical unrooted form used for deduplication.
+	Signature string
+}
+
+// String renders the CN in Discover notation, e.g.
+// "author{gray}⋈writes⋈paper{transaction}".
+func (c *CN) String() string { return c.Signature }
+
+// Result is one join result of one CN.
+type Result struct {
+	CN   *CN
+	Rows relational.JoinResult
+}
+
+// Output bundles a Sparse run.
+type Output struct {
+	CNs     []*CN
+	Results []Result
+	Elapsed time.Duration
+}
+
+// schemaEdge is one foreign key viewed as an undirected schema-graph edge.
+type schemaEdge struct {
+	from string // table holding the FK
+	fk   int    // FK index within from
+	to   string // referenced table
+}
+
+// Run enumerates all candidate networks of at most maxSize occurrences for
+// the keywords and evaluates each against db (limitPerCN caps results per
+// CN; 0 = unlimited). Keywords are normalized before matching.
+func Run(db *relational.Database, keywords []string, maxSize, limitPerCN int) (*Output, error) {
+	cns, err := Enumerate(db, keywords, maxSize)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	out := &Output{CNs: cns}
+	for _, cn := range cns {
+		res, err := db.EvalJoin(cn.Root, limitPerCN)
+		if err != nil {
+			return nil, fmt.Errorf("sparse: evaluating %s: %w", cn, err)
+		}
+		for _, r := range res {
+			out.Results = append(out.Results, Result{CN: cn, Rows: r})
+		}
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// Enumerate generates all distinct candidate networks of size ≤ maxSize
+// covering every keyword, with the standard validity rule that leaf
+// occurrences must carry keywords (free leaves only enlarge results
+// without adding coverage).
+func Enumerate(db *relational.Database, keywords []string, maxSize int) ([]*CN, error) {
+	if len(keywords) == 0 {
+		return nil, errors.New("sparse: no keywords")
+	}
+	if len(keywords) > 16 {
+		return nil, fmt.Errorf("sparse: %d keywords exceeds maximum 16", len(keywords))
+	}
+	if maxSize <= 0 {
+		return nil, errors.New("sparse: maxSize must be positive")
+	}
+	norm := make([]string, len(keywords))
+	for i, k := range keywords {
+		norm[i] = index.Normalize(k)
+	}
+
+	// Which tables can host which keywords.
+	hosts := make([][]string, len(norm))
+	for i, k := range norm {
+		for _, t := range db.TableNames() {
+			if len(db.Table(t).MatchingRows(k)) > 0 {
+				hosts[i] = append(hosts[i], t)
+			}
+		}
+		if len(hosts[i]) == 0 {
+			return nil, nil // a keyword matches nothing: no CNs, no answers
+		}
+	}
+
+	var edges []schemaEdge
+	for _, t := range db.TableNames() {
+		for k, fk := range db.Table(t).FKs {
+			edges = append(edges, schemaEdge{from: t, fk: k, to: fk.RefTable})
+		}
+	}
+
+	full := uint32(1)<<len(norm) - 1
+
+	// Seed with every (table, keyword-subset) single node, where the table
+	// hosts all keywords in the subset (non-empty subsets only: the first
+	// node is a leaf until expanded).
+	var queue []partial
+	seen := map[string]bool{}
+	var complete []*CN
+
+	for mask := uint32(1); mask <= full; mask++ {
+		for _, t := range db.TableNames() {
+			if !tableHosts(db, t, norm, mask) {
+				continue
+			}
+			p := partial{root: &cnNode{table: t, mask: mask}, mask: mask, size: 1}
+			queue = append(queue, p)
+		}
+	}
+
+	emit := func(p partial) {
+		if p.mask != full || !leavesCovered(p.root) {
+			return
+		}
+		sig := canonicalCN(p.root, norm)
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		complete = append(complete, &CN{Root: toJoinTree(db, p.root, norm), Size: p.size, Signature: sig})
+	}
+
+	// Breadth-first growth: attach one occurrence at a time to any node of
+	// the partial tree via any schema edge.
+	expandSeen := map[string]bool{}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		emit(p)
+		if p.size >= maxSize {
+			continue
+		}
+		sig := canonicalCN(p.root, norm)
+		key := fmt.Sprintf("%s|%d", sig, p.mask)
+		if expandSeen[key] {
+			continue
+		}
+		expandSeen[key] = true
+
+		nodes := collect(p.root)
+		for _, at := range nodes {
+			for _, e := range edges {
+				// Attach a new occurrence of the opposite table.
+				var newTable string
+				var pfk, cfk int
+				switch at.table {
+				case e.from:
+					newTable, pfk, cfk = e.to, e.fk, -1
+				case e.to:
+					newTable, pfk, cfk = e.from, -1, e.fk
+				default:
+					continue
+				}
+				// Keyword subsets the new node can carry (possibly empty).
+				for mask := uint32(0); mask <= full; mask++ {
+					if mask&p.mask != 0 {
+						continue
+					}
+					if mask != 0 && !tableHosts(db, newTable, norm, mask) {
+						continue
+					}
+					np := clonePartial(p)
+					nat := findClone(np.root, p.root, at)
+					nat.children = append(nat.children, &cnChild{
+						node:     &cnNode{table: newTable, mask: mask},
+						parentFK: pfk,
+						childFK:  cfk,
+					})
+					np.mask |= mask
+					np.size++
+					queue = append(queue, np)
+				}
+			}
+		}
+	}
+
+	sort.Slice(complete, func(i, j int) bool {
+		if complete[i].Size != complete[j].Size {
+			return complete[i].Size < complete[j].Size
+		}
+		return complete[i].Signature < complete[j].Signature
+	})
+	return complete, nil
+}
+
+// cnNode is the internal CN tree representation.
+type cnNode struct {
+	table    string
+	mask     uint32
+	children []*cnChild
+}
+
+// partial is a CN under construction: a rooted tree plus the mask of
+// covered keywords.
+type partial struct {
+	root *cnNode
+	mask uint32
+	size int
+}
+
+type cnChild struct {
+	node     *cnNode
+	parentFK int // FK index in parent (≥0) or -1
+	childFK  int // FK index in child (≥0) or -1
+}
+
+func tableHosts(db *relational.Database, table string, kws []string, mask uint32) bool {
+	t := db.Table(table)
+	for i, k := range kws {
+		if mask&(1<<i) != 0 && len(t.MatchingRows(k)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func leavesCovered(n *cnNode) bool {
+	if len(n.children) == 0 {
+		return n.mask != 0
+	}
+	for _, c := range n.children {
+		if !leavesCovered(c.node) {
+			return false
+		}
+	}
+	return true
+}
+
+func collect(n *cnNode) []*cnNode {
+	out := []*cnNode{n}
+	for _, c := range n.children {
+		out = append(out, collect(c.node)...)
+	}
+	return out
+}
+
+func clonePartial(p partial) partial {
+	return partial{root: cloneNode(p.root), mask: p.mask, size: p.size}
+}
+
+func cloneNode(n *cnNode) *cnNode {
+	c := &cnNode{table: n.table, mask: n.mask}
+	for _, ch := range n.children {
+		c.children = append(c.children, &cnChild{
+			node:     cloneNode(ch.node),
+			parentFK: ch.parentFK,
+			childFK:  ch.childFK,
+		})
+	}
+	return c
+}
+
+// findClone locates, in the cloned tree, the node corresponding to target
+// in the original tree (parallel traversal).
+func findClone(cloneRoot, origRoot, target *cnNode) *cnNode {
+	if origRoot == target {
+		return cloneRoot
+	}
+	for i, ch := range origRoot.children {
+		if found := findClone(cloneRoot.children[i].node, ch.node, target); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// canonicalCN returns a rooting-independent canonical string: the minimum
+// over all rootings of the recursive canonical form. CNs are tiny (≤ 8
+// nodes), so re-rooting cost is irrelevant.
+func canonicalCN(root *cnNode, kws []string) string {
+	und := buildUndirected(root, kws)
+	best := ""
+	for i := range und.labels {
+		s := und.canonical(i, -1)
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+type undirected struct {
+	labels []string
+	adj    [][]struct {
+		to   int
+		edge string
+	}
+}
+
+func buildUndirected(root *cnNode, kws []string) *undirected {
+	u := &undirected{}
+	var walk func(n *cnNode) int
+	walk = func(n *cnNode) int {
+		id := len(u.labels)
+		u.labels = append(u.labels, nodeLabel(n, kws))
+		u.adj = append(u.adj, nil)
+		for _, c := range n.children {
+			cid := walk(c.node)
+			// Edge label encodes which side holds the FK, so structurally
+			// different joins do not collapse.
+			var el string
+			if c.parentFK >= 0 {
+				el = fmt.Sprintf("p%d", c.parentFK)
+			} else {
+				el = fmt.Sprintf("c%d", c.childFK)
+			}
+			u.adj[id] = append(u.adj[id], struct {
+				to   int
+				edge string
+			}{cid, el + ">"})
+			u.adj[cid] = append(u.adj[cid], struct {
+				to   int
+				edge string
+			}{id, el + "<"})
+		}
+		return id
+	}
+	walk(root)
+	return u
+}
+
+func (u *undirected) canonical(at, from int) string {
+	var parts []string
+	for _, e := range u.adj[at] {
+		if e.to == from {
+			continue
+		}
+		parts = append(parts, e.edge+u.canonical(e.to, at))
+	}
+	sort.Strings(parts)
+	return u.labels[at] + "(" + strings.Join(parts, ",") + ")"
+}
+
+func nodeLabel(n *cnNode, kws []string) string {
+	var ks []string
+	for i, k := range kws {
+		if n.mask&(1<<i) != 0 {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	if len(ks) == 0 {
+		return n.table
+	}
+	return n.table + "{" + strings.Join(ks, " ") + "}"
+}
+
+// toJoinTree converts the internal representation into the relational
+// engine's executable join tree.
+func toJoinTree(db *relational.Database, n *cnNode, kws []string) *relational.JoinNode {
+	jn := &relational.JoinNode{Table: n.table}
+	for i, k := range kws {
+		if n.mask&(1<<i) != 0 {
+			jn.Terms = append(jn.Terms, k)
+		}
+	}
+	for _, c := range n.children {
+		jn.Children = append(jn.Children, relational.JoinEdge{
+			Child:    toJoinTree(db, c.node, kws),
+			ParentFK: c.parentFK,
+			ChildFK:  c.childFK,
+		})
+	}
+	return jn
+}

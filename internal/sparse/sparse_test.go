@@ -1,0 +1,215 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+
+	"banks/internal/relational"
+)
+
+// miniDBLP mirrors the fixture from the relational package tests.
+func miniDBLP(t *testing.T) *relational.Database {
+	t.Helper()
+	db := relational.NewDatabase()
+	author, _ := db.CreateTable("author", []string{"name"}, nil)
+	conf, _ := db.CreateTable("conf", []string{"name"}, nil)
+	paper, _ := db.CreateTable("paper", []string{"title"}, []relational.FK{{Name: "conf", RefTable: "conf"}})
+	writes, _ := db.CreateTable("writes", nil, []relational.FK{
+		{Name: "author", RefTable: "author"},
+		{Name: "paper", RefTable: "paper"},
+	})
+	author.Append([]string{"Jim Gray"}, nil)
+	author.Append([]string{"Pat Selinger"}, nil)
+	conf.Append([]string{"VLDB"}, nil)
+	paper.Append([]string{"Transaction Recovery"}, []int32{0})
+	paper.Append([]string{"Query Optimization"}, []int32{0})
+	writes.Append(nil, []int32{0, 0})
+	writes.Append(nil, []int32{1, 1})
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestEnumerateGrayTransaction(t *testing.T) {
+	db := miniDBLP(t)
+	cns, err := Enumerate(db, []string{"gray", "transaction"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cns) == 0 {
+		t.Fatal("no CNs enumerated")
+	}
+	// The canonical CN author{gray}—writes—paper{transaction} must be
+	// present.
+	found := false
+	for _, cn := range cns {
+		if cn.Size == 3 &&
+			strings.Contains(cn.Signature, "author{gray}") &&
+			strings.Contains(cn.Signature, "paper{transaction}") &&
+			strings.Contains(cn.Signature, "writes") {
+			found = true
+		}
+	}
+	if !found {
+		var sigs []string
+		for _, cn := range cns {
+			sigs = append(sigs, cn.Signature)
+		}
+		t.Fatalf("expected author–writes–paper CN, got %v", sigs)
+	}
+	// All CNs respect size bound, cover both keywords and have keyword
+	// leaves.
+	for _, cn := range cns {
+		if cn.Size > 3 {
+			t.Fatalf("CN too large: %v", cn)
+		}
+		if !strings.Contains(cn.Signature, "gray") || !strings.Contains(cn.Signature, "transaction") {
+			t.Fatalf("CN does not cover keywords: %v", cn)
+		}
+	}
+}
+
+func TestEnumerateDedup(t *testing.T) {
+	db := miniDBLP(t)
+	cns, err := Enumerate(db, []string{"gray", "transaction"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, cn := range cns {
+		if seen[cn.Signature] {
+			t.Fatalf("duplicate CN %v", cn)
+		}
+		seen[cn.Signature] = true
+	}
+}
+
+func TestEnumerateSizeOrdering(t *testing.T) {
+	db := miniDBLP(t)
+	cns, err := Enumerate(db, []string{"gray", "transaction"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cns); i++ {
+		if cns[i].Size < cns[i-1].Size {
+			t.Fatal("CNs not sorted by size")
+		}
+	}
+}
+
+func TestEnumerateSingleNodeCN(t *testing.T) {
+	db := miniDBLP(t)
+	// Both keywords on the same tuple → a size-1 CN must exist.
+	cns, err := Enumerate(db, []string{"transaction", "recovery"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, cn := range cns {
+		if cn.Size == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("size-1 CN not enumerated for co-occurring keywords")
+	}
+}
+
+func TestEnumerateUnmatchedKeyword(t *testing.T) {
+	db := miniDBLP(t)
+	cns, err := Enumerate(db, []string{"gray", "zzzznothing"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cns) != 0 {
+		t.Fatalf("CNs enumerated for unmatched keyword: %v", cns)
+	}
+}
+
+func TestEnumerateValidation(t *testing.T) {
+	db := miniDBLP(t)
+	if _, err := Enumerate(db, nil, 3); err == nil {
+		t.Fatal("empty keywords accepted")
+	}
+	if _, err := Enumerate(db, []string{"gray"}, 0); err == nil {
+		t.Fatal("zero maxSize accepted")
+	}
+	too := make([]string, 17)
+	for i := range too {
+		too[i] = "x"
+	}
+	if _, err := Enumerate(db, too, 3); err == nil {
+		t.Fatal("17 keywords accepted")
+	}
+}
+
+func TestRunFindsJoinResult(t *testing.T) {
+	db := miniDBLP(t)
+	out, err := Run(db, []string{"gray", "transaction"}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("no results")
+	}
+	// One result must connect author 0 (Gray) with paper 0 (Transaction
+	// Recovery).
+	found := false
+	for _, r := range out.Results {
+		hasGray, hasPaper := false, false
+		for _, ref := range r.Rows {
+			if ref.Table == "author" && ref.Row == 0 {
+				hasGray = true
+			}
+			if ref.Table == "paper" && ref.Row == 0 {
+				hasPaper = true
+			}
+		}
+		if hasGray && hasPaper {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("gray–transaction join not found: %v", out.Results)
+	}
+	if out.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestRunLimitPerCN(t *testing.T) {
+	db := miniDBLP(t)
+	out, err := Run(db, []string{"paper"}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "paper" matches no tuple text in this fixture (only table name,
+	// which Sparse does not model) — expect zero results rather than an
+	// error.
+	_ = out
+}
+
+func TestRunSelfJoinSchema(t *testing.T) {
+	// Citation-style self join: paper←cites→paper with keywords on both
+	// sides.
+	db := relational.NewDatabase()
+	paper, _ := db.CreateTable("paper", []string{"title"}, nil)
+	cites, _ := db.CreateTable("cites", nil, []relational.FK{
+		{Name: "src", RefTable: "paper"},
+		{Name: "dst", RefTable: "paper"},
+	})
+	paper.Append([]string{"alpha topic"}, nil)
+	paper.Append([]string{"beta topic"}, nil)
+	cites.Append(nil, []int32{0, 1})
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(db, []string{"alpha", "beta"}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("self-join CN found no results")
+	}
+}

@@ -1,0 +1,386 @@
+// Package workload generates query workloads following §5.4 and §5.6 of
+// the paper.
+//
+// §5.4: queries of 2–7 keywords whose most relevant result has a fixed
+// join-network size of 5 (author–writes–paper–writes–author in the
+// bibliography schema). The workload is produced exactly as in the paper:
+// sample a join-network instantiation from the data, then draw the
+// keywords from the text of its tuples; ground-truth relevant answers are
+// obtained by executing the join network with keyword predicates (the
+// paper's "executed SQL queries ... keywords were selected at random from
+// each tuple in the result set"). Queries are classified by origin size:
+// small when fewer than SmallMax records match at least one keyword, large
+// when more than LargeMin do (the thresholds scale with dataset size; the
+// paper uses 1000 and 8000 on ~2M-node DBLP).
+//
+// §5.6: 4-keyword queries with relevant-result size 3 whose keywords fall
+// in prescribed selectivity bands (tiny/small/medium/large); these are
+// drawn from the combo seeds the dataset generator plants.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"banks/internal/convert"
+	"banks/internal/datagen"
+	"banks/internal/graph"
+	"banks/internal/index"
+	"banks/internal/relational"
+)
+
+// OriginClass classifies a query by its union origin size (§5.4).
+type OriginClass int
+
+// Origin classes.
+const (
+	OriginAny OriginClass = iota
+	OriginSmall
+	OriginLarge
+)
+
+func (c OriginClass) String() string {
+	switch c {
+	case OriginSmall:
+		return "small"
+	case OriginLarge:
+		return "large"
+	default:
+		return "any"
+	}
+}
+
+// NodeSet is a canonical (sorted, comma-joined) representation of an
+// answer's node set, used to compare algorithm output with ground truth.
+type NodeSet string
+
+// CanonNodes builds the canonical set representation.
+func CanonNodes(ids []graph.NodeID) NodeSet {
+	s := make([]int, len(ids))
+	for i, id := range ids {
+		s[i] = int(id)
+	}
+	sort.Ints(s)
+	parts := make([]string, 0, len(s))
+	last := -1
+	for _, v := range s {
+		if v == last {
+			continue
+		}
+		last = v
+		parts = append(parts, fmt.Sprint(v))
+	}
+	return NodeSet(strings.Join(parts, ","))
+}
+
+// Query is one generated workload query with its ground truth.
+type Query struct {
+	// Terms are the query keywords.
+	Terms []string
+	// Keywords are the resolved per-term node sets.
+	Keywords [][]graph.NodeID
+	// Relevant holds the ground-truth answers as canonical node sets.
+	Relevant map[NodeSet]bool
+	// UnionOrigin is |⋃ᵢ Sᵢ|.
+	UnionOrigin int
+	// Class is the query's origin-size class.
+	Class OriginClass
+	// AnswerSize is the join-network size of the relevant results.
+	AnswerSize int
+	// Bands records the selectivity bands for §5.6 queries.
+	Bands [4]datagen.Band
+}
+
+// Generator produces workload queries over one dataset.
+type Generator struct {
+	DS    *datagen.Dataset
+	Built *convert.Result
+	// SmallMax / LargeMin are the §5.4 classification thresholds (scaled
+	// by the caller; see DefaultThresholds).
+	SmallMax int
+	LargeMin int
+	// MaxGroundTruth caps ground-truth enumeration per query.
+	MaxGroundTruth int
+}
+
+// DefaultThresholds scales the paper's small (<1000) and large (>8000)
+// origin thresholds from its ~2M-node DBLP graph to the given graph size.
+// The small threshold is scaled slightly more generously (nodes/1000):
+// synthetic name tokens are denser than real DBLP author names, and with
+// the literal scaling the small class becomes empty for 6–7 keyword
+// queries at bench scale.
+func DefaultThresholds(numNodes int) (smallMax, largeMin int) {
+	smallMax = numNodes / 1000
+	if smallMax < 30 {
+		smallMax = 30
+	}
+	largeMin = numNodes / 250 // 8000 at 2M nodes
+	if largeMin <= smallMax*2 {
+		largeMin = smallMax * 2
+	}
+	return smallMax, largeMin
+}
+
+// New builds a Generator with default thresholds.
+func New(ds *datagen.Dataset, built *convert.Result) *Generator {
+	sm, lg := DefaultThresholds(built.Graph.NumNodes())
+	return &Generator{DS: ds, Built: built, SmallMax: sm, LargeMin: lg, MaxGroundTruth: 500}
+}
+
+// resolve fills Keywords, UnionOrigin and Class from Terms.
+func (g *Generator) resolve(q *Query) {
+	q.Keywords = make([][]graph.NodeID, len(q.Terms))
+	union := make(map[graph.NodeID]struct{})
+	for i, t := range q.Terms {
+		q.Keywords[i] = g.Built.Index.Lookup(t)
+		for _, u := range q.Keywords[i] {
+			union[u] = struct{}{}
+		}
+	}
+	q.UnionOrigin = len(union)
+	switch {
+	case q.UnionOrigin < g.SmallMax:
+		q.Class = OriginSmall
+	case q.UnionOrigin > g.LargeMin:
+		q.Class = OriginLarge
+	default:
+		q.Class = OriginAny
+	}
+}
+
+// SizeFive generates one §5.4 query with the given keyword count (2–7)
+// and desired origin class. It reports ok=false when the random draw
+// failed to produce a query of the requested class (callers retry).
+func (g *Generator) SizeFive(rng *rand.Rand, nKeywords int, class OriginClass) (*Query, bool) {
+	if nKeywords < 2 || nKeywords > 7 {
+		return nil, false
+	}
+	db := g.DS.DB
+	link := db.Table(g.DS.LinkTable)
+	entity := db.Table(g.DS.EntityTable)
+	names := db.Table(g.DS.NameTable)
+
+	// Sample an entity with at least two distinct linked name tuples.
+	var eRow int32
+	var n1, n2 int32
+	found := false
+	for tries := 0; tries < 64 && !found; tries++ {
+		eRow = int32(rng.Intn(entity.NumRows()))
+		links := link.RefRows(g.DS.LinkEntityFK, eRow)
+		if len(links) < 2 {
+			continue
+		}
+		a := link.Row(links[rng.Intn(len(links))]).FKs[g.DS.LinkNameFK]
+		b := link.Row(links[rng.Intn(len(links))]).FKs[g.DS.LinkNameFK]
+		if a != b {
+			n1, n2, found = a, b, true
+		}
+	}
+	if !found {
+		return nil, false
+	}
+
+	pick := func(tokens []string, preferLarge bool) (string, bool) {
+		if len(tokens) == 0 {
+			return "", false
+		}
+		best, bestCount := "", -1
+		for _, t := range tokens {
+			c := len(g.Built.Index.Lookup(t))
+			if c == 0 {
+				continue
+			}
+			better := false
+			switch {
+			case bestCount < 0:
+				better = true
+			case preferLarge && c > bestCount:
+				better = true
+			case !preferLarge && c < bestCount:
+				better = true
+			}
+			if better {
+				best, bestCount = t, c
+			}
+		}
+		return best, best != ""
+	}
+
+	toks1 := index.Tokenize(strings.Join(names.Row(n1).Texts, " "))
+	toks2 := index.Tokenize(strings.Join(names.Row(n2).Texts, " "))
+	toksE := index.Tokenize(strings.Join(entity.Row(eRow).Texts, " "))
+
+	preferLarge := class == OriginLarge
+	t1, ok1 := pick(toks1, preferLarge)
+	t2, ok2 := pick(toks2, false) // second endpoint stays selective
+	if !ok1 || !ok2 || t1 == t2 {
+		return nil, false
+	}
+	terms := []string{t1, t2}
+	entityTerms := []string{}
+	rng.Shuffle(len(toksE), func(i, j int) { toksE[i], toksE[j] = toksE[j], toksE[i] })
+	for _, tok := range toksE {
+		if len(terms) >= nKeywords {
+			break
+		}
+		if tok == t1 || tok == t2 || contains(entityTerms, tok) {
+			continue
+		}
+		// For large-origin queries let frequent title words through; for
+		// small ones require selective words.
+		c := len(g.Built.Index.Lookup(tok))
+		if c == 0 {
+			continue
+		}
+		if class == OriginSmall && c > g.SmallMax {
+			continue
+		}
+		terms = append(terms, tok)
+		entityTerms = append(entityTerms, tok)
+	}
+	if len(terms) != nKeywords {
+		return nil, false
+	}
+
+	q := &Query{Terms: terms, AnswerSize: 5}
+	g.resolve(q)
+	if class != OriginAny && q.Class != class {
+		return nil, false
+	}
+
+	// Ground truth: evaluate the size-5 join network
+	// name{t1} – link – entity{entityTerms} – link – name{t2},
+	// rooted at the more selective endpoint.
+	gt := g.evalSizeFive(t1, t2, entityTerms)
+	if len(gt) == 0 {
+		return nil, false
+	}
+	q.Relevant = gt
+	return q, true
+}
+
+// evalSizeFive executes the §5.4 join network and returns the canonical
+// ground-truth node sets.
+func (g *Generator) evalSizeFive(t1, t2 string, entityTerms []string) map[NodeSet]bool {
+	db := g.DS.DB
+	c1 := len(db.Table(g.DS.NameTable).MatchingRows(t1))
+	c2 := len(db.Table(g.DS.NameTable).MatchingRows(t2))
+	rootTerm, farTerm := t1, t2
+	if c2 < c1 {
+		rootTerm, farTerm = t2, t1
+	}
+
+	far := &relational.JoinNode{Table: g.DS.NameTable, Term: farTerm}
+	link2 := &relational.JoinNode{
+		Table:    g.DS.LinkTable,
+		Children: []relational.JoinEdge{{Child: far, ParentFK: g.DS.LinkNameFK, ChildFK: -1}},
+	}
+	ent := &relational.JoinNode{
+		Table: g.DS.EntityTable,
+		Terms: entityTerms,
+		Children: []relational.JoinEdge{{
+			Child: link2, ParentFK: -1, ChildFK: g.DS.LinkEntityFK,
+		}},
+	}
+	link1 := &relational.JoinNode{
+		Table: g.DS.LinkTable,
+		Children: []relational.JoinEdge{{
+			Child: ent, ParentFK: g.DS.LinkEntityFK, ChildFK: -1,
+		}},
+	}
+	root := &relational.JoinNode{
+		Table: g.DS.NameTable,
+		Term:  rootTerm,
+		Children: []relational.JoinEdge{{
+			Child: link1, ParentFK: -1, ChildFK: g.DS.LinkNameFK,
+		}},
+	}
+	res, err := db.EvalJoin(root, g.MaxGroundTruth)
+	if err != nil {
+		return nil
+	}
+	out := make(map[NodeSet]bool)
+	for _, r := range res {
+		// r = [name1, link1, entity, link2, name2]; discard degenerate
+		// matches where the two endpoints or the two link rows coincide.
+		if r[0] == r[4] || r[1] == r[3] {
+			continue
+		}
+		ids := make([]graph.NodeID, len(r))
+		for i, ref := range r {
+			ids[i] = g.Built.Mapping.NodeOf(ref)
+		}
+		out[CanonNodes(ids)] = true
+	}
+	return out
+}
+
+// Combo generates one §5.6 query for the given selectivity-band
+// combination, drawing from the dataset's planted combo seeds. The
+// relevant result size is 3 (entity–link–name).
+func (g *Generator) Combo(rng *rand.Rand, combo [4]datagen.Band) (*Query, bool) {
+	var seeds []datagen.ComboSeed
+	for _, s := range g.DS.Seeds {
+		if s.Combo == combo {
+			seeds = append(seeds, s)
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, false
+	}
+	seed := seeds[rng.Intn(len(seeds))]
+	terms := []string{seed.EntityTerms[0], seed.EntityTerms[1], seed.NameTerms[0], seed.NameTerms[1]}
+
+	q := &Query{Terms: terms, AnswerSize: 3, Bands: combo}
+	g.resolve(q)
+
+	// Ground truth: entity{t1,t2} – link – name{n1,n2}.
+	name := &relational.JoinNode{Table: g.DS.NameTable, Terms: []string{seed.NameTerms[0], seed.NameTerms[1]}}
+	link := &relational.JoinNode{
+		Table:    g.DS.LinkTable,
+		Children: []relational.JoinEdge{{Child: name, ParentFK: g.DS.LinkNameFK, ChildFK: -1}},
+	}
+	root := &relational.JoinNode{
+		Table: g.DS.EntityTable,
+		Terms: []string{seed.EntityTerms[0], seed.EntityTerms[1]},
+		Children: []relational.JoinEdge{{
+			Child: link, ParentFK: -1, ChildFK: g.DS.LinkEntityFK,
+		}},
+	}
+	res, err := g.DS.DB.EvalJoin(root, g.MaxGroundTruth)
+	if err != nil || len(res) == 0 {
+		return nil, false
+	}
+	q.Relevant = make(map[NodeSet]bool)
+	for _, r := range res {
+		ids := make([]graph.NodeID, len(r))
+		for i, ref := range r {
+			ids[i] = g.Built.Mapping.NodeOf(ref)
+		}
+		q.Relevant[CanonNodes(ids)] = true
+	}
+	return q, true
+}
+
+// Batch generates up to n queries of the given keyword count and class,
+// trying at most tries random draws.
+func (g *Generator) Batch(rng *rand.Rand, n, nKeywords int, class OriginClass, tries int) []*Query {
+	var out []*Query
+	for t := 0; t < tries && len(out) < n; t++ {
+		if q, ok := g.SizeFive(rng, nKeywords, class); ok {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"banks/internal/convert"
+	"banks/internal/datagen"
+	"banks/internal/graph"
+)
+
+var cached struct {
+	ds    *datagen.Dataset
+	built *convert.Result
+}
+
+func testGen(t testing.TB) *Generator {
+	if cached.ds == nil {
+		ds, err := datagen.DBLP(datagen.DBLPConfig{
+			Papers: 4000, Authors: 2500, Confs: 15, SeedsPerCombo: 6, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := convert.Build(ds.DB, convert.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := make([]float64, built.Graph.NumNodes())
+		for i := range p {
+			p[i] = 1
+		}
+		_ = built.Graph.SetPrestige(p)
+		cached.ds, cached.built = ds, built
+	}
+	return New(cached.ds, cached.built)
+}
+
+func TestCanonNodes(t *testing.T) {
+	a := CanonNodes([]graph.NodeID{3, 1, 2})
+	b := CanonNodes([]graph.NodeID{2, 3, 1})
+	if a != b || a != "1,2,3" {
+		t.Fatalf("CanonNodes not canonical: %q vs %q", a, b)
+	}
+	if CanonNodes([]graph.NodeID{5, 5, 5}) != "5" {
+		t.Fatal("CanonNodes does not dedupe")
+	}
+	if CanonNodes(nil) != "" {
+		t.Fatal("empty set canon")
+	}
+}
+
+func TestDefaultThresholds(t *testing.T) {
+	// The small threshold is scaled at nodes/1000 (more generous than the
+	// paper's literal 1000/2M; see DefaultThresholds) and large at the
+	// paper's nodes/250.
+	sm, lg := DefaultThresholds(2_000_000)
+	if sm != 2000 || lg != 8000 {
+		t.Fatalf("paper-scale thresholds = (%d,%d), want (2000,8000)", sm, lg)
+	}
+	sm, lg = DefaultThresholds(1000)
+	if sm < 1 || lg <= sm {
+		t.Fatalf("tiny-scale thresholds inconsistent: (%d,%d)", sm, lg)
+	}
+}
+
+func TestSizeFiveQueryShape(t *testing.T) {
+	g := testGen(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, nk := range []int{2, 4, 7} {
+		var q *Query
+		ok := false
+		for tries := 0; tries < 300 && !ok; tries++ {
+			q, ok = g.SizeFive(rng, nk, OriginAny)
+		}
+		if !ok {
+			t.Fatalf("could not generate %d-keyword query", nk)
+		}
+		if len(q.Terms) != nk || len(q.Keywords) != nk {
+			t.Fatalf("query has %d terms, want %d: %v", len(q.Terms), nk, q.Terms)
+		}
+		if q.AnswerSize != 5 {
+			t.Fatalf("AnswerSize = %d", q.AnswerSize)
+		}
+		if len(q.Relevant) == 0 {
+			t.Fatal("no ground truth")
+		}
+		for i, s := range q.Keywords {
+			if len(s) == 0 {
+				t.Fatalf("keyword %d (%s) resolves to nothing", i, q.Terms[i])
+			}
+		}
+		// Ground-truth sets must contain exactly 5 nodes.
+		for set := range q.Relevant {
+			n := 1
+			for _, c := range set {
+				if c == ',' {
+					n++
+				}
+			}
+			if n != 5 {
+				t.Fatalf("ground-truth set %q has %d nodes, want 5", set, n)
+			}
+		}
+	}
+}
+
+func TestSizeFiveClasses(t *testing.T) {
+	g := testGen(t)
+	rng := rand.New(rand.NewSource(2))
+	for _, class := range []OriginClass{OriginSmall, OriginLarge} {
+		var q *Query
+		ok := false
+		for tries := 0; tries < 800 && !ok; tries++ {
+			q, ok = g.SizeFive(rng, 3, class)
+		}
+		if !ok {
+			t.Fatalf("could not generate %v-origin query", class)
+		}
+		if q.Class != class {
+			t.Fatalf("class = %v, want %v (union=%d, small<%d, large>%d)",
+				q.Class, class, q.UnionOrigin, g.SmallMax, g.LargeMin)
+		}
+	}
+}
+
+func TestSizeFiveInvalidKeywordCount(t *testing.T) {
+	g := testGen(t)
+	rng := rand.New(rand.NewSource(3))
+	if _, ok := g.SizeFive(rng, 1, OriginAny); ok {
+		t.Fatal("1-keyword query accepted")
+	}
+	if _, ok := g.SizeFive(rng, 8, OriginAny); ok {
+		t.Fatal("8-keyword query accepted")
+	}
+}
+
+func TestComboQueries(t *testing.T) {
+	g := testGen(t)
+	rng := rand.New(rand.NewSource(4))
+	for _, combo := range datagen.Combos() {
+		q, ok := g.Combo(rng, combo)
+		if !ok {
+			t.Fatalf("no combo query for %s", datagen.ComboLabel(combo))
+		}
+		if len(q.Terms) != 4 {
+			t.Fatalf("combo query has %d terms", len(q.Terms))
+		}
+		if q.AnswerSize != 3 {
+			t.Fatalf("combo AnswerSize = %d", q.AnswerSize)
+		}
+		if len(q.Relevant) == 0 {
+			t.Fatalf("combo %s: no ground truth", datagen.ComboLabel(combo))
+		}
+		if q.Bands != combo {
+			t.Fatalf("bands not recorded: %v", q.Bands)
+		}
+		// Every keyword must resolve.
+		for i, s := range q.Keywords {
+			if len(s) == 0 {
+				t.Fatalf("combo keyword %s resolves to nothing", q.Terms[i])
+			}
+		}
+	}
+}
+
+func TestComboBandSelectivityOrdering(t *testing.T) {
+	g := testGen(t)
+	rng := rand.New(rand.NewSource(5))
+	tttt, ok1 := g.Combo(rng, [4]datagen.Band{datagen.BandTiny, datagen.BandTiny, datagen.BandTiny, datagen.BandTiny})
+	llll, ok2 := g.Combo(rng, [4]datagen.Band{datagen.BandLarge, datagen.BandLarge, datagen.BandLarge, datagen.BandLarge})
+	if !ok1 || !ok2 {
+		t.Fatal("combo generation failed")
+	}
+	if tttt.UnionOrigin >= llll.UnionOrigin {
+		t.Fatalf("tiny combo union %d not smaller than large combo union %d",
+			tttt.UnionOrigin, llll.UnionOrigin)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	g := testGen(t)
+	rng := rand.New(rand.NewSource(6))
+	qs := g.Batch(rng, 5, 3, OriginAny, 300)
+	if len(qs) == 0 {
+		t.Fatal("batch empty")
+	}
+	for _, q := range qs {
+		if len(q.Terms) != 3 {
+			t.Fatalf("batch query wrong arity: %v", q.Terms)
+		}
+	}
+}
