@@ -24,6 +24,7 @@
 package banks
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -53,23 +54,22 @@ type (
 	NodeID = graph.NodeID
 )
 
-// Algorithm selects a search strategy.
-type Algorithm string
+// Algorithm selects a search strategy. It aliases the core type so the
+// dispatch logic is shared with internal/engine.
+type Algorithm = core.Algo
 
 // Available algorithms.
 const (
 	// Bidirectional is the paper's contribution (§4).
-	Bidirectional Algorithm = "bidirectional"
+	Bidirectional = core.AlgoBidirectional
 	// SIBackward is single-iterator Backward expanding search (§4.6).
-	SIBackward Algorithm = "si-backward"
+	SIBackward = core.AlgoSIBackward
 	// MIBackward is the original Backward expanding search of BANKS (§3).
-	MIBackward Algorithm = "mi-backward"
+	MIBackward = core.AlgoMIBackward
 )
 
 // Algorithms lists all supported algorithm names.
-func Algorithms() []Algorithm {
-	return []Algorithm{Bidirectional, SIBackward, MIBackward}
-}
+func Algorithms() []Algorithm { return core.Algos() }
 
 // PrestigeMode selects how node prestige (§2.3) is computed at build time.
 type PrestigeMode int
@@ -97,6 +97,13 @@ type BuildOptions struct {
 
 // DB is a searchable BANKS database: the data graph, the keyword index,
 // and the mapping back to the source relational data.
+//
+// Concurrency contract: a DB is immutable after Build returns and is safe
+// for use by any number of concurrent readers — Search, SearchTerms,
+// SearchNodes, Near, their *Context variants, NodeLabel and Explain may all
+// run in parallel on the same DB without synchronization. Do not mutate the
+// exported fields (or the structures they point to) after Build; doing so
+// voids the contract.
 type DB struct {
 	Graph     *graph.Graph
 	Index     *index.Index
@@ -154,39 +161,53 @@ func (d *DB) KeywordNodes(term string) []NodeID { return d.Index.Lookup(term) }
 
 // Search runs a free-text keyword query with the selected algorithm.
 func (d *DB) Search(query string, algo Algorithm, opts Options) (*Result, error) {
+	return d.SearchContext(context.Background(), query, algo, opts)
+}
+
+// SearchContext is Search bounded by a context: on cancellation or deadline
+// expiry the partial top-k generated so far is returned with
+// Stats.Truncated set (a bounded search is not an error).
+func (d *DB) SearchContext(ctx context.Context, query string, algo Algorithm, opts Options) (*Result, error) {
 	terms := Keywords(query)
 	if len(terms) == 0 {
 		return nil, errors.New("banks: query contains no keywords")
 	}
-	return d.SearchTerms(terms, algo, opts)
+	return d.SearchTermsContext(ctx, terms, algo, opts)
 }
 
 // SearchTerms runs a query given as pre-split keyword terms.
 func (d *DB) SearchTerms(terms []string, algo Algorithm, opts Options) (*Result, error) {
+	return d.SearchTermsContext(context.Background(), terms, algo, opts)
+}
+
+// SearchTermsContext is SearchTerms bounded by a context.
+func (d *DB) SearchTermsContext(ctx context.Context, terms []string, algo Algorithm, opts Options) (*Result, error) {
 	kw := make([][]NodeID, len(terms))
 	for i, t := range terms {
 		kw[i] = d.Index.Lookup(t)
 	}
-	return d.SearchNodes(kw, algo, opts)
+	return d.SearchNodesContext(ctx, kw, algo, opts)
 }
 
 // SearchNodes runs a query given directly as per-keyword node sets.
 func (d *DB) SearchNodes(kw [][]NodeID, algo Algorithm, opts Options) (*Result, error) {
-	switch algo {
-	case Bidirectional:
-		return core.Bidirectional(d.Graph, kw, opts)
-	case SIBackward:
-		return core.SIBackward(d.Graph, kw, opts)
-	case MIBackward:
-		return core.MIBackward(d.Graph, kw, opts)
-	default:
-		return nil, fmt.Errorf("banks: unknown algorithm %q", algo)
-	}
+	return d.SearchNodesContext(context.Background(), kw, algo, opts)
+}
+
+// SearchNodesContext is SearchNodes bounded by a context.
+func (d *DB) SearchNodesContext(ctx context.Context, kw [][]NodeID, algo Algorithm, opts Options) (*Result, error) {
+	return core.Search(ctx, d.Graph, algo, kw, opts)
 }
 
 // Near runs a near query (activation-ranked nodes, the §4.3 footnote-6
 // extension), e.g. "papers near ‘recovery’ and ‘gray’".
 func (d *DB) Near(query string, opts Options) ([]NearResult, Stats, error) {
+	return d.NearContext(context.Background(), query, opts)
+}
+
+// NearContext is Near bounded by a context: on expiry the nodes activated
+// so far are ranked and returned with Stats.Truncated set.
+func (d *DB) NearContext(ctx context.Context, query string, opts Options) ([]NearResult, Stats, error) {
 	terms := Keywords(query)
 	if len(terms) == 0 {
 		return nil, Stats{}, errors.New("banks: query contains no keywords")
@@ -195,7 +216,7 @@ func (d *DB) Near(query string, opts Options) ([]NearResult, Stats, error) {
 	for i, t := range terms {
 		kw[i] = d.Index.Lookup(t)
 	}
-	return core.Near(d.Graph, kw, opts)
+	return core.Near(ctx, d.Graph, kw, opts)
 }
 
 // NodeLabel renders a node as "table[row]: text…" for display.

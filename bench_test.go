@@ -16,6 +16,7 @@
 package banks_test
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -239,6 +240,86 @@ func BenchmarkRecallPrecision(b *testing.B) {
 		m := experiments.Measure(res, q)
 		if m.Found == 0 {
 			b.Fatal("relevant answer not found")
+		}
+	}
+}
+
+// --- Engine throughput: serial vs worker-pool fan-out ---
+//
+// BenchmarkSearchSerial and BenchmarkSearchParallel run the same mixed
+// query stream; on a machine with ≥4 cores the 4-worker variant should
+// show ≥2x the query throughput (≤½ the ns/op) of the serial run. On a
+// single-core machine the two converge — the pool adds no speedup without
+// parallel hardware. BenchmarkSearchCached shows the LRU result cache on a
+// repeating stream.
+
+var throughputQueries = []string{
+	"database transaction",
+	"index spatial",
+	"concurrency recovery",
+	"graph mining author",
+	"storage optimization",
+	"relational join",
+}
+
+func throughputDB(b *testing.B) *banks.DB {
+	e := env(b)
+	return &banks.DB{Graph: e.Built.Graph, Index: e.Built.Index, Mapping: e.Built.Mapping, EdgeTypes: e.Built.EdgeTypes, Source: e.DS.DB}
+}
+
+func BenchmarkSearchSerial(b *testing.B) {
+	db := throughputDB(b)
+	opts := banks.Options{K: benchCfg.K, MaxNodes: benchCfg.MaxNodes}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Search(throughputQueries[i%len(throughputQueries)], banks.Bidirectional, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkSearchParallel(b *testing.B, workers int) {
+	db := throughputDB(b)
+	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: workers, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := banks.Options{K: benchCfg.K, MaxNodes: benchCfg.MaxNodes}
+	batch := make([]banks.BatchQuery, b.N)
+	for i := range batch {
+		batch[i] = banks.BatchQuery{Query: throughputQueries[i%len(throughputQueries)], Algo: banks.Bidirectional, Opts: opts}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	results, errs := eng.SearchBatch(context.Background(), batch)
+	b.StopTimer()
+	for i := range results {
+		if errs[i] != nil {
+			b.Fatal(errs[i])
+		}
+	}
+}
+
+// BenchmarkSearchParallel is the acceptance benchmark: 4 workers vs
+// BenchmarkSearchSerial.
+func BenchmarkSearchParallel(b *testing.B)  { benchmarkSearchParallel(b, 4) }
+func BenchmarkSearchParallel2(b *testing.B) { benchmarkSearchParallel(b, 2) }
+func BenchmarkSearchParallel8(b *testing.B) { benchmarkSearchParallel(b, 8) }
+
+func BenchmarkSearchCached(b *testing.B) {
+	db := throughputDB(b)
+	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := banks.Options{K: benchCfg.K, MaxNodes: benchCfg.MaxNodes}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Search(ctx, throughputQueries[i%len(throughputQueries)], banks.Bidirectional, opts); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -4,13 +4,18 @@
 // Usage:
 //
 //	banks [-dataset dblp|imdb|patents] [-factor 0.25] [-algo bidirectional]
-//	      [-k 10] [-near] [-query "gray transaction"]
+//	      [-k 10] [-near] [-timeout 200ms] [-parallel 4]
+//	      [-query "gray transaction"]
 //
-// Without -query it reads one query per line from standard input.
+// Without -query it reads one query per line from standard input. A -query
+// value may contain several queries separated by ';' — tree-search queries
+// are executed as one batch fanned out across -parallel workers; with -near
+// they run sequentially (near queries have no batch API yet).
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,15 +36,37 @@ func main() {
 	algo := flag.String("algo", string(banks.Bidirectional), "search algorithm: bidirectional, si-backward or mi-backward")
 	k := flag.Int("k", 10, "answers to return")
 	near := flag.Bool("near", false, "run a near query (activation-ranked nodes) instead of tree search")
-	query := flag.String("query", "", "run a single query and exit (default: read queries from stdin)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a truncated partial top-k")
+	parallel := flag.Int("parallel", 0, "worker-pool width for batch queries (0 = GOMAXPROCS)")
+	query := flag.String("query", "", "run a single query (or several separated by ';') and exit (default: read queries from stdin)")
 	flag.Parse()
 
 	db, err := buildDataset(*dataset, *factor)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("dataset %s ready: %d nodes, %d edges, %d terms\n",
-		*dataset, db.Graph.NumNodes(), db.Graph.NumEdges(), db.Index.NumTerms())
+	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: *parallel, DefaultTimeout: *timeout})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s ready: %d nodes, %d edges, %d terms (%d workers)\n",
+		*dataset, db.Graph.NumNodes(), db.Graph.NumEdges(), db.Index.NumTerms(), eng.Workers())
+
+	opts := banks.Options{K: *k}
+	ctx := context.Background()
+
+	printResult := func(res *banks.Result, elapsed time.Duration) {
+		trunc := ""
+		if res.Stats.Truncated {
+			trunc = " [truncated by deadline]"
+		}
+		fmt.Printf("%d answers in %v (explored %d, touched %d)%s:\n",
+			len(res.Answers), elapsed.Round(time.Microsecond),
+			res.Stats.NodesExplored, res.Stats.NodesTouched, trunc)
+		for i, a := range res.Answers {
+			fmt.Printf("--- answer %d ---\n%s", i+1, db.Explain(a))
+		}
+	}
 
 	runOne := func(q string) {
 		q = strings.TrimSpace(q)
@@ -48,32 +75,66 @@ func main() {
 		}
 		start := time.Now()
 		if *near {
-			res, stats, err := db.Near(q, banks.Options{K: *k})
+			res, stats, err := eng.Near(ctx, q, opts)
 			if err != nil {
 				fmt.Printf("error: %v\n", err)
 				return
 			}
-			fmt.Printf("%d nodes in %v (explored %d):\n", len(res), time.Since(start).Round(time.Microsecond), stats.NodesExplored)
+			trunc := ""
+			if stats.Truncated {
+				trunc = " [truncated by deadline]"
+			}
+			fmt.Printf("%d nodes in %v (explored %d)%s:\n",
+				len(res), time.Since(start).Round(time.Microsecond), stats.NodesExplored, trunc)
 			for i, r := range res {
 				fmt.Printf("%2d. a=%.5f %s\n", i+1, r.Activation, db.NodeLabel(r.Node))
 			}
 			return
 		}
-		res, err := db.Search(q, banks.Algorithm(*algo), banks.Options{K: *k})
+		res, err := eng.Search(ctx, q, banks.Algorithm(*algo), opts)
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			return
 		}
-		fmt.Printf("%d answers in %v (explored %d, touched %d):\n",
-			len(res.Answers), time.Since(start).Round(time.Microsecond),
-			res.Stats.NodesExplored, res.Stats.NodesTouched)
-		for i, a := range res.Answers {
-			fmt.Printf("--- answer %d ---\n%s", i+1, db.Explain(a))
+		printResult(res, time.Since(start))
+	}
+
+	runBatch := func(queries []string) {
+		batch := make([]banks.BatchQuery, len(queries))
+		for i, q := range queries {
+			batch[i] = banks.BatchQuery{Query: q, Algo: banks.Algorithm(*algo), Opts: opts}
+		}
+		start := time.Now()
+		results, errs := eng.SearchBatch(ctx, batch)
+		fmt.Printf("batch of %d queries in %v across %d workers\n",
+			len(batch), time.Since(start).Round(time.Microsecond), eng.Workers())
+		for i := range results {
+			fmt.Printf("=== query %d: %q ===\n", i+1, queries[i])
+			if errs[i] != nil {
+				fmt.Printf("error: %v\n", errs[i])
+				continue
+			}
+			printResult(results[i], results[i].Stats.Duration)
 		}
 	}
 
 	if *query != "" {
-		runOne(*query)
+		var queries []string
+		for _, q := range strings.Split(*query, ";") {
+			if q = strings.TrimSpace(q); q != "" {
+				queries = append(queries, q)
+			}
+		}
+		switch {
+		case len(queries) == 0:
+			log.Fatal("no queries in -query")
+		case len(queries) == 1 || *near:
+			for _, q := range queries {
+				runOne(q)
+			}
+		default:
+			runBatch(queries)
+		}
 		return
 	}
 	fmt.Println("enter keyword queries, one per line (ctrl-D to exit):")

@@ -1,0 +1,128 @@
+// Cancellation and deadline tests for the context-aware search API.
+package banks_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"banks"
+)
+
+// TestExpiredContextReturnsPromptly: a context that is already expired must
+// come back in well under 50ms with Stats.Truncated set, for every
+// algorithm and for near queries.
+func TestExpiredContextReturnsPromptly(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+
+	for _, algo := range banks.Algorithms() {
+		start := time.Now()
+		res, err := db.SearchContext(ctx, "database transaction", algo, banks.Options{K: 10})
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !res.Stats.Truncated {
+			t.Fatalf("%s: expired context did not set Truncated", algo)
+		}
+		if elapsed > 50*time.Millisecond {
+			t.Fatalf("%s: expired context took %v", algo, elapsed)
+		}
+	}
+
+	start := time.Now()
+	_, stats, err := db.NearContext(ctx, "database transaction", banks.Options{K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Truncated {
+		t.Fatal("near: expired context did not set Truncated")
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("near: expired context took %v", elapsed)
+	}
+}
+
+// TestDeadlineTruncatesLargeSearch is the acceptance-criterion scenario: a
+// 1ms deadline on the largest test graph must return within 50ms with a
+// truncated partial result, instead of running the search to completion.
+func TestDeadlineTruncatesLargeSearch(t *testing.T) {
+	db := testDB(t)
+	// K larger than the answer count forces frontier exhaustion: without a
+	// deadline this query explores essentially the whole graph.
+	opts := banks.Options{K: 500, DMax: 16}
+
+	for _, algo := range banks.Algorithms() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		start := time.Now()
+		res, err := db.SearchContext(ctx, "database transaction", algo, opts)
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !res.Stats.Truncated {
+			t.Fatalf("%s: 1ms deadline did not truncate (took %v, explored %d)",
+				algo, elapsed, res.Stats.NodesExplored)
+		}
+		if elapsed > 50*time.Millisecond {
+			t.Fatalf("%s: truncated search took %v, want ≤50ms", algo, elapsed)
+		}
+	}
+}
+
+// TestCancelMidSearch: cancelling a running search makes it return its
+// partial answers quickly.
+func TestCancelMidSearch(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel()
+	}()
+	// The query is heavy enough (~80ms serial) that the cancel goroutine is
+	// guaranteed to be scheduled before the search finishes, even at
+	// GOMAXPROCS=1 where it must wait for an async preemption (~10-20ms).
+	start := time.Now()
+	res, err := db.SearchContext(ctx, "database transaction author", banks.Bidirectional, banks.Options{K: 2000, DMax: 32})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated {
+		t.Fatalf("cancel mid-search did not truncate (took %v)", elapsed)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("cancelled search took %v", elapsed)
+	}
+}
+
+// TestTruncatedResultIsUsable: a truncated result is a well-formed partial
+// top-k — every answer present passes the same shape checks as a full
+// answer.
+func TestTruncatedResultIsUsable(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	res, err := db.SearchContext(ctx, "database transaction", banks.Bidirectional, banks.Options{K: 500, DMax: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated {
+		t.Skip("search finished before the deadline on this machine")
+	}
+	for i, a := range res.Answers {
+		if a.Root < 0 || len(a.Nodes) == 0 {
+			t.Fatalf("answer %d malformed: %+v", i, a)
+		}
+		if a.Score <= 0 {
+			t.Fatalf("answer %d has non-positive score %v", i, a.Score)
+		}
+		// Explain must render without panicking.
+		if s := db.Explain(a); s == "" {
+			t.Fatalf("answer %d: empty Explain", i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package banks
+
+import (
+	"context"
+	"time"
+
+	"banks/internal/engine"
+)
+
+// EngineOptions configures a query Engine. The zero value gives a worker
+// pool sized to GOMAXPROCS, no default deadline, and a 256-entry result
+// cache.
+type EngineOptions struct {
+	// Workers bounds how many searches execute simultaneously.
+	// Default: runtime.GOMAXPROCS(0).
+	Workers int
+	// DefaultTimeout is a per-query deadline applied in addition to any
+	// deadline on the caller's context (the earlier wins). 0 disables it.
+	DefaultTimeout time.Duration
+	// CacheSize is the LRU result-cache capacity in entries: 0 selects the
+	// default (256), negative disables caching.
+	CacheSize int
+}
+
+// BatchQuery is one query of a SearchBatch call.
+type BatchQuery struct {
+	Query string
+	Algo  Algorithm
+	Opts  Options
+}
+
+// Engine serves concurrent queries against one DB with a bounded worker
+// pool, per-query deadlines and an LRU result cache. It relies on the DB
+// concurrency contract (immutable after Build): any number of goroutines
+// may call Search/SearchBatch/Near on the same Engine.
+//
+// Results may be shared between callers through the cache and must be
+// treated as read-only.
+type Engine struct {
+	db *DB
+	e  *engine.Engine
+}
+
+// NewEngine builds an Engine over a DB.
+func NewEngine(db *DB, opts EngineOptions) (*Engine, error) {
+	e, err := engine.New(db.Graph, db.Index, engine.Options{
+		Workers:        opts.Workers,
+		DefaultTimeout: opts.DefaultTimeout,
+		CacheSize:      opts.CacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{db: db, e: e}, nil
+}
+
+// DB returns the database the engine serves.
+func (e *Engine) DB() *DB { return e.db }
+
+// Workers returns the concurrency bound of the pool.
+func (e *Engine) Workers() int { return e.e.Workers() }
+
+// Search runs one free-text query through the pool. It blocks while all
+// workers are busy (respecting ctx while waiting); on deadline expiry the
+// partial top-k is returned with Stats.Truncated set.
+func (e *Engine) Search(ctx context.Context, query string, algo Algorithm, opts Options) (*Result, error) {
+	return e.e.Search(ctx, engine.Query{Terms: Keywords(query), Algo: algo, Opts: opts})
+}
+
+// Near runs a near query (activation-ranked nodes) through the pool.
+func (e *Engine) Near(ctx context.Context, query string, opts Options) ([]NearResult, Stats, error) {
+	return e.e.Near(ctx, Keywords(query), opts)
+}
+
+// SearchBatch fans the queries out across the worker pool and waits for all
+// of them; results[i] and errs[i] correspond to queries[i], and one failing
+// query never affects its siblings.
+func (e *Engine) SearchBatch(ctx context.Context, queries []BatchQuery) (results []*Result, errs []error) {
+	qs := make([]engine.Query, len(queries))
+	for i, q := range queries {
+		qs[i] = engine.Query{Terms: Keywords(q.Query), Algo: q.Algo, Opts: q.Opts}
+	}
+	return e.e.SearchBatch(ctx, qs)
+}
+
+// CacheStats reports cumulative result-cache hits and misses.
+func (e *Engine) CacheStats() (hits, misses uint64) { return e.e.CacheStats() }
+
+// SearchBatch is a convenience one-shot batch on a DB: it fans the queries
+// out across a temporary pool of the given width (0 = GOMAXPROCS) without
+// caching. For repeated batches build a NewEngine once and reuse it.
+func (d *DB) SearchBatch(ctx context.Context, queries []BatchQuery, workers int) ([]*Result, []error) {
+	e, err := NewEngine(d, EngineOptions{Workers: workers, CacheSize: -1})
+	if err != nil {
+		errs := make([]error, len(queries))
+		for i := range errs {
+			errs[i] = err
+		}
+		return make([]*Result, len(queries)), errs
+	}
+	return e.SearchBatch(ctx, queries)
+}

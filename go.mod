@@ -1,0 +1,3 @@
+module banks
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -57,7 +58,7 @@ func TestActivationSeedFormula(t *testing.T) {
 	}
 	_ = g.SetPrestige(p)
 
-	res, err := Bidirectional(g, [][]graph.NodeID{{aSeed}, bSeeds}, Options{K: 1, MaxNodes: 3})
+	res, err := Bidirectional(nil, g, [][]graph.NodeID{{aSeed}, bSeeds}, Options{K: 1, MaxNodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestActivationSpreadArithmetic(t *testing.T) {
 
 	kw := [][]graph.NodeID{{c}}
 	opts := Options{K: 1}.withDefaults()
-	sc := newSearchContext(g, kw, opts)
+	sc := newSearchContext(context.Background(), g, kw, opts)
 	bs := &bidirSearch{searchContext: sc, qin: newTestHeapMax(), qout: newTestHeapMax()}
 	bs.seed()
 	v, _, _ := bs.qin.Pop()
@@ -118,7 +119,7 @@ func TestActivationSumMode(t *testing.T) {
 	// through many paths ranks higher; the search must still terminate and
 	// produce valid answers.
 	g, kw := grayGraph(t)
-	res, err := Bidirectional(g, kw, Options{K: 5, ActivationSum: true})
+	res, err := Bidirectional(nil, g, kw, Options{K: 5, ActivationSum: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestEdgePriorityBiasesOrder(t *testing.T) {
 				return 1
 			},
 		}.withDefaults()
-		sc := newSearchContext(g, [][]graph.NodeID{{k1}}, opts)
+		sc := newSearchContext(context.Background(), g, [][]graph.NodeID{{k1}}, opts)
 		bs := &bidirSearch{searchContext: sc, qin: newTestHeapMax(), qout: newTestHeapMax()}
 		bs.seed()
 		bs.qin.Pop()
@@ -222,7 +223,7 @@ func TestHubBackwardSpreadDilution(t *testing.T) {
 	// each receive ≈ activation/48, which must be less than what James's
 	// single writes node receives.
 	g, kw, _ := figure4Graph(t)
-	res, err := Bidirectional(g, kw, Options{K: 1})
+	res, err := Bidirectional(nil, g, kw, Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

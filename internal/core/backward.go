@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -17,7 +18,11 @@ import (
 // The per-iterator visited lists deliberately reproduce the algorithm's
 // memory behaviour: a node reached by many iterators is stored once per
 // iterator, which is exactly the cost §4.2.1 criticizes.
-func MIBackward(g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+//
+// ctx bounds the search: on expiry the answers buffered so far are flushed
+// as a partial top-k with Stats.Truncated set.
+func MIBackward(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -29,22 +34,23 @@ func MIBackward(g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Resul
 	stats := &Stats{}
 	out := newOutputHeap(opts.K, !opts.StrictBound, start, stats)
 	m := &miSearch{
-		g:     g,
-		opts:  opts,
-		nk:    len(keywords),
-		kw:    keywords,
-		bits:  make(map[graph.NodeID]uint32),
-		glob:  make(map[graph.NodeID]*miGlobal),
-		out:   out,
-		stats: stats,
-		sched: pqueue.NewMin[int](),
+		canceller: newCanceller(ctx, stats),
+		g:         g,
+		opts:      opts,
+		nk:        len(keywords),
+		kw:        keywords,
+		bits:      make(map[graph.NodeID]uint32),
+		glob:      make(map[graph.NodeID]*miGlobal),
+		out:       out,
+		stats:     stats,
+		sched:     pqueue.NewMin[int](),
 	}
 	for i, s := range keywords {
 		for _, u := range s {
 			m.bits[u] |= 1 << i
 		}
 	}
-	if !anyEmptyKeyword(keywords) {
+	if !m.expired() && !anyEmptyKeyword(keywords) {
 		m.seed()
 		m.run()
 	}
@@ -77,6 +83,8 @@ type miGlobal struct {
 }
 
 type miSearch struct {
+	canceller
+
 	g     *graph.Graph
 	opts  Options
 	nk    int
@@ -119,6 +127,9 @@ func (m *miSearch) run() {
 		}
 		if m.opts.MaxNodes > 0 && m.stats.NodesExplored >= m.opts.MaxNodes {
 			m.stats.BudgetExhausted = true
+			break
+		}
+		if m.cancelled() {
 			break
 		}
 		idx, _, _ := m.sched.Pop()

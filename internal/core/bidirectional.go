@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"banks/internal/graph"
@@ -15,7 +16,11 @@ import (
 // iterators with small origin sets and less bushy subtrees are expanded
 // preferentially, and forward search connects high-activation potential
 // roots to frequent keywords cheaply.
-func Bidirectional(g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+//
+// ctx bounds the search: on cancellation or deadline expiry the loop stops
+// at the next amortized check, flushes the answers generated so far as a
+// partial top-k, and returns them with Stats.Truncated set (no error).
+func Bidirectional(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -23,8 +28,8 @@ func Bidirectional(g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Re
 	if err := validateInput(g, keywords); err != nil {
 		return nil, err
 	}
-	sc := newSearchContext(g, keywords, opts)
-	if anyEmptyKeyword(keywords) {
+	sc := newSearchContext(orBackground(ctx), g, keywords, opts)
+	if anyEmptyKeyword(keywords) || sc.expired() {
 		return sc.finishResult(), nil
 	}
 
@@ -67,7 +72,7 @@ func (b *bidirSearch) seed() {
 			}
 		}
 	}
-	for u := range b.bits {
+	for _, u := range b.seedNodes() {
 		s := b.st(u)
 		b.qin.Push(u, totalActivation(s))
 		b.stats.NodesTouched++
@@ -84,6 +89,9 @@ func (b *bidirSearch) run() {
 		}
 		if b.opts.MaxNodes > 0 && b.stats.NodesExplored >= b.opts.MaxNodes {
 			b.stats.BudgetExhausted = true
+			break
+		}
+		if b.cancelled() {
 			break
 		}
 		// Schedule whichever iterator holds the higher-activation node

@@ -7,11 +7,18 @@ import (
 	"banks/internal/graph"
 )
 
-// algorithms under test, by name, for table-driven runs.
+// algorithms under test, by name, for table-driven runs (context-free
+// wrappers around the ctx-aware entry points).
 var algorithms = map[string]func(*graph.Graph, [][]graph.NodeID, Options) (*Result, error){
-	"bidirectional": Bidirectional,
-	"si-backward":   SIBackward,
-	"mi-backward":   MIBackward,
+	"bidirectional": func(g *graph.Graph, kw [][]graph.NodeID, o Options) (*Result, error) {
+		return Bidirectional(nil, g, kw, o)
+	},
+	"si-backward": func(g *graph.Graph, kw [][]graph.NodeID, o Options) (*Result, error) {
+		return SIBackward(nil, g, kw, o)
+	},
+	"mi-backward": func(g *graph.Graph, kw [][]graph.NodeID, o Options) (*Result, error) {
+		return MIBackward(nil, g, kw, o)
+	},
 }
 
 // grayGraph builds the classic "Gray transaction" scenario:

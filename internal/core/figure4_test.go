@@ -67,15 +67,15 @@ func TestFigure4Example(t *testing.T) {
 		return nil
 	}
 
-	bidir, err := Bidirectional(g, kw, Options{K: 1})
+	bidir, err := Bidirectional(nil, g, kw, Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	si, err := SIBackward(g, kw, Options{K: 1})
+	si, err := SIBackward(nil, g, kw, Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mi, err := MIBackward(g, kw, Options{K: 1})
+	mi, err := MIBackward(nil, g, kw, Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestFigure4Example(t *testing.T) {
 // the target paper with paths to James and John through writes nodes.
 func TestFigure4AnswerShape(t *testing.T) {
 	g, kw, target := figure4Graph(t)
-	res, err := Bidirectional(g, kw, Options{K: 3})
+	res, err := Bidirectional(nil, g, kw, Options{K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func BenchmarkFigure4(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Bidirectional(g, kw, Options{K: 1}); err != nil {
+		if _, err := Bidirectional(nil, g, kw, Options{K: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

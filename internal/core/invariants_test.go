@@ -199,7 +199,7 @@ func TestQuickDistancesMatchReferenceDijkstra(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g, kw := randomSearchable(rng)
-		res, err := SIBackward(g, kw, Options{K: 1000, DMax: 64})
+		res, err := SIBackward(nil, g, kw, Options{K: 1000, DMax: 64})
 		if err != nil {
 			return false
 		}

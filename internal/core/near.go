@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"banks/internal/graph"
@@ -26,7 +27,10 @@ type NearResult struct {
 // attenuation µ across incoming edges in activation order, and return the
 // k nodes with the highest total activation that were reached from every
 // keyword.
-func Near(g *graph.Graph, keywords [][]graph.NodeID, opts Options) ([]NearResult, Stats, error) {
+//
+// ctx bounds the spreading loop: on expiry the nodes activated so far are
+// ranked and returned with Stats.Truncated set.
+func Near(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) ([]NearResult, Stats, error) {
 	opts = opts.withDefaults()
 	opts.ActivationSum = true
 	if err := opts.validate(); err != nil {
@@ -35,8 +39,8 @@ func Near(g *graph.Graph, keywords [][]graph.NodeID, opts Options) ([]NearResult
 	if err := validateInput(g, keywords); err != nil {
 		return nil, Stats{}, err
 	}
-	sc := newSearchContext(g, keywords, opts)
-	if anyEmptyKeyword(keywords) {
+	sc := newSearchContext(orBackground(ctx), g, keywords, opts)
+	if anyEmptyKeyword(keywords) || sc.expired() {
 		return nil, *sc.stats, nil
 	}
 
@@ -49,7 +53,7 @@ func Near(g *graph.Graph, keywords [][]graph.NodeID, opts Options) ([]NearResult
 			s.act[i] += g.Prestige(u) / sz
 		}
 	}
-	for u := range sc.bits {
+	for _, u := range sc.seedNodes() {
 		q.Push(u, totalActivation(sc.st(u)))
 		sc.stats.NodesTouched++
 	}
@@ -57,6 +61,9 @@ func Near(g *graph.Graph, keywords [][]graph.NodeID, opts Options) ([]NearResult
 	for q.Len() > 0 {
 		if opts.MaxNodes > 0 && sc.stats.NodesExplored >= opts.MaxNodes {
 			sc.stats.BudgetExhausted = true
+			break
+		}
+		if sc.cancelled() {
 			break
 		}
 		v, _, _ := q.Pop()

@@ -68,6 +68,12 @@ type Options struct {
 	EdgePriority func(t graph.EdgeType, forward bool) float64
 }
 
+// Normalized returns the options with zero values replaced by the paper's
+// defaults — the form the algorithms actually run with. Two Options values
+// with equal Normalized() forms describe the same search, which the engine
+// result cache relies on for canonical keys.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.K == 0 {
 		o.K = DefaultK

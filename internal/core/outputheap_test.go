@@ -123,7 +123,7 @@ func TestOutputHeapKLimit(t *testing.T) {
 
 func TestNearBasic(t *testing.T) {
 	g, kw := grayGraph(t)
-	res, stats, err := Near(g, kw, Options{K: 10})
+	res, stats, err := Near(nil, g, kw, Options{K: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,14 +152,14 @@ func TestNearBasic(t *testing.T) {
 
 func TestNearValidation(t *testing.T) {
 	g, kw := grayGraph(t)
-	if _, _, err := Near(nil, kw, Options{}); err == nil {
+	if _, _, err := Near(nil, nil, kw, Options{}); err == nil {
 		t.Fatal("nil graph accepted")
 	}
-	if _, _, err := Near(g, nil, Options{}); err == nil {
+	if _, _, err := Near(nil, g, nil, Options{}); err == nil {
 		t.Fatal("no keywords accepted")
 	}
 	// Unmatched keyword → empty result, no error.
-	res, _, err := Near(g, [][]graph.NodeID{{0}, nil}, Options{})
+	res, _, err := Near(nil, g, [][]graph.NodeID{{0}, nil}, Options{})
 	if err != nil || len(res) != 0 {
 		t.Fatalf("unmatched keyword: res=%v err=%v", res, err)
 	}

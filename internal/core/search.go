@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"banks/internal/graph"
+)
+
+// Algo names a search strategy. It lives in core (rather than the public
+// facade) so that both the banks package and internal/engine can dispatch
+// on it without an import cycle.
+type Algo string
+
+// Available algorithms.
+const (
+	// AlgoBidirectional is the paper's contribution (§4).
+	AlgoBidirectional Algo = "bidirectional"
+	// AlgoSIBackward is single-iterator Backward expanding search (§4.6).
+	AlgoSIBackward Algo = "si-backward"
+	// AlgoMIBackward is the original Backward expanding search of BANKS (§3).
+	AlgoMIBackward Algo = "mi-backward"
+)
+
+// Algos lists all supported algorithm names.
+func Algos() []Algo {
+	return []Algo{AlgoBidirectional, AlgoSIBackward, AlgoMIBackward}
+}
+
+// Search dispatches to the named algorithm. A nil ctx is treated as
+// context.Background().
+func Search(ctx context.Context, g *graph.Graph, algo Algo, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+	switch algo {
+	case AlgoBidirectional:
+		return Bidirectional(ctx, g, keywords, opts)
+	case AlgoSIBackward:
+		return SIBackward(ctx, g, keywords, opts)
+	case AlgoMIBackward:
+		return MIBackward(ctx, g, keywords, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+}
+
+// orBackground normalizes a nil context.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"banks/internal/graph"
@@ -13,7 +14,10 @@ import (
 // the nearest keyword node — no forward iterator and no spreading
 // activation. The paper introduces it to separate the effect of merging
 // iterators from the other effects of Bidirectional search.
-func SIBackward(g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+//
+// ctx bounds the search exactly as in Bidirectional: on expiry the partial
+// top-k accumulated so far is returned with Stats.Truncated set.
+func SIBackward(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -21,8 +25,8 @@ func SIBackward(g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Resul
 	if err := validateInput(g, keywords); err != nil {
 		return nil, err
 	}
-	sc := newSearchContext(g, keywords, opts)
-	if anyEmptyKeyword(keywords) {
+	sc := newSearchContext(orBackground(ctx), g, keywords, opts)
+	if anyEmptyKeyword(keywords) || sc.expired() {
 		return sc.finishResult(), nil
 	}
 
@@ -42,7 +46,7 @@ type siSearch struct {
 }
 
 func (s *siSearch) seed() {
-	for u := range s.bits {
+	for _, u := range s.seedNodes() {
 		st := s.st(u)
 		st.depth = 0
 		s.qin.Push(u, s.minDist(st))
@@ -72,6 +76,9 @@ func (s *siSearch) run() {
 		}
 		if s.opts.MaxNodes > 0 && s.stats.NodesExplored >= s.opts.MaxNodes {
 			s.stats.BudgetExhausted = true
+			break
+		}
+		if s.cancelled() {
 			break
 		}
 		v, _, _ := s.qin.Pop()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 	"time"
@@ -59,9 +60,65 @@ type nodeState struct {
 	invIn, invOut float64
 }
 
+// cancelEvery is how many node expansions pass between context checks.
+// A check is an atomic load plus a clock read; amortizing it over a batch
+// of pops keeps the overhead unmeasurable while still bounding
+// post-cancellation work to microseconds.
+const cancelEvery = 64
+
+// canceller performs amortized cancellation checks against a context,
+// recording expiry as Stats.Truncated (sticky: once observed, every later
+// check is true without consulting the context again). The deadline is
+// also compared against the clock directly rather than relying on
+// ctx.Err() alone: a CPU-bound search goroutine can starve the runtime
+// timer that would cancel the context (especially at GOMAXPROCS=1), and a
+// deadline that has objectively passed must still truncate promptly.
+type canceller struct {
+	ctx         context.Context
+	stats       *Stats
+	deadline    time.Time
+	hasDeadline bool
+	// calls counts checks since the context was last consulted.
+	calls int
+}
+
+func newCanceller(ctx context.Context, stats *Stats) canceller {
+	d, ok := ctx.Deadline()
+	return canceller{ctx: ctx, stats: stats, deadline: d, hasDeadline: ok}
+}
+
+// expired reports expiry immediately (no amortization), setting
+// Stats.Truncated when it first observes it.
+func (c *canceller) expired() bool {
+	if c.stats.Truncated {
+		return true
+	}
+	if c.ctx.Err() != nil || (c.hasDeadline && !time.Now().Before(c.deadline)) {
+		c.stats.Truncated = true
+		return true
+	}
+	return false
+}
+
+// cancelled reports expiry, consulting the context and clock only every
+// cancelEvery calls.
+func (c *canceller) cancelled() bool {
+	if c.stats.Truncated {
+		return true
+	}
+	c.calls++
+	if c.calls < cancelEvery {
+		return false
+	}
+	c.calls = 0
+	return c.expired()
+}
+
 // searchContext is the shared state of SI-Backward and Bidirectional
 // search over one query.
 type searchContext struct {
+	canceller
+
 	g     *graph.Graph
 	opts  Options
 	nk    int
@@ -105,21 +162,22 @@ type pendingEmit struct {
 	touched  int
 }
 
-func newSearchContext(g *graph.Graph, keywords [][]graph.NodeID, opts Options) *searchContext {
+func newSearchContext(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) *searchContext {
 	start := time.Now()
 	stats := &Stats{}
 	sc := &searchContext{
-		g:     g,
-		opts:  opts,
-		nk:    len(keywords),
-		kw:    keywords,
-		bits:  make(map[graph.NodeID]uint32),
-		state: make(map[graph.NodeID]*nodeState),
-		out:   newOutputHeap(opts.K, !opts.StrictBound, start, stats),
-		stats: stats,
-		start: start,
-		cands: pqueue.NewMin[graph.NodeID](),
-		lazy:  !opts.StrictBound,
+		canceller: newCanceller(ctx, stats),
+		g:         g,
+		opts:      opts,
+		nk:        len(keywords),
+		kw:        keywords,
+		bits:      make(map[graph.NodeID]uint32),
+		state:     make(map[graph.NodeID]*nodeState),
+		out:       newOutputHeap(opts.K, !opts.StrictBound, start, stats),
+		stats:     stats,
+		start:     start,
+		cands:     pqueue.NewMin[graph.NodeID](),
+		lazy:      !opts.StrictBound,
 	}
 	sc.boundHeaps = make([]*pqueue.Heap[graph.NodeID], sc.nk)
 	for i := range sc.boundHeaps {
@@ -135,6 +193,20 @@ func newSearchContext(g *graph.Graph, keywords [][]graph.NodeID, opts Options) *
 
 // tick refreshes the cached clock; called once per node expansion.
 func (sc *searchContext) tick() { sc.now = time.Since(sc.start) }
+
+// seedNodes returns the keyword-matching nodes in ascending NodeID order.
+// Frontiers must be seeded in deterministic order: map iteration order
+// would otherwise leak into heap tie-breaking and make equal-score answer
+// orderings vary run to run, which the golden regression tests and the
+// concurrent-vs-serial equivalence tests forbid.
+func (sc *searchContext) seedNodes() []graph.NodeID {
+	nodes := make([]graph.NodeID, 0, len(sc.bits))
+	for u := range sc.bits {
+		nodes = append(nodes, u)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
 
 // kwBits returns the keyword bitmask of node u.
 func (sc *searchContext) kwBits(u graph.NodeID) uint32 { return sc.bits[u] }
@@ -310,6 +382,7 @@ func (sc *searchContext) drainCands(edgeBound float64, final bool) bool {
 	if final {
 		budget = 4*sc.out.k + 64
 	}
+	built := 0
 	for sc.cands.Len() > 0 && len(batch) < budget {
 		u, sum, _ := sc.cands.Peek()
 		if !final && sum >= edgeBound {
@@ -324,6 +397,12 @@ func (sc *searchContext) drainCands(edgeBound float64, final bool) bool {
 				sc.stats.BestGeneratedScore = a.Score
 			}
 			batch = append(batch, a)
+			built++
+			// Tree building dominates large-k flushes; honour the deadline
+			// here too so a cancelled search cannot stall in its epilogue.
+			if built%32 == 0 && sc.expired() {
+				break
+			}
 		}
 	}
 	sort.Slice(batch, func(i, j int) bool { return batch[i].Score > batch[j].Score })
@@ -334,9 +413,15 @@ func (sc *searchContext) drainCands(edgeBound float64, final bool) bool {
 }
 
 // flushEmits builds and buffers the answers of all queued emissions. It is
-// called at every drain point and before final flush.
+// called at every drain point and before final flush. Like drainCands it
+// checks the deadline between tree builds.
 func (sc *searchContext) flushEmits() {
-	for _, pe := range sc.dirtyEmits {
+	for n, pe := range sc.dirtyEmits {
+		if n%32 == 31 && sc.expired() {
+			// Tree building dominates large flushes; honour the deadline
+			// and abandon the un-built remainder (the search is ending).
+			break
+		}
 		s, ok := sc.peekState(pe.node)
 		if !ok {
 			continue

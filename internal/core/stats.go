@@ -38,4 +38,8 @@ type Stats struct {
 	LastOutput time.Duration
 	// BudgetExhausted reports that MaxNodes stopped the search early.
 	BudgetExhausted bool
+	// Truncated reports that context cancellation or deadline expiry
+	// stopped the search early; the Answers present are a valid partial
+	// top-k prefix, but better answers may have been cut off.
+	Truncated bool
 }

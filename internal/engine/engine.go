@@ -1,0 +1,255 @@
+// Package engine layers a concurrent query-serving runtime over the core
+// search algorithms: a bounded worker pool, per-query deadlines, an LRU
+// result cache, and a batch API that fans M queries out across W workers.
+//
+// The engine relies on the data structures being immutable after build:
+// the graph and index are only ever read, so any number of searches may run
+// in parallel against them. Results returned by the engine may be served
+// from the shared cache and must be treated as read-only by callers.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"banks/internal/core"
+	"banks/internal/graph"
+	"banks/internal/index"
+)
+
+// DefaultCacheSize is the LRU capacity used when Options.CacheSize is 0.
+const DefaultCacheSize = 256
+
+// Options configures an Engine. The zero value gives a pool sized to
+// GOMAXPROCS, no default deadline, and a DefaultCacheSize-entry cache.
+type Options struct {
+	// Workers bounds the number of searches executing simultaneously.
+	// Default: runtime.GOMAXPROCS(0).
+	Workers int
+	// DefaultTimeout is applied to every query as a deadline in addition to
+	// whatever deadline the caller's context carries (the earlier wins).
+	// It covers the whole call, including time spent waiting for a pool
+	// slot. 0 means no engine-imposed deadline.
+	DefaultTimeout time.Duration
+	// CacheSize is the LRU result-cache capacity in entries: 0 selects
+	// DefaultCacheSize, negative disables caching entirely.
+	CacheSize int
+}
+
+// Query is one unit of work for the engine: pre-split keyword terms (they
+// are normalized by the engine), an algorithm, and search options.
+type Query struct {
+	Terms []string
+	Algo  core.Algo
+	Opts  core.Options
+}
+
+// Engine executes keyword searches against one immutable graph+index pair
+// with bounded concurrency, deadlines and result caching.
+type Engine struct {
+	g  *graph.Graph
+	ix *index.Index
+
+	workers int
+	timeout time.Duration
+	sem     chan struct{}
+
+	cache        *lruCache // nil when caching is disabled
+	hits, misses atomic.Uint64
+}
+
+// New builds an Engine over a graph and its keyword index.
+func New(g *graph.Graph, ix *index.Index, opts Options) (*Engine, error) {
+	if g == nil {
+		return nil, errors.New("engine: nil graph")
+	}
+	if ix == nil {
+		return nil, errors.New("engine: nil index")
+	}
+	if opts.DefaultTimeout < 0 {
+		return nil, fmt.Errorf("engine: negative DefaultTimeout %v", opts.DefaultTimeout)
+	}
+	w := opts.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return nil, fmt.Errorf("engine: invalid worker count %d", opts.Workers)
+	}
+	e := &Engine{
+		g:       g,
+		ix:      ix,
+		workers: w,
+		timeout: opts.DefaultTimeout,
+		sem:     make(chan struct{}, w),
+	}
+	switch {
+	case opts.CacheSize == 0:
+		e.cache = newLRUCache(DefaultCacheSize)
+	case opts.CacheSize > 0:
+		e.cache = newLRUCache(opts.CacheSize)
+	}
+	return e, nil
+}
+
+// Workers returns the concurrency bound of the pool.
+func (e *Engine) Workers() int { return e.workers }
+
+// normalizeTerms lower-cases and trims each term, dropping terms that
+// normalize to nothing. The result is the canonical form used both for
+// index lookup and cache keying.
+func normalizeTerms(terms []string) []string {
+	out := make([]string, 0, len(terms))
+	for _, t := range terms {
+		if n := index.Normalize(t); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Search runs one query through the pool. It blocks while all workers are
+// busy (respecting ctx while waiting). On deadline expiry — from the
+// caller's context or the engine's DefaultTimeout — the partial top-k found
+// so far is returned with Stats.Truncated set.
+//
+// The returned result may be shared with other callers via the cache and
+// must not be modified.
+func (e *Engine) Search(ctx context.Context, q Query) (*core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	terms := normalizeTerms(q.Terms)
+	if len(terms) == 0 {
+		return nil, errors.New("engine: query contains no keywords")
+	}
+
+	key, cacheable := cacheKey{}, false
+	if e.cache != nil {
+		if key, cacheable = newCacheKey(terms, q.Algo, q.Opts); cacheable {
+			if res, ok := e.cache.get(key); ok {
+				e.hits.Add(1)
+				return res, nil
+			}
+			e.misses.Add(1)
+		}
+	}
+
+	// The default timeout starts before the slot wait: it is a per-query
+	// deadline covering queue time, not just execution time, so a saturated
+	// pool cannot hold callers indefinitely.
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
+	select {
+	case e.sem <- struct{}{}:
+		defer func() { <-e.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	kw := make([][]graph.NodeID, len(terms))
+	for i, t := range terms {
+		kw[i] = e.ix.Lookup(t)
+	}
+	res, err := core.Search(ctx, e.g, q.Algo, kw, q.Opts)
+	if err != nil {
+		return nil, err
+	}
+	// Truncated results are deadline artifacts of this one call, not the
+	// query's answer; caching them would serve partial answers to callers
+	// with generous deadlines.
+	if cacheable && !res.Stats.Truncated {
+		e.cache.put(key, res)
+	}
+	return res, nil
+}
+
+// Near runs a near query (activation-ranked nodes) through the pool with
+// the same deadline handling as Search. Near results are not cached.
+func (e *Engine) Near(ctx context.Context, terms []string, opts core.Options) ([]core.NearResult, core.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nt := normalizeTerms(terms)
+	if len(nt) == 0 {
+		return nil, core.Stats{}, errors.New("engine: query contains no keywords")
+	}
+	if e.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		defer cancel()
+	}
+	select {
+	case e.sem <- struct{}{}:
+		defer func() { <-e.sem }()
+	case <-ctx.Done():
+		return nil, core.Stats{}, ctx.Err()
+	}
+	kw := make([][]graph.NodeID, len(nt))
+	for i, t := range nt {
+		kw[i] = e.ix.Lookup(t)
+	}
+	return core.Near(ctx, e.g, kw, opts)
+}
+
+// SearchBatch fans len(qs) queries out across the worker pool and waits for
+// all of them. results[i] and errs[i] correspond to qs[i]; a failed query
+// leaves a nil result and its error, never affecting its siblings.
+// Cancelling ctx aborts queries still running (they return truncated
+// results) and fails queries still waiting for a worker.
+func (e *Engine) SearchBatch(ctx context.Context, qs []Query) (results []*core.Result, errs []error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results = make([]*core.Result, len(qs))
+	errs = make([]error, len(qs))
+	if len(qs) == 0 {
+		return results, errs
+	}
+	// One dispatcher goroutine per pool slot (not per query): M may be much
+	// larger than W, and each Search also acquires a pool slot, so more
+	// dispatchers than workers would only add blocked goroutines.
+	n := e.workers
+	if n > len(qs) {
+		n = len(qs)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = e.Search(ctx, qs[i])
+			}
+		}()
+	}
+	for i := range qs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, errs
+}
+
+// CacheStats reports cumulative cache hits and misses (both zero when
+// caching is disabled).
+func (e *Engine) CacheStats() (hits, misses uint64) {
+	return e.hits.Load(), e.misses.Load()
+}
+
+// CacheLen returns the current number of cached results.
+func (e *Engine) CacheLen() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.len()
+}

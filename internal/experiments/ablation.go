@@ -54,7 +54,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		row := AblationRow{Dimension: dim, Variant: variant}
 		var sumExpl, sumGen, sumOut, sumRecall float64
 		for _, q := range queries {
-			res, err := core.Bidirectional(env.Built.Graph, q.Keywords, opts)
+			res, err := core.Bidirectional(nil, env.Built.Graph, q.Keywords, opts)
 			if err != nil {
 				return err
 			}

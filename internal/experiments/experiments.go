@@ -159,16 +159,7 @@ func Measure(res *core.Result, q *workload.Query) RunMetrics {
 // runAlgo executes one algorithm on a query with the experiment options.
 func runAlgo(env *Env, q *workload.Query, algo string, cfg Config) (*core.Result, error) {
 	opts := core.Options{K: cfg.K, MaxNodes: cfg.MaxNodes}
-	switch algo {
-	case "bidirectional":
-		return core.Bidirectional(env.Built.Graph, q.Keywords, opts)
-	case "si-backward":
-		return core.SIBackward(env.Built.Graph, q.Keywords, opts)
-	case "mi-backward":
-		return core.MIBackward(env.Built.Graph, q.Keywords, opts)
-	default:
-		return nil, fmt.Errorf("experiments: unknown algorithm %q", algo)
-	}
+	return core.Search(nil, env.Built.Graph, core.Algo(algo), q.Keywords, opts)
 }
 
 // ratio returns a/b guarding against zero denominators.

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// serializedSeed produces the bytes of a small valid graph for the Read
+// fuzzer's corpus.
+func serializedSeed(tb testing.TB) []byte {
+	tb.Helper()
+	b := NewBuilder()
+	b.AddNodes("author", 2)
+	b.AddNodes("paper", 2)
+	if err := b.AddEdge(0, 2, 1, 0); err != nil {
+		tb.Fatal(err)
+	}
+	if err := b.AddEdge(1, 3, 2, 1); err != nil {
+		tb.Fatal(err)
+	}
+	g := b.Build()
+	if err := g.SetPrestige([]float64{0.1, 0.2, 0.3, 0.4}); err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRead feeds arbitrary bytes to the binary deserializer: it must never
+// panic or over-allocate, and anything it accepts must re-serialize to a
+// stable fixed point (read → write → read → write gives identical bytes).
+func FuzzRead(f *testing.F) {
+	valid := serializedSeed(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated
+	corrupt := bytes.Clone(valid)
+	corrupt[10] ^= 0xff // mangled node count
+	f.Add(corrupt)
+	f.Add([]byte("BNK2"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting malformed input is the job
+		}
+		var buf1 bytes.Buffer
+		if _, err := g.WriteTo(&buf1); err != nil {
+			t.Fatalf("accepted graph failed to serialize: %v", err)
+		}
+		g2, err := Read(bytes.NewReader(buf1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of accepted graph failed: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if _, err := g2.WriteTo(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatal("serialization is not a fixed point after one round trip")
+		}
+	})
+}
+
+// FuzzBuildRoundTrip builds a graph from fuzz-derived nodes/edges and
+// checks the write→read round trip preserves every observable property.
+func FuzzBuildRoundTrip(f *testing.F) {
+	f.Add(uint8(4), []byte{0, 2, 1, 3, 2, 3})
+	f.Add(uint8(1), []byte{})
+	f.Add(uint8(9), []byte{0, 1, 1, 2, 2, 0, 3, 4, 5, 6, 7, 8, 0, 8})
+	f.Fuzz(func(t *testing.T, rawN uint8, rawEdges []byte) {
+		n := 1 + int(rawN)%24
+		b := NewBuilder()
+		for i := 0; i < n; i++ {
+			if i%3 == 0 {
+				b.AddNode("even")
+			} else {
+				b.AddNode("odd")
+			}
+		}
+		for i := 0; i+1 < len(rawEdges) && i < 64; i += 2 {
+			u := NodeID(int(rawEdges[i]) % n)
+			v := NodeID(int(rawEdges[i+1]) % n)
+			if u == v {
+				continue
+			}
+			w := 1 + float64(rawEdges[i]%7)/4
+			if err := b.AddEdge(u, v, w, EdgeType(rawEdges[i+1]%3)); err != nil {
+				t.Fatalf("AddEdge(%d,%d,%v): %v", u, v, w, err)
+			}
+		}
+		g := b.Build()
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = float64(i+1) / float64(n)
+		}
+		if err := g.SetPrestige(p); err != nil {
+			t.Fatal(err)
+		}
+
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round-trip Read failed: %v", err)
+		}
+		if got.NumNodes() != g.NumNodes() || got.NumEdges() != g.NumEdges() {
+			t.Fatalf("sizes changed: %d/%d vs %d/%d", got.NumNodes(), got.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		if got.MaxPrestige() != g.MaxPrestige() {
+			t.Fatalf("max prestige changed: %v vs %v", got.MaxPrestige(), g.MaxPrestige())
+		}
+		for u := 0; u < n; u++ {
+			id := NodeID(u)
+			if got.Table(id) != g.Table(id) {
+				t.Fatalf("node %d table changed", u)
+			}
+			if got.Prestige(id) != g.Prestige(id) {
+				t.Fatalf("node %d prestige changed", u)
+			}
+			a, bn := g.Neighbors(id), got.Neighbors(id)
+			if len(a) != len(bn) {
+				t.Fatalf("node %d degree changed: %d vs %d", u, len(a), len(bn))
+			}
+			for i := range a {
+				if a[i] != bn[i] {
+					t.Fatalf("node %d half %d changed: %+v vs %+v", u, i, a[i], bn[i])
+				}
+			}
+		}
+	})
+}

@@ -100,31 +100,34 @@ func Read(r io.Reader) (*Graph, error) {
 		}
 	}
 	const maxReasonable = 1 << 33
-	if numNodes > maxReasonable || numHalves > maxReasonable {
-		return nil, fmt.Errorf("graph: implausible sizes nodes=%d halves=%d", numNodes, numHalves)
+	if numNodes > maxReasonable || numHalves > maxReasonable || numOrig > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes nodes=%d halves=%d orig=%d", numNodes, numHalves, numOrig)
+	}
+	// Every original edge contributes exactly two halves.
+	if numOrig*2 != numHalves {
+		return nil, fmt.Errorf("graph: inconsistent edge counts halves=%d orig=%d", numHalves, numOrig)
 	}
 
-	g := &Graph{
-		offsets:      make([]int32, numNodes+1),
-		halves:       make([]Half, numHalves),
-		nodeTable:    make([]int32, numNodes),
-		prestige:     make([]float64, numNodes),
-		numOrigEdges: int(numOrig),
-	}
-	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+	// All slices are read in bounded chunks (growing with the data actually
+	// present) so that a forged header cannot force a huge upfront
+	// allocation from a tiny input.
+	g := &Graph{numOrigEdges: int(numOrig)}
+	var err error
+	if g.offsets, err = readSlice[int32](br, numNodes+1); err != nil {
 		return nil, err
 	}
-	for i := range g.halves {
+	g.halves = make([]Half, 0, min(numHalves, sliceChunk))
+	for i := uint64(0); i < numHalves; i++ {
 		h, err := readHalf(br)
 		if err != nil {
 			return nil, err
 		}
-		g.halves[i] = h
+		g.halves = append(g.halves, h)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.nodeTable); err != nil {
+	if g.nodeTable, err = readSlice[int32](br, numNodes); err != nil {
 		return nil, err
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.prestige); err != nil {
+	if g.prestige, err = readSlice[float64](br, numNodes); err != nil {
 		return nil, err
 	}
 	for _, v := range g.prestige {
@@ -179,6 +182,25 @@ func (g *Graph) validate() error {
 		}
 	}
 	return nil
+}
+
+// sliceChunk bounds how much a slice read grows per I/O step.
+const sliceChunk = 1 << 16
+
+// readSlice reads n fixed-size values, growing the result with the data
+// actually present and decoding straight into the grown tail.
+func readSlice[T int32 | float64](r io.Reader, n uint64) ([]T, error) {
+	out := make([]T, 0, min(n, sliceChunk))
+	for remaining := n; remaining > 0; {
+		c := min(remaining, sliceChunk)
+		off := len(out)
+		out = append(out, make([]T, c)...)
+		if err := binary.Read(r, binary.LittleEndian, out[off:]); err != nil {
+			return nil, err
+		}
+		remaining -= c
+	}
+	return out, nil
 }
 
 func writeHalf(w io.Writer, h Half) error {

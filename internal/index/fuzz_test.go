@@ -1,0 +1,110 @@
+package index
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+
+	"banks/internal/graph"
+)
+
+// oneNodeGraph builds a single-node graph for Freeze.
+func oneNodeGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	b.AddNode("row")
+	return b.Build()
+}
+
+// FuzzTokenize checks the tokenizer invariants on arbitrary text: no empty
+// terms, every term is in Normalize form (so Lookup can find it again), and
+// tokenization is deterministic.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"Gray, TRANSACTION; recovery!",
+		"a.b.c-d_e  f",
+		"ALL CAPS 123 mixed99",
+		"ümlaut Ünïcode ÅNGSTRÖM",
+		"İstanbul DİYARBAKIR", // dotted capital I lowers to i + combining dot
+		"数据库 データベース база данных",
+		"\x00\xff\xfe broken \xf0\x28\x8c\x28 utf8",
+		strings.Repeat("long ", 200),
+		"...!!!???",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		terms := Tokenize(text)
+		for _, term := range terms {
+			if term == "" {
+				t.Fatalf("Tokenize(%q) produced an empty term", text)
+			}
+			if n := Normalize(term); n != term {
+				t.Fatalf("Tokenize(%q) produced non-normal term %q (Normalize → %q)", text, term, n)
+			}
+			first, _ := utf8DecodeRune(term)
+			if !unicode.IsLetter(first) && !unicode.IsNumber(first) {
+				t.Fatalf("term %q starts with separator rune %q", term, first)
+			}
+		}
+		again := Tokenize(text)
+		if len(again) != len(terms) {
+			t.Fatalf("Tokenize(%q) not deterministic: %d vs %d terms", text, len(terms), len(again))
+		}
+		for i := range terms {
+			if terms[i] != again[i] {
+				t.Fatalf("Tokenize(%q) not deterministic at %d: %q vs %q", text, i, terms[i], again[i])
+			}
+		}
+	})
+}
+
+func utf8DecodeRune(s string) (rune, int) {
+	for _, r := range s {
+		return r, len(string(r))
+	}
+	return 0, 0
+}
+
+// FuzzNormalize checks that Normalize is idempotent — the property the
+// index relies on for AddText/Lookup agreement.
+func FuzzNormalize(f *testing.F) {
+	for _, s := range []string{"", "Gray!", "  .İ. ", "ǅungla", "ÅB̈C", "\xffé\xfe"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, term string) {
+		n := Normalize(term)
+		if n2 := Normalize(n); n2 != n {
+			t.Fatalf("Normalize not idempotent: %q → %q → %q", term, n, n2)
+		}
+	})
+}
+
+// FuzzIndexLookup checks end-to-end agreement between indexing and lookup:
+// every term Tokenize extracts from a document must find that document.
+func FuzzIndexLookup(f *testing.F) {
+	for _, s := range []string{"Gray transaction", "İstanbul 123", "唯一 word"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		g := oneNodeGraph(t)
+		ix := New()
+		ix.AddText(0, text)
+		ix.Freeze(g)
+		for _, term := range Tokenize(text) {
+			nodes := ix.Lookup(term)
+			found := false
+			for _, u := range nodes {
+				if u == 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("term %q extracted from %q not found by Lookup (got %v)", term, text, nodes)
+			}
+		}
+	})
+}

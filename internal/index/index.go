@@ -109,22 +109,28 @@ func (ix *Index) Terms() []string {
 // NumTerms returns the number of distinct indexed terms.
 func (ix *Index) NumTerms() int { return len(ix.postings) }
 
-// Normalize lower-cases a term and trims surrounding punctuation.
+func notAlnum(r rune) bool {
+	return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+}
+
+// Normalize lower-cases a term and trims surrounding punctuation. The trim
+// runs again after lowering because lowering itself can surface non-letter
+// runes at the edges (e.g. 'İ' lowers to 'i' plus a combining dot); without
+// the second pass Lookup would normalize a query term differently from how
+// Tokenize indexed it.
 func Normalize(term string) string {
-	return strings.ToLower(strings.TrimFunc(term, func(r rune) bool {
-		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
-	}))
+	t := strings.ToLower(strings.TrimFunc(term, notAlnum))
+	return strings.TrimFunc(t, notAlnum)
 }
 
 // Tokenize splits text into normalized terms on any non-alphanumeric rune.
+// Every returned term is in Normalize form, so Lookup(term) finds exactly
+// the postings AddText recorded.
 func Tokenize(text string) []string {
-	fields := strings.FieldsFunc(text, func(r rune) bool {
-		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
-	})
+	fields := strings.FieldsFunc(text, notAlnum)
 	out := fields[:0]
 	for _, f := range fields {
-		t := strings.ToLower(f)
-		if t != "" {
+		if t := Normalize(f); t != "" {
 			out = append(out, t)
 		}
 	}
