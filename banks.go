@@ -35,6 +35,7 @@ import (
 	"banks/internal/index"
 	"banks/internal/prestige"
 	"banks/internal/relational"
+	"banks/internal/store"
 )
 
 // Re-exported types so callers only import this package.
@@ -109,7 +110,13 @@ type DB struct {
 	Index     *index.Index
 	Mapping   *convert.Mapping
 	EdgeTypes *convert.EdgeTypes
-	Source    *relational.Database
+	// Source is the originating relational data. It is nil for DBs opened
+	// from a snapshot, which carry the queryable state only; NodeLabel and
+	// Explain then fall back to "table[row]" labels.
+	Source *relational.Database
+
+	// snap keeps a snapshot-backed DB's file mapping alive; see Close.
+	snap *store.Snapshot
 }
 
 // Build converts a frozen relational database into a searchable DB:
@@ -219,9 +226,13 @@ func (d *DB) NearContext(ctx context.Context, query string, opts Options) ([]Nea
 	return core.Near(ctx, d.Graph, kw, opts)
 }
 
-// NodeLabel renders a node as "table[row]: text…" for display.
+// NodeLabel renders a node as "table[row]: text…" for display. Without
+// source rows (snapshot-opened DBs) the text part is omitted.
 func (d *DB) NodeLabel(u NodeID) string {
 	ref := d.Mapping.RowOf(d.Graph, u)
+	if d.Source == nil {
+		return fmt.Sprintf("%s[%d]", ref.Table, ref.Row)
+	}
 	t := d.Source.Table(ref.Table)
 	if t == nil {
 		return fmt.Sprintf("%s[%d]", ref.Table, ref.Row)

@@ -5,12 +5,18 @@
 //
 //	banks [-dataset dblp|imdb|patents] [-factor 0.25] [-algo bidirectional]
 //	      [-k 10] [-near] [-timeout 200ms] [-parallel 4]
-//	      [-query "gray transaction"]
+//	      [-snapshot dblp.snap] [-query "gray transaction"]
 //
 // Without -query it reads one query per line from standard input. A -query
 // value may contain several queries separated by ';' — tree-search queries
 // are executed as one batch fanned out across -parallel workers; with -near
 // they run sequentially (near queries have no batch API yet).
+//
+// -snapshot serves queries from a memory-mapped snapshot file (see cmd/
+// datagen -out): if the file exists it is opened without any rebuild; if
+// it does not, the dataset is built from -dataset/-factor and saved there
+// for next time. Snapshot-served answers are bit-identical to built ones,
+// but nodes are labeled "table[row]" (source row text is not persisted).
 package main
 
 import (
@@ -38,13 +44,15 @@ func main() {
 	near := flag.Bool("near", false, "run a near query (activation-ranked nodes) instead of tree search")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a truncated partial top-k")
 	parallel := flag.Int("parallel", 0, "worker-pool width for batch queries (0 = GOMAXPROCS)")
+	snapshot := flag.String("snapshot", "", "open this snapshot file (building and saving it first if absent)")
 	query := flag.String("query", "", "run a single query (or several separated by ';') and exit (default: read queries from stdin)")
 	flag.Parse()
 
-	db, err := buildDataset(*dataset, *factor)
+	db, err := openOrBuild(*snapshot, *dataset, *factor)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer db.Close()
 	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: *parallel, DefaultTimeout: *timeout})
 	if err != nil {
 		log.Fatal(err)
@@ -145,6 +153,35 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// openOrBuild serves the DB from a snapshot when one is requested and
+// present; otherwise it builds from the generated dataset (and, with
+// -snapshot set, saves the snapshot for the next run).
+func openOrBuild(snapshot, dataset string, factor float64) (*banks.DB, error) {
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			start := time.Now()
+			db, err := banks.OpenSnapshot(snapshot)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("opened snapshot %s in %v (zero-copy=%v)\n",
+				snapshot, time.Since(start).Round(time.Microsecond), db.SnapshotZeroCopy())
+			return db, nil
+		}
+	}
+	db, err := buildDataset(dataset, factor)
+	if err != nil {
+		return nil, err
+	}
+	if snapshot != "" {
+		if err := db.WriteSnapshotFile(snapshot); err != nil {
+			return nil, err
+		}
+		fmt.Printf("saved snapshot %s\n", snapshot)
+	}
+	return db, nil
 }
 
 func buildDataset(name string, factor float64) (*banks.DB, error) {

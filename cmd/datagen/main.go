@@ -1,14 +1,18 @@
 // Command datagen generates a synthetic dataset, builds its data graph
-// (with prestige), and saves the graph to a binary file that cmd tools and
-// downstream users can reload without regenerating.
+// (with prestige) and keyword index, and saves the complete queryable
+// state to a single snapshot file that cmd tools and downstream users can
+// memory-map without rebuilding anything.
 //
 // Usage:
 //
-//	datagen -dataset dblp -factor 1 -out dblp.graph      # generate + save
-//	datagen -in dblp.graph                               # load + stats
+//	datagen -dataset dblp -factor 1 -out dblp.snap       # generate + save
+//	datagen -in dblp.snap                                # load + stats
+//	datagen -dataset dblp -legacy-graph dblp.graph       # graph-only BNK2 file
 //
-// At -factor 11 the DBLP-like dataset approaches the paper's 2M-node,
-// 9M-edge graph (§5); the default stays laptop-friendly.
+// -in accepts both the snapshot format ("BANKSNAP") and the legacy
+// graph-only "BNK2" format. At -factor 11 the DBLP-like dataset
+// approaches the paper's 2M-node, 9M-edge graph (§5); the default stays
+// laptop-friendly.
 package main
 
 import (
@@ -29,22 +33,13 @@ func main() {
 
 	dataset := flag.String("dataset", "dblp", "dataset family: dblp, imdb or patents")
 	factor := flag.Float64("factor", 1, "scale factor (1 ≈ 180k tuples; paper scale ≈ 11)")
-	out := flag.String("out", "", "write the built graph to this file")
-	in := flag.String("in", "", "load a graph file and print stats instead of generating")
+	out := flag.String("out", "", "write the built graph+index snapshot to this file")
+	legacyOut := flag.String("legacy-graph", "", "also write the graph (only) in the legacy BNK2 format")
+	in := flag.String("in", "", "load a snapshot or legacy graph file and print stats instead of generating")
 	flag.Parse()
 
 	if *in != "" {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		g, err := graph.Read(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s: %d nodes, %d original edges, %d relations, max prestige %.3f\n",
-			*in, g.NumNodes(), g.NumEdges(), len(g.Tables()), g.MaxPrestige())
+		printStats(*in)
 		return
 	}
 
@@ -76,19 +71,62 @@ func main() {
 	fmt.Printf("built graph (%d nodes, %d edges) + index (%d terms) + prestige in %v\n",
 		db.Graph.NumNodes(), db.Graph.NumEdges(), db.Index.NumTerms(), time.Since(start).Round(time.Millisecond))
 
-	if *out == "" {
+	if *out != "" {
+		start = time.Now()
+		if err := db.WriteSnapshotFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		st, err := os.Stat(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote snapshot %s (%d bytes) in %v\n", *out, st.Size(), time.Since(start).Round(time.Millisecond))
+	}
+	if *legacyOut != "" {
+		f, err := os.Create(*legacyOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := db.Graph.WriteTo(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote legacy graph %s (%d bytes)\n", *legacyOut, n)
+	}
+}
+
+// printStats sniffs the file's magic and prints stats for either format.
+func printStats(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var m [4]byte
+	if _, err := f.ReadAt(m[:], 0); err != nil {
+		log.Fatal(err)
+	}
+
+	if string(m[:]) == "BNK2" { // legacy graph-only format
+		g, err := graph.Read(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (legacy graph): %d nodes, %d original edges, %d relations, max prestige %.3f\n",
+			path, g.NumNodes(), g.NumEdges(), len(g.Tables()), g.MaxPrestige())
 		return
 	}
-	f, err := os.Create(*out)
+
+	start := time.Now()
+	db, err := banks.OpenSnapshot(path)
 	if err != nil {
 		log.Fatal(err)
 	}
-	n, err := db.Graph.WriteTo(f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("wrote %s (%d bytes)\n", *out, n)
+	defer db.Close()
+	fmt.Printf("%s (snapshot, zero-copy=%v, opened in %v): %d nodes, %d original edges, %d relations, %d terms, max prestige %.3f\n",
+		path, db.SnapshotZeroCopy(), time.Since(start).Round(time.Millisecond),
+		db.Graph.NumNodes(), db.Graph.NumEdges(), len(db.Graph.Tables()), db.Index.NumTerms(), db.Graph.MaxPrestige())
 }

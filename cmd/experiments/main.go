@@ -5,7 +5,11 @@
 // Usage:
 //
 //	experiments [-exp f5|f6ab|f6c|rp|all] [-factor 0.25] [-queries 6]
-//	            [-k 20] [-maxnodes 600000] [-seed 42]
+//	            [-k 20] [-maxnodes 600000] [-seed 42] [-snapshot cachedir]
+//
+// -snapshot caches each built dataset graph+index as a memory-mapped
+// snapshot file in the given directory, so repeated experiment runs skip
+// graph conversion, indexing and prestige computation.
 //
 // Larger -factor and -queries approach the paper's scale at the cost of
 // run time (the paper's DBLP corresponds to roughly -factor 11).
@@ -31,6 +35,7 @@ func main() {
 	k := flag.Int("k", 20, "answers requested per search")
 	maxNodes := flag.Int("maxnodes", 600_000, "node-expansion budget per search (0 = unlimited)")
 	seed := flag.Int64("seed", 42, "workload sampling seed")
+	snapshot := flag.String("snapshot", "", "cache built graphs+indexes as snapshots in this directory")
 	flag.Parse()
 
 	cfg := experiments.Config{
@@ -39,6 +44,7 @@ func main() {
 		K:              *k,
 		MaxNodes:       *maxNodes,
 		Seed:           *seed,
+		SnapshotDir:    *snapshot,
 	}
 
 	run := func(name string, f func() (string, error)) {

@@ -24,6 +24,33 @@ type Mapping struct {
 	tables []string
 }
 
+// TableBase is one entry of a serialized Mapping: the first node ID
+// assigned to a table's rows (rows are contiguous per table).
+type TableBase struct {
+	Table string
+	Base  graph.NodeID
+}
+
+// Export returns the mapping as (table, base) pairs in table-creation
+// order, for snapshot serialization.
+func (m *Mapping) Export() []TableBase {
+	out := make([]TableBase, len(m.tables))
+	for i, t := range m.tables {
+		out[i] = TableBase{Table: t, Base: m.base[t]}
+	}
+	return out
+}
+
+// NewMapping reconstructs a Mapping from exported (table, base) pairs.
+func NewMapping(bases []TableBase) *Mapping {
+	m := &Mapping{base: make(map[string]graph.NodeID, len(bases)), tables: make([]string, len(bases))}
+	for i, tb := range bases {
+		m.tables[i] = tb.Table
+		m.base[tb.Table] = tb.Base
+	}
+	return m
+}
+
 // NodeOf returns the node for a row reference.
 func (m *Mapping) NodeOf(ref relational.RowRef) graph.NodeID {
 	return m.base[ref.Table] + graph.NodeID(ref.Row)
@@ -53,6 +80,15 @@ func (e *EdgeTypes) Name(t graph.EdgeType) string {
 		return e.names[t]
 	}
 	return fmt.Sprintf("type%d", t)
+}
+
+// Names returns all edge-type names indexed by graph.EdgeType value, for
+// snapshot serialization. The returned slice must not be modified.
+func (e *EdgeTypes) Names() []string { return e.names }
+
+// NewEdgeTypes reconstructs an EdgeTypes from serialized names.
+func NewEdgeTypes(names []string) *EdgeTypes {
+	return &EdgeTypes{names: names}
 }
 
 // Lookup returns the edge type with the given name, or false.

@@ -31,7 +31,7 @@ type AblationRow struct {
 // activation, the §4.5 bound mode, and the prestige source. Every variant
 // runs Bidirectional search on the same (T,T,L,L) workload.
 func Ablations(cfg Config) ([]AblationRow, error) {
-	env, err := NewEnv("dblp", cfg.Factor)
+	env, err := NewEnvSnapshot("dblp", cfg.Factor, cfg.SnapshotDir)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,8 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -25,6 +27,8 @@ import (
 	"banks/internal/datagen"
 	"banks/internal/graph"
 	"banks/internal/prestige"
+	"banks/internal/relational"
+	"banks/internal/store"
 	"banks/internal/workload"
 )
 
@@ -44,6 +48,12 @@ type Config struct {
 	MaxNodes int
 	// Seed drives workload sampling.
 	Seed int64
+	// SnapshotDir, when set, caches each built graph+index as a snapshot
+	// file in this directory: the first run of a (dataset, factor) pair
+	// writes it, later runs mmap it and skip conversion, indexing and
+	// prestige entirely (the relational rows are still regenerated for
+	// ground-truth evaluation).
+	SnapshotDir string
 }
 
 // DefaultConfig returns the bench-scale configuration.
@@ -64,6 +74,12 @@ var envCache sync.Map // key string → *Env
 // NewEnv builds (or returns the cached) environment for one dataset
 // family at the given scale factor.
 func NewEnv(name string, factor float64) (*Env, error) {
+	return NewEnvSnapshot(name, factor, "")
+}
+
+// NewEnvSnapshot is NewEnv with an optional snapshot cache directory (see
+// Config.SnapshotDir). An empty dir always builds from scratch.
+func NewEnvSnapshot(name string, factor float64, snapshotDir string) (*Env, error) {
 	key := fmt.Sprintf("%s|%g", name, factor)
 	if v, ok := envCache.Load(key); ok {
 		return v.(*Env), nil
@@ -83,6 +99,23 @@ func NewEnv(name string, factor float64) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	var snapPath string
+	if snapshotDir != "" {
+		snapPath = filepath.Join(snapshotDir, fmt.Sprintf("%s-f%g.snap", name, factor))
+		// The snapshot stays open (never closed) because the cached Env
+		// lives for the rest of the process.
+		if s, err := store.Open(snapPath, store.Options{}); err == nil {
+			if snapshotMatches(s, ds.DB) {
+				built := &convert.Result{Graph: s.Graph, Index: s.Index, Mapping: s.Mapping, EdgeTypes: s.EdgeTypes}
+				env := &Env{Name: name, DS: ds, Built: built, Gen: workload.New(ds, built)}
+				envCache.Store(key, env)
+				return env, nil
+			}
+			s.Close() // stale cache (dataset generator changed); rebuild below
+		}
+	}
+
 	built, err := convert.Build(ds.DB, convert.Options{})
 	if err != nil {
 		return nil, err
@@ -94,9 +127,39 @@ func NewEnv(name string, factor float64) (*Env, error) {
 	if err := built.Graph.SetPrestige(p); err != nil {
 		return nil, err
 	}
+	if snapPath != "" {
+		// Caching is best-effort: an unwritable cache dir (permissions,
+		// another user's file under a sticky-bit /tmp) must not abort an
+		// experiment that has already built its environment.
+		if err := os.MkdirAll(snapshotDir, 0o755); err == nil {
+			_, _ = store.WriteFile(snapPath, built.Graph, built.Index, built.Mapping, built.EdgeTypes)
+		}
+	}
 	env := &Env{Name: name, DS: ds, Built: built, Gen: workload.New(ds, built)}
 	envCache.Store(key, env)
 	return env, nil
+}
+
+// snapshotMatches guards against serving a stale snapshot cache after the
+// dataset generator changed: the snapshot's table layout (names, per-table
+// base node IDs, total rows) must match what the freshly generated
+// relational data would produce. Content changes that keep the exact table
+// layout (e.g. reworded row text) are not detectable here — delete the
+// cache dir after editing internal/datagen.
+func snapshotMatches(s *store.Snapshot, db *relational.Database) bool {
+	bases := s.Mapping.Export()
+	names := db.TableNames()
+	if len(bases) != len(names) || s.Graph.NumNodes() != db.NumRows() {
+		return false
+	}
+	next := graph.NodeID(0)
+	for i, name := range names {
+		if bases[i].Table != name || bases[i].Base != next {
+			return false
+		}
+		next += graph.NodeID(db.Table(name).NumRows())
+	}
+	return true
 }
 
 // Datasets lists the supported dataset families.

@@ -74,7 +74,7 @@ func fig5Specs() []fig5Spec {
 func Figure5(cfg Config) ([]F5Row, error) {
 	var rows []F5Row
 	for i, spec := range fig5Specs() {
-		env, err := NewEnv(spec.dataset, cfg.Factor)
+		env, err := NewEnvSnapshot(spec.dataset, cfg.Factor, cfg.SnapshotDir)
 		if err != nil {
 			return nil, err
 		}

@@ -37,7 +37,7 @@ type F6Row struct {
 // SI/Bidirectional time ratios over a generated workload with relevant
 // result size 5 (§5.4).
 func Figure6AB(cfg Config) ([]F6Row, error) {
-	env, err := NewEnv("dblp", cfg.Factor)
+	env, err := NewEnvSnapshot("dblp", cfg.Factor, cfg.SnapshotDir)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +131,7 @@ type F6CRow struct {
 // Figure6C regenerates the join-order experiment (§5.6): 4 keywords,
 // relevant answer size 3, selectivity-band combinations.
 func Figure6C(cfg Config) ([]F6CRow, error) {
-	env, err := NewEnv("dblp", cfg.Factor)
+	env, err := NewEnvSnapshot("dblp", cfg.Factor, cfg.SnapshotDir)
 	if err != nil {
 		return nil, err
 	}

@@ -26,7 +26,7 @@ type RPRow struct {
 // all algorithms should retrieve essentially all relevant answers before
 // any irrelevant one.
 func RecallPrecision(cfg Config) ([]RPRow, error) {
-	env, err := NewEnv("dblp", cfg.Factor)
+	env, err := NewEnvSnapshot("dblp", cfg.Factor, cfg.SnapshotDir)
 	if err != nil {
 		return nil, err
 	}

@@ -4,32 +4,50 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
 
 // Binary serialization of a built Graph. The format is a simple
-// little-endian dump guarded by a magic header and version so that cached
-// dataset graphs (cmd/datagen) can be reloaded without rebuilding.
+// little-endian dump guarded by a magic header, version and CRC32-C
+// trailer so that cached dataset graphs (cmd/datagen -legacy-graph) can be
+// reloaded without rebuilding. For the full queryable state (graph +
+// inverted index, mmap-able) use internal/store instead; this format is
+// kept for graph-only interchange and backward compatibility.
 //
 // Layout:
 //
 //	magic "BNK2" | version u32 | numNodes u64 | numHalves u64 | numOrigEdges u64
 //	offsets  []i32
-//	halves   []{to i32, wout f64, win f64, type u16, forward u8}
+//	halves   []{to i32, wout f64, win f64, type u16, forward u8}  (23 bytes each)
 //	nodeTable []i32
 //	prestige []f64
 //	numTables u32 | tables []{len u32, bytes}
+//	crc u32  (version ≥ 2 only: CRC32-C of every preceding byte)
+//
+// Version 1 files (no trailer) remain readable; writes always emit the
+// current version.
 
 const (
-	magic   = "BNK2"
-	version = uint32(1)
+	magic         = "BNK2"
+	version       = uint32(2)
+	legacyVersion = uint32(1)
+
+	// halfRec is the packed on-disk size of one Half record.
+	halfRec = 4 + 8 + 8 + 2 + 1
+	// halfChunk is how many Half records are staged per bulk I/O call.
+	halfChunk = 2048
 )
+
+// ioCRC is the CRC32-C table shared by the trailer writer and reader.
+var ioCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // WriteTo serializes the graph. It implements io.WriterTo.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
+	h := crc32.New(ioCRC)
+	cw := &countWriter{w: io.MultiWriter(bw, h)}
 
 	if _, err := cw.Write([]byte(magic)); err != nil {
 		return cw.n, err
@@ -46,10 +64,8 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 	if err := binary.Write(cw, binary.LittleEndian, g.offsets); err != nil {
 		return cw.n, err
 	}
-	for _, h := range g.halves {
-		if err := writeHalf(cw, h); err != nil {
-			return cw.n, err
-		}
+	if err := writeHalves(cw, g.halves); err != nil {
+		return cw.n, err
 	}
 	if err := binary.Write(cw, binary.LittleEndian, g.nodeTable); err != nil {
 		return cw.n, err
@@ -68,34 +84,45 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
+	// Trailer: checksum of everything above, written outside the hash tee.
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], h.Sum32())
+	if _, err := bw.Write(trailer[:]); err != nil {
+		return cw.n, err
+	}
+	cw.n += 4
 	if err := bw.Flush(); err != nil {
 		return cw.n, err
 	}
 	return cw.n, nil
 }
 
-// ReadFrom deserializes a graph written by WriteTo. It implements
-// io.ReaderFrom semantics via the Read function below; use Read.
+// Read deserializes a graph written by WriteTo, verifying the CRC trailer
+// for current-version files (legacy version-1 files have none).
 func Read(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
+	h := crc32.New(ioCRC)
+	// Everything before the trailer streams through the hash; the trailer
+	// itself is read from br directly so its bytes stay out of the sum.
+	tr := io.TeeReader(br, h)
 
 	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
+	if _, err := io.ReadFull(tr, m[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading magic: %w", err)
 	}
 	if string(m[:]) != magic {
 		return nil, fmt.Errorf("graph: bad magic %q", m)
 	}
 	var ver uint32
-	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+	if err := binary.Read(tr, binary.LittleEndian, &ver); err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != version && ver != legacyVersion {
 		return nil, fmt.Errorf("graph: unsupported version %d", ver)
 	}
 	var numNodes, numHalves, numOrig uint64
 	for _, p := range []*uint64{&numNodes, &numHalves, &numOrig} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+		if err := binary.Read(tr, binary.LittleEndian, p); err != nil {
 			return nil, err
 		}
 	}
@@ -113,21 +140,16 @@ func Read(r io.Reader) (*Graph, error) {
 	// allocation from a tiny input.
 	g := &Graph{numOrigEdges: int(numOrig)}
 	var err error
-	if g.offsets, err = readSlice[int32](br, numNodes+1); err != nil {
+	if g.offsets, err = readSlice[int32](tr, numNodes+1); err != nil {
 		return nil, err
 	}
-	g.halves = make([]Half, 0, min(numHalves, sliceChunk))
-	for i := uint64(0); i < numHalves; i++ {
-		h, err := readHalf(br)
-		if err != nil {
-			return nil, err
-		}
-		g.halves = append(g.halves, h)
-	}
-	if g.nodeTable, err = readSlice[int32](br, numNodes); err != nil {
+	if g.halves, err = readHalves(tr, numHalves); err != nil {
 		return nil, err
 	}
-	if g.prestige, err = readSlice[float64](br, numNodes); err != nil {
+	if g.nodeTable, err = readSlice[int32](tr, numNodes); err != nil {
+		return nil, err
+	}
+	if g.prestige, err = readSlice[float64](tr, numNodes); err != nil {
 		return nil, err
 	}
 	for _, v := range g.prestige {
@@ -136,7 +158,7 @@ func Read(r io.Reader) (*Graph, error) {
 		}
 	}
 	var numTables uint32
-	if err := binary.Read(br, binary.LittleEndian, &numTables); err != nil {
+	if err := binary.Read(tr, binary.LittleEndian, &numTables); err != nil {
 		return nil, err
 	}
 	if numTables > 1<<20 {
@@ -145,17 +167,29 @@ func Read(r io.Reader) (*Graph, error) {
 	g.tables = make([]string, numTables)
 	for i := range g.tables {
 		var n uint32
-		if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		if err := binary.Read(tr, binary.LittleEndian, &n); err != nil {
 			return nil, err
 		}
 		if n > 1<<20 {
 			return nil, fmt.Errorf("graph: implausible table name length %d", n)
 		}
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
+		if _, err := io.ReadFull(tr, buf); err != nil {
 			return nil, err
 		}
 		g.tables[i] = string(buf)
+	}
+	if ver >= 2 {
+		// The trailer is read from the underlying reader so its own bytes
+		// never enter the hash.
+		sum := h.Sum32()
+		var trailer [4]byte
+		if _, err := io.ReadFull(br, trailer[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading checksum trailer: %w", err)
+		}
+		if want := binary.LittleEndian.Uint32(trailer[:]); sum != want {
+			return nil, fmt.Errorf("graph: checksum mismatch: %08x != %08x", sum, want)
+		}
 	}
 	if err := g.validate(); err != nil {
 		return nil, err
@@ -203,31 +237,62 @@ func readSlice[T int32 | float64](r io.Reader, n uint64) ([]T, error) {
 	return out, nil
 }
 
-func writeHalf(w io.Writer, h Half) error {
-	var buf [4 + 8 + 8 + 2 + 1]byte
+// writeHalves bulk-encodes the half array through a fixed staging buffer,
+// one Write per halfChunk records instead of one per record.
+func writeHalves(w io.Writer, halves []Half) error {
+	var buf [halfChunk * halfRec]byte
+	for len(halves) > 0 {
+		n := min(len(halves), halfChunk)
+		for i := 0; i < n; i++ {
+			encodeHalfRec(buf[i*halfRec:], halves[i])
+		}
+		if _, err := w.Write(buf[:n*halfRec]); err != nil {
+			return err
+		}
+		halves = halves[n:]
+	}
+	return nil
+}
+
+// readHalves bulk-decodes n records, growing the result with the data
+// actually present (a forged count cannot force a huge allocation).
+func readHalves(r io.Reader, n uint64) ([]Half, error) {
+	var buf [halfChunk * halfRec]byte
+	out := make([]Half, 0, min(n, halfChunk))
+	for remaining := n; remaining > 0; {
+		c := int(min(remaining, halfChunk))
+		if _, err := io.ReadFull(r, buf[:c*halfRec]); err != nil {
+			return nil, err
+		}
+		off := len(out)
+		out = append(out, make([]Half, c)...)
+		for i := 0; i < c; i++ {
+			out[off+i] = decodeHalfRec(buf[i*halfRec:])
+		}
+		remaining -= uint64(c)
+	}
+	return out, nil
+}
+
+func encodeHalfRec(buf []byte, h Half) {
 	binary.LittleEndian.PutUint32(buf[0:], uint32(h.To))
 	binary.LittleEndian.PutUint64(buf[4:], math.Float64bits(h.WOut))
 	binary.LittleEndian.PutUint64(buf[12:], math.Float64bits(h.WIn))
 	binary.LittleEndian.PutUint16(buf[20:], uint16(h.Type))
+	buf[22] = 0
 	if h.Forward {
 		buf[22] = 1
 	}
-	_, err := w.Write(buf[:])
-	return err
 }
 
-func readHalf(r io.Reader) (Half, error) {
-	var buf [4 + 8 + 8 + 2 + 1]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return Half{}, err
-	}
+func decodeHalfRec(buf []byte) Half {
 	return Half{
 		To:      NodeID(int32(binary.LittleEndian.Uint32(buf[0:]))),
 		WOut:    math.Float64frombits(binary.LittleEndian.Uint64(buf[4:])),
 		WIn:     math.Float64frombits(binary.LittleEndian.Uint64(buf[12:])),
 		Type:    EdgeType(binary.LittleEndian.Uint16(buf[20:])),
 		Forward: buf[22] == 1,
-	}, nil
+	}
 }
 
 type countWriter struct {

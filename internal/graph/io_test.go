@@ -105,6 +105,54 @@ func TestReadRejectsBadVersion(t *testing.T) {
 	}
 }
 
+// asV1 converts current-version bytes to a legacy version-1 file: same
+// payload, version field 1, no CRC trailer.
+func asV1(t *testing.T, data []byte) []byte {
+	t.Helper()
+	if len(data) < 12 {
+		t.Fatal("short serialization")
+	}
+	v1 := bytes.Clone(data[:len(data)-4])
+	v1[4] = 1
+	return v1
+}
+
+// TestLegacyV1Read pins the compatibility shim: version-1 files (written
+// before the CRC trailer existed) still load and decode identically.
+func TestLegacyV1Read(t *testing.T) {
+	g := randomGraph(7, 40, 160)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(bytes.NewReader(asV1(t, buf.Bytes())))
+	if err != nil {
+		t.Fatalf("legacy v1 read: %v", err)
+	}
+	if !reflect.DeepEqual(g.halves, g2.halves) || !reflect.DeepEqual(g.prestige, g2.prestige) {
+		t.Fatal("legacy v1 decode differs from original")
+	}
+}
+
+// TestCRCTrailerDetectsCorruption flips single bits across the file; the
+// trailer must reject every one of them (structural validation alone
+// cannot see e.g. a flipped weight mantissa).
+func TestCRCTrailerDetectsCorruption(t *testing.T) {
+	g := randomGraph(11, 30, 120)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for pos := 4; pos < len(data); pos += 17 {
+		c := bytes.Clone(data)
+		c[pos] ^= 0x20
+		if _, err := Read(bytes.NewReader(c)); err == nil {
+			t.Fatalf("accepted corruption at byte %d", pos)
+		}
+	}
+}
+
 func TestEmptyGraphRoundTrip(t *testing.T) {
 	b := NewBuilder()
 	b.AddNode("only")

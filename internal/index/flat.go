@@ -1,0 +1,165 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"banks/internal/graph"
+)
+
+// Flat is the frozen columnar form of an Index: a sorted term dictionary
+// plus concatenated posting lists, and the same pair for relation-name
+// pseudo-postings. All arrays are fixed-width or plain bytes, so a Flat can
+// be backed either by heap slices (built by Flatten) or by zero-copy views
+// over a memory-mapped snapshot (internal/store). Term i occupies
+// TermBytes[TermOffsets[i]:TermOffsets[i+1]] and its posting list is
+// Postings[PostOffsets[i]:PostOffsets[i+1]].
+//
+// Invariants (enforced by Validate): both dictionaries are strictly
+// ascending in byte order, offset arrays are monotone and end at the
+// length of the array they index, and every posting list is strictly
+// ascending with node IDs in [0, NumNodes).
+type Flat struct {
+	TermOffsets []uint32
+	TermBytes   []byte
+	Postings    []graph.NodeID
+	PostOffsets []uint32
+
+	RelOffsets     []uint32
+	RelBytes       []byte
+	RelPostings    []graph.NodeID
+	RelPostOffsets []uint32
+}
+
+// NumTerms returns the number of distinct terms in the dictionary.
+func (f *Flat) NumTerms() int { return len(f.TermOffsets) - 1 }
+
+// Term materializes dictionary entry i as a string.
+func (f *Flat) Term(i int) string {
+	return string(f.TermBytes[f.TermOffsets[i]:f.TermOffsets[i+1]])
+}
+
+// lookupDict binary-searches a dictionary (offsets into blob) for term and
+// returns its index, or -1.
+func lookupDict(offsets []uint32, blob []byte, term []byte) int {
+	n := len(offsets) - 1
+	i := sort.Search(n, func(i int) bool {
+		return bytes.Compare(blob[offsets[i]:offsets[i+1]], term) >= 0
+	})
+	if i < n && bytes.Equal(blob[offsets[i]:offsets[i+1]], term) {
+		return i
+	}
+	return -1
+}
+
+// termPostings returns the posting list of term (already normalized), or
+// nil. The result aliases the backing array and must not be modified.
+func (f *Flat) termPostings(term []byte) []graph.NodeID {
+	i := lookupDict(f.TermOffsets, f.TermBytes, term)
+	if i < 0 {
+		return nil
+	}
+	return f.Postings[f.PostOffsets[i]:f.PostOffsets[i+1]]
+}
+
+// relPostings is termPostings over the relation-name dictionary.
+func (f *Flat) relPostings(term []byte) []graph.NodeID {
+	i := lookupDict(f.RelOffsets, f.RelBytes, term)
+	if i < 0 {
+		return nil
+	}
+	return f.RelPostings[f.RelPostOffsets[i]:f.RelPostOffsets[i+1]]
+}
+
+// Validate checks every structural invariant a query path relies on, so
+// that a Flat assembled from untrusted snapshot bytes can never make
+// Lookup panic or return out-of-range nodes. It reads each array exactly
+// once.
+func (f *Flat) Validate(numNodes int) error {
+	if err := validateDict("term", f.TermOffsets, f.TermBytes, f.PostOffsets, f.Postings, numNodes); err != nil {
+		return err
+	}
+	return validateDict("relation", f.RelOffsets, f.RelBytes, f.RelPostOffsets, f.RelPostings, numNodes)
+}
+
+func validateDict(kind string, offsets []uint32, blob []byte, postOff []uint32, postings []graph.NodeID, numNodes int) error {
+	if len(offsets) == 0 || len(postOff) != len(offsets) {
+		return fmt.Errorf("index: %s dictionary offset arrays have lengths %d/%d", kind, len(offsets), len(postOff))
+	}
+	if offsets[0] != 0 || int(offsets[len(offsets)-1]) != len(blob) {
+		return fmt.Errorf("index: %s dictionary offsets do not span the term blob", kind)
+	}
+	if postOff[0] != 0 || int(postOff[len(postOff)-1]) != len(postings) {
+		return fmt.Errorf("index: %s posting offsets do not span the posting array", kind)
+	}
+	var prev []byte
+	for i := 0; i+1 < len(offsets); i++ {
+		// An entry's end must be bounds-checked before slicing: a forged
+		// array like [0, 10, 5] over a 5-byte blob passes the first/last
+		// checks above and is non-decreasing at i=0, so the decrease would
+		// only be caught after blob[0:10] had already panicked.
+		if offsets[i] > offsets[i+1] || int(offsets[i+1]) > len(blob) {
+			return fmt.Errorf("index: %s dictionary offsets corrupt at %d", kind, i)
+		}
+		cur := blob[offsets[i]:offsets[i+1]]
+		if i > 0 && bytes.Compare(prev, cur) >= 0 {
+			return fmt.Errorf("index: %s dictionary not strictly sorted at %d", kind, i)
+		}
+		prev = cur
+		if postOff[i] > postOff[i+1] || int(postOff[i+1]) > len(postings) {
+			return fmt.Errorf("index: %s posting offsets corrupt at %d", kind, i)
+		}
+		list := postings[postOff[i]:postOff[i+1]]
+		for j, u := range list {
+			if u < 0 || int(u) >= numNodes {
+				return fmt.Errorf("index: %s %d posting %d references node %d outside [0,%d)", kind, i, j, u, numNodes)
+			}
+			if j > 0 && list[j-1] >= u {
+				return fmt.Errorf("index: %s %d posting list not strictly sorted at %d", kind, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Flatten converts a frozen Index into its columnar form (copying into
+// fresh heap slices). The Index must have been frozen first so posting
+// lists are sorted and deduplicated. A Flat-backed index flattens to its
+// own backing arrays without copying.
+func (ix *Index) Flatten() (*Flat, error) {
+	if ix.flat != nil {
+		return ix.flat, nil
+	}
+	if !ix.frozen {
+		return nil, fmt.Errorf("index: Flatten before Freeze")
+	}
+	f := &Flat{}
+	f.TermOffsets, f.TermBytes, f.PostOffsets, f.Postings = flattenDict(ix.postings)
+	f.RelOffsets, f.RelBytes, f.RelPostOffsets, f.RelPostings = flattenDict(ix.relations)
+	return f, nil
+}
+
+func flattenDict(m map[string][]graph.NodeID) (offsets []uint32, blob []byte, postOff []uint32, postings []graph.NodeID) {
+	terms := make([]string, 0, len(m))
+	for t := range m {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	offsets = make([]uint32, 1, len(terms)+1)
+	postOff = make([]uint32, 1, len(terms)+1)
+	for _, t := range terms {
+		blob = append(blob, t...)
+		postings = append(postings, m[t]...)
+		offsets = append(offsets, uint32(len(blob)))
+		postOff = append(postOff, uint32(len(postings)))
+	}
+	return offsets, blob, postOff, postings
+}
+
+// FromFlat returns an Index served directly from a frozen columnar form.
+// The Flat (and whatever memory backs it) must outlive the Index; call
+// Validate before trusting snapshot-derived data.
+func FromFlat(f *Flat) *Index {
+	return &Index{flat: f, frozen: true}
+}

@@ -1,0 +1,130 @@
+package index
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"banks/internal/graph"
+)
+
+func builtIndex(t *testing.T) (*Index, *graph.Graph) {
+	t.Helper()
+	b := graph.NewBuilder()
+	b.AddNodes("author", 3)
+	b.AddNodes("paper", 2)
+	g := b.Build()
+	ix := New()
+	ix.AddText(0, "jim gray")
+	ix.AddText(1, "pat selinger")
+	ix.AddText(2, "jim ullman")
+	ix.AddText(3, "transaction recovery")
+	ix.AddText(4, "gray transaction")
+	ix.Freeze(g)
+	return ix, g
+}
+
+// TestFlattenFromFlatEquivalence pins that a flat-backed index answers
+// every Lookup/Count/Terms/NumTerms exactly like the map-backed original.
+func TestFlattenFromFlatEquivalence(t *testing.T) {
+	ix, _ := builtIndex(t)
+	f, err := ix.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(5); err != nil {
+		t.Fatalf("Validate of a well-formed flat: %v", err)
+	}
+	fx := FromFlat(f)
+	if fx.NumTerms() != ix.NumTerms() {
+		t.Fatalf("NumTerms %d vs %d", fx.NumTerms(), ix.NumTerms())
+	}
+	a, b := ix.Terms(), fx.Terms()
+	sort.Strings(a)
+	sort.Strings(b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Terms %v vs %v", b, a)
+	}
+	for _, term := range append(a, "author", "paper", "Gray", "nosuch", "") {
+		want, got := ix.Lookup(term), fx.Lookup(term)
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("Lookup(%q): %v vs %v", term, got, want)
+		}
+		if ix.Count(term) != fx.Count(term) {
+			t.Fatalf("Count(%q) differs", term)
+		}
+	}
+}
+
+// TestFlattenRequiresFreeze and mutation guards.
+func TestFlatContracts(t *testing.T) {
+	if _, err := New().Flatten(); err == nil {
+		t.Fatal("Flatten before Freeze must fail")
+	}
+	ix, _ := builtIndex(t)
+	f, err := ix.Flatten()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := FromFlat(f).Flatten()
+	if err != nil || f2 != f {
+		t.Fatal("flat-backed Flatten must return its own backing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddText on a flat-backed index must panic")
+		}
+	}()
+	FromFlat(f).AddText(0, "boom")
+}
+
+// TestValidateRejectsForgedOffsets covers the offset-array attacks a
+// snapshot reader must survive, including the non-monotone case
+// [0, 10, 5] whose out-of-range middle entry is only detectable by an
+// explicit bounds check before slicing (regression: this used to panic).
+func TestValidateRejectsForgedOffsets(t *testing.T) {
+	base := func() *Flat {
+		return &Flat{
+			TermOffsets:    []uint32{0, 2, 5},
+			TermBytes:      []byte("abcde"),
+			PostOffsets:    []uint32{0, 1, 2},
+			Postings:       []graph.NodeID{0, 1},
+			RelOffsets:     []uint32{0},
+			RelBytes:       nil,
+			RelPostOffsets: []uint32{0},
+			RelPostings:    nil,
+		}
+	}
+	if err := base().Validate(2); err != nil {
+		t.Fatalf("well-formed flat rejected: %v", err)
+	}
+	mutations := map[string]func(*Flat){
+		"term-offsets-overshoot-then-shrink": func(f *Flat) { f.TermOffsets = []uint32{0, 10, 5} },
+		"term-offsets-decrease":              func(f *Flat) { f.TermOffsets = []uint32{0, 3, 2, 5}; f.PostOffsets = []uint32{0, 1, 1, 2} },
+		"term-offsets-not-spanning":          func(f *Flat) { f.TermOffsets = []uint32{0, 2, 4} },
+		"post-offsets-overshoot-then-shrink": func(f *Flat) { f.PostOffsets = []uint32{0, 9, 2} },
+		"post-offsets-not-spanning":          func(f *Flat) { f.PostOffsets = []uint32{0, 1, 1} },
+		"dict-not-sorted":                    func(f *Flat) { f.TermBytes = []byte("cbade") },
+		"posting-out-of-range":               func(f *Flat) { f.Postings = []graph.NodeID{0, 7} },
+		"posting-negative":                   func(f *Flat) { f.Postings = []graph.NodeID{-1, 1} },
+		"posting-not-sorted":                 func(f *Flat) { f.PostOffsets = []uint32{0, 2, 2}; f.Postings = []graph.NodeID{1, 0} },
+		"offset-count-mismatch":              func(f *Flat) { f.PostOffsets = []uint32{0, 2} },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Validate panicked: %v", r)
+				}
+			}()
+			f := base()
+			mutate(f)
+			if err := f.Validate(2); err == nil {
+				t.Fatal("forged flat accepted")
+			}
+		})
+	}
+}

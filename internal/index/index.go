@@ -16,12 +16,19 @@ import (
 )
 
 // Index is an inverted index from lower-cased terms to node IDs.
+//
+// It has two interchangeable backings: the mutable map form filled by
+// AddText/AddTerm and frozen in place (the Build path), and the columnar
+// Flat form attached by FromFlat, whose arrays may be zero-copy views over
+// a memory-mapped snapshot. Lookup results are identical either way.
 type Index struct {
 	postings map[string][]graph.NodeID
 	// relation name → all nodes of that relation (materialized lazily at
 	// Freeze time from the graph's node→table mapping).
 	relations map[string][]graph.NodeID
 	frozen    bool
+	// flat, when non-nil, serves all reads; the map fields are nil.
+	flat *Flat
 }
 
 // New returns an empty index.
@@ -36,6 +43,7 @@ func New() *Index {
 // u. Safe to call repeatedly for the same node (e.g. one call per string
 // attribute).
 func (ix *Index) AddText(u graph.NodeID, text string) {
+	ix.mutable()
 	for _, term := range Tokenize(text) {
 		ix.postings[term] = append(ix.postings[term], u)
 	}
@@ -44,6 +52,7 @@ func (ix *Index) AddText(u graph.NodeID, text string) {
 // AddTerm adds a single pre-tokenized term for node u. The term is
 // normalized (lower-cased) first.
 func (ix *Index) AddTerm(u graph.NodeID, term string) {
+	ix.mutable()
 	t := Normalize(term)
 	if t == "" {
 		return
@@ -56,6 +65,9 @@ func (ix *Index) AddTerm(u graph.NodeID, term string) {
 // tuples of the relation). Lookup before Freeze returns unsorted data;
 // always Freeze after loading.
 func (ix *Index) Freeze(g *graph.Graph) {
+	if ix.flat != nil {
+		return // snapshot-backed indexes are born frozen
+	}
 	for term, list := range ix.postings {
 		ix.postings[term] = dedupe(list)
 	}
@@ -75,8 +87,15 @@ func (ix *Index) Freeze(g *graph.Graph) {
 // result is sorted and deduplicated; it must not be modified.
 func (ix *Index) Lookup(term string) []graph.NodeID {
 	t := Normalize(term)
-	post := ix.postings[t]
-	rel := ix.relations[t]
+	var post, rel []graph.NodeID
+	if ix.flat != nil {
+		tb := []byte(t)
+		post = ix.flat.termPostings(tb)
+		rel = ix.flat.relPostings(tb)
+	} else {
+		post = ix.postings[t]
+		rel = ix.relations[t]
+	}
 	switch {
 	case len(rel) == 0:
 		return post
@@ -99,6 +118,13 @@ func (ix *Index) Count(term string) int {
 // Terms returns all indexed terms (not relation names) in unspecified
 // order. Intended for workload generation and tests.
 func (ix *Index) Terms() []string {
+	if ix.flat != nil {
+		out := make([]string, ix.flat.NumTerms())
+		for i := range out {
+			out[i] = ix.flat.Term(i)
+		}
+		return out
+	}
 	out := make([]string, 0, len(ix.postings))
 	for t := range ix.postings {
 		out = append(out, t)
@@ -107,7 +133,21 @@ func (ix *Index) Terms() []string {
 }
 
 // NumTerms returns the number of distinct indexed terms.
-func (ix *Index) NumTerms() int { return len(ix.postings) }
+func (ix *Index) NumTerms() int {
+	if ix.flat != nil {
+		return ix.flat.NumTerms()
+	}
+	return len(ix.postings)
+}
+
+// mutable panics when the index cannot accept new postings. Flat-backed
+// indexes may alias read-only mapped memory, so mutation is a programming
+// error rather than a recoverable condition.
+func (ix *Index) mutable() {
+	if ix.flat != nil {
+		panic("index: cannot add postings to a snapshot-backed index")
+	}
+}
 
 func notAlnum(r rune) bool {
 	return !unicode.IsLetter(r) && !unicode.IsNumber(r)

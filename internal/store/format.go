@@ -1,0 +1,85 @@
+// Package store implements the BANKS single-file snapshot format: one
+// versioned, checksummed, section-aligned file holding the complete
+// queryable state — graph adjacency, prestige, node/table metadata, and
+// the frozen inverted index — laid out so every fixed-width array can be
+// memory-mapped and read zero-copy.
+//
+// File layout (all integers little-endian):
+//
+//	header (64 bytes)
+//	section table (sectionCount × 24 bytes)
+//	meta CRC32-C (4 bytes, over header + section table)
+//	sections, each starting at a 64-byte-aligned offset, zero-padded
+//
+// Header:
+//
+//	0  magic "BANKSNAP"
+//	8  version  u32
+//	12 sectionCount u32
+//	16 numNodes u64
+//	24 numHalves u64
+//	32 numOrigEdges u64
+//	40 numTerms u64
+//	48 numRelations u64
+//	56 maxPrestige f64
+//
+// Section table entry:
+//
+//	0  id u32
+//	4  crc u32 (CRC32-C of the section's payload bytes)
+//	8  offset u64 (from file start; 64-byte aligned)
+//	16 length u64 (payload bytes, excluding alignment padding)
+//
+// Opening verifies the meta CRC, all structural invariants the query
+// paths rely on, and (by default) every section CRC; see Open. See
+// docs/SNAPSHOT_FORMAT.md for the full specification.
+package store
+
+import "hash/crc32"
+
+const (
+	magic      = "BANKSNAP"
+	version    = uint32(1)
+	headerSize = 64
+	entrySize  = 24
+	align      = 64
+
+	// halfSize is the on-disk record size of one graph.Half:
+	// to i32 @0, pad @4, wout f64 @8, win f64 @16, type u16 @24,
+	// forward u8 @26, pad @27 — matching Go's in-memory struct layout on
+	// little-endian 64-bit targets so the section can be viewed in place.
+	halfSize = 32
+
+	// maxSections bounds the section table a reader will accept.
+	maxSections = 64
+	// maxStrings bounds decoded string-blob entry counts (table names,
+	// mapping entries, edge-type names).
+	maxStrings = 1 << 20
+)
+
+// Section IDs. Readers ignore unknown IDs so additive format evolution
+// does not require a version bump.
+const (
+	secGraphOffsets   = uint32(1)  // i32[numNodes+1]
+	secGraphHalves    = uint32(2)  // halfSize × numHalves bytes
+	secNodeTable      = uint32(3)  // i32[numNodes]
+	secPrestige       = uint32(4)  // f64[numNodes]
+	secTableNames     = uint32(5)  // string blob
+	secTermOffsets    = uint32(6)  // u32[numTerms+1]
+	secTermBytes      = uint32(7)  // raw term bytes
+	secPostOffsets    = uint32(8)  // u32[numTerms+1]
+	secPostings       = uint32(9)  // i32[]
+	secRelOffsets     = uint32(10) // u32[numRelations+1]
+	secRelBytes       = uint32(11) // raw relation-name bytes
+	secRelPostOffsets = uint32(12) // u32[numRelations+1]
+	secRelPostings    = uint32(13) // i32[]
+	secMapping        = uint32(14) // string blob + i32 bases
+	secEdgeTypes      = uint32(15) // string blob
+)
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// align64 rounds n up to the next multiple of align.
+func align64(n uint64) uint64 { return (n + align - 1) &^ uint64(align-1) }

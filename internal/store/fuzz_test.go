@@ -1,0 +1,80 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"banks/internal/graph"
+)
+
+// FuzzReadSnapshot feeds arbitrary bytes to the snapshot reader. The
+// contract under attack: forged section offsets, truncated files and bad
+// checksums must produce an error — never a panic, out-of-range access,
+// or an allocation larger than the input justifies (the reader only
+// allocates in proportion to bytes actually present). Anything accepted
+// must be fully queryable and re-serialize to a stable fixed point.
+func FuzzReadSnapshot(f *testing.F) {
+	res := testState(f)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, res.Graph, res.Index, res.Mapping, res.EdgeTypes); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])  // truncated mid-section
+	f.Add(valid[:headerSize+3])  // truncated inside the section table
+	f.Add([]byte(magic))         // magic only
+	f.Add([]byte{})              // empty
+	forged := bytes.Clone(valid) // forged section offset
+	binary.LittleEndian.PutUint64(forged[headerSize+8:], 1<<60)
+	f.Add(forged)
+	huge := bytes.Clone(valid) // forged node count
+	binary.LittleEndian.PutUint64(huge[16:], 1<<40)
+	f.Add(huge)
+	badcrc := bytes.Clone(valid) // payload corruption under a stale CRC
+	badcrc[len(badcrc)-1] ^= 0xff
+	f.Add(badcrc)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Read(bytes.NewReader(data), Options{})
+		if err != nil {
+			return // rejecting malformed input is the job
+		}
+		// Accepted snapshots must be safe to query...
+		g := s.Graph
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, h := range g.Neighbors(graph.NodeID(u)) {
+				if h.To < 0 || int(h.To) >= g.NumNodes() {
+					t.Fatalf("accepted snapshot has out-of-range half %+v", h)
+				}
+			}
+			_ = g.Prestige(graph.NodeID(u))
+			_ = g.Table(graph.NodeID(u))
+		}
+		for _, term := range append(s.Index.Terms(), "fuzz", "") {
+			for _, u := range s.Index.Lookup(term) {
+				if u < 0 || int(u) >= g.NumNodes() {
+					t.Fatalf("Lookup(%q) returned out-of-range node %d", term, u)
+				}
+			}
+		}
+		// ...and re-serialize to a fixed point.
+		var buf1 bytes.Buffer
+		if _, err := Write(&buf1, s.Graph, s.Index, s.Mapping, s.EdgeTypes); err != nil {
+			t.Fatalf("accepted snapshot failed to serialize: %v", err)
+		}
+		s2, err := Read(bytes.NewReader(buf1.Bytes()), Options{})
+		if err != nil {
+			t.Fatalf("re-read of accepted snapshot failed: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if _, err := Write(&buf2, s2.Graph, s2.Index, s2.Mapping, s2.EdgeTypes); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatal("serialization is not a fixed point after one round trip")
+		}
+	})
+}

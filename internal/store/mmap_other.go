@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable on this platform; Open falls back to reading
+// the file into an aligned heap buffer (zero-copy views still apply, the
+// kernel just cannot demand-page the data).
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	return nil, false, errors.New("store: mmap unsupported on this platform")
+}
+
+func munmapFile(data []byte) error { return nil }

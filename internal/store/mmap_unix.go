@@ -1,0 +1,31 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. Returning mapped=false (with any
+// error) tells the caller to fall back to a heap read; mapping failures
+// are therefore never fatal.
+func mmapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size <= 0 || size > math.MaxInt {
+		return nil, false, fmt.Errorf("store: cannot map %d-byte file", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

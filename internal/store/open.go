@@ -1,0 +1,372 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"banks/internal/convert"
+	"banks/internal/graph"
+	"banks/internal/index"
+)
+
+// Options tunes snapshot opening. The zero value is the safe default:
+// memory-map when the platform supports it and verify every checksum.
+type Options struct {
+	// SkipChecksums skips per-section CRC verification. Structural
+	// validation (the invariants that keep query paths panic-free) always
+	// runs; only bit-rot detection is skipped. The meta CRC over the
+	// header and section table is always verified.
+	SkipChecksums bool
+	// NoMmap forces reading the file into the heap instead of mapping it.
+	NoMmap bool
+}
+
+// Snapshot is an opened snapshot: a ready-to-query graph + index whose
+// big arrays alias the underlying file mapping (when ZeroCopy reports
+// true). Keep the Snapshot open for as long as any of its components are
+// in use; Close unmaps the file.
+type Snapshot struct {
+	Graph     *graph.Graph
+	Index     *index.Index
+	Mapping   *convert.Mapping
+	EdgeTypes *convert.EdgeTypes
+
+	data     []byte
+	mapped   bool
+	zeroCopy bool
+}
+
+// ZeroCopy reports whether the graph and index arrays alias the mapped
+// file (true on little-endian hosts with the canonical struct layout).
+func (s *Snapshot) ZeroCopy() bool { return s.zeroCopy }
+
+// Close releases the file mapping. The Snapshot's graph and index must
+// not be used afterwards. Close is idempotent and a no-op for heap-backed
+// snapshots.
+func (s *Snapshot) Close() error {
+	if !s.mapped {
+		return nil
+	}
+	s.mapped = false
+	data := s.data
+	s.data = nil
+	return munmapFile(data)
+}
+
+// Open maps (or, with opts.NoMmap or on platforms without mmap, reads)
+// the snapshot file and returns its queryable state. The work done is one
+// sequential validation pass over the file — no tokenization, sorting, or
+// graph building — so a snapshot is ready to query in roughly the time it
+// takes to page the data in.
+func Open(path string, opts Options) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	var (
+		data   []byte
+		mapped bool
+	)
+	if !opts.NoMmap {
+		data, mapped, _ = mmapFile(f, st.Size())
+	}
+	if !mapped {
+		// The size is known, so read into one exactly-sized aligned buffer
+		// (the growth loop in readAllAligned is for size-unknown streams).
+		if st.Size() > math.MaxInt {
+			return nil, fmt.Errorf("store: %s: %d-byte snapshot exceeds addressable memory", path, st.Size())
+		}
+		data = alignedBuf(int(st.Size()))
+		if _, err := io.ReadFull(f, data); err != nil {
+			return nil, err
+		}
+	}
+	s, err := fromBytes(data, opts)
+	if err != nil {
+		if mapped {
+			munmapFile(data)
+		}
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	s.mapped = mapped
+	return s, nil
+}
+
+// Read decodes a snapshot from a stream into a heap-backed Snapshot. It
+// allocates in proportion to the bytes actually present, never to sizes
+// claimed by the header, so truncated or forged inputs cannot force large
+// allocations.
+func Read(r io.Reader, opts Options) (*Snapshot, error) {
+	data, err := readAllAligned(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := fromBytes(data, opts)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return s, nil
+}
+
+// readAllAligned is io.ReadAll with an 8-byte-aligned backing array
+// (allocated as uint64s) so scalar zero-copy views remain valid for
+// heap-backed snapshots.
+func readAllAligned(r io.Reader) ([]byte, error) {
+	buf := alignedBuf(32 * 1024)
+	n := 0
+	for {
+		if n == len(buf) {
+			nb := alignedBuf(2 * len(buf))
+			copy(nb, buf)
+			buf = nb
+		}
+		c, err := r.Read(buf[n:])
+		n += c
+		if err == io.EOF {
+			return buf[:n], nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+func alignedBuf(n int) []byte {
+	words := make([]uint64, (n+7)/8)
+	return unsafeBytes(words)[:n]
+}
+
+// fromBytes validates and assembles a snapshot over data. On success the
+// returned snapshot's arrays alias data wherever zero-copy views apply.
+func fromBytes(data []byte, opts Options) (*Snapshot, error) {
+	le := binary.LittleEndian
+	if len(data) < headerSize+4 {
+		return nil, fmt.Errorf("truncated snapshot: %d bytes", len(data))
+	}
+	if string(data[:8]) != magic {
+		return nil, fmt.Errorf("bad magic %q", data[:8])
+	}
+	if v := le.Uint32(data[8:]); v != version {
+		return nil, fmt.Errorf("unsupported snapshot version %d", v)
+	}
+	sectionCount := int(le.Uint32(data[12:]))
+	if sectionCount > maxSections {
+		return nil, fmt.Errorf("implausible section count %d", sectionCount)
+	}
+	tableEnd := headerSize + sectionCount*entrySize
+	if len(data) < tableEnd+4 {
+		return nil, fmt.Errorf("truncated section table")
+	}
+	if got, want := crc32.Checksum(data[:tableEnd], castagnoli), le.Uint32(data[tableEnd:]); got != want {
+		return nil, fmt.Errorf("header checksum mismatch: %08x != %08x", got, want)
+	}
+
+	numNodes := le.Uint64(data[16:])
+	numHalves := le.Uint64(data[24:])
+	numOrig := le.Uint64(data[32:])
+	numTerms := le.Uint64(data[40:])
+	numRels := le.Uint64(data[48:])
+	const maxCount = 1<<31 - 2 // NodeID and section offsets are int32-indexed
+	for _, c := range []uint64{numNodes, numHalves, numOrig, numTerms, numRels} {
+		if c > maxCount {
+			return nil, fmt.Errorf("implausible count %d in header", c)
+		}
+	}
+	if numOrig*2 != numHalves {
+		return nil, fmt.Errorf("inconsistent edge counts: halves=%d orig=%d", numHalves, numOrig)
+	}
+
+	// Parse the section table; every fixed-width section must have the
+	// exact length implied by the header counts.
+	want := map[uint32]uint64{
+		secGraphOffsets:   (numNodes + 1) * 4,
+		secNodeTable:      numNodes * 4,
+		secPrestige:       numNodes * 8,
+		secGraphHalves:    numHalves * halfSize,
+		secTermOffsets:    (numTerms + 1) * 4,
+		secPostOffsets:    (numTerms + 1) * 4,
+		secRelOffsets:     (numRels + 1) * 4,
+		secRelPostOffsets: (numRels + 1) * 4,
+	}
+	byID := make(map[uint32][]byte, sectionCount)
+	crcs := make(map[uint32]uint32, sectionCount)
+	fileSize := uint64(len(data))
+	for i := 0; i < sectionCount; i++ {
+		e := data[headerSize+i*entrySize:]
+		id := le.Uint32(e[0:])
+		crc := le.Uint32(e[4:])
+		off := le.Uint64(e[8:])
+		length := le.Uint64(e[16:])
+		if off%align != 0 {
+			return nil, fmt.Errorf("section %d misaligned at offset %d", id, off)
+		}
+		if off > fileSize || length > fileSize-off {
+			return nil, fmt.Errorf("section %d [%d,+%d) outside %d-byte file", id, off, length, fileSize)
+		}
+		if uint64(tableEnd+4) > off && length > 0 {
+			return nil, fmt.Errorf("section %d overlaps header", id)
+		}
+		if _, dup := byID[id]; dup {
+			return nil, fmt.Errorf("duplicate section %d", id)
+		}
+		if w, ok := want[id]; ok && w != length {
+			return nil, fmt.Errorf("section %d has %d bytes, header implies %d", id, length, w)
+		}
+		byID[id] = data[off : off+length : off+length]
+		crcs[id] = crc
+	}
+	var missing []uint32
+	for _, id := range []uint32{secGraphOffsets, secGraphHalves, secNodeTable, secPrestige,
+		secTableNames, secTermOffsets, secTermBytes, secPostOffsets, secPostings,
+		secRelOffsets, secRelBytes, secRelPostOffsets, secRelPostings, secMapping, secEdgeTypes} {
+		if _, ok := byID[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("missing sections %v", missing)
+	}
+	if len(byID[secPostings])%4 != 0 || len(byID[secRelPostings])%4 != 0 {
+		return nil, fmt.Errorf("posting section length not a multiple of 4")
+	}
+	if !opts.SkipChecksums {
+		for id, sec := range byID {
+			if got := crc32.Checksum(sec, castagnoli); got != crcs[id] {
+				return nil, fmt.Errorf("section %d checksum mismatch: %08x != %08x", id, got, crcs[id])
+			}
+		}
+	}
+
+	// A Go bool may only alias bytes 0 and 1; reject anything else before
+	// the halves section can be viewed in place.
+	halvesRaw := byID[secGraphHalves]
+	for i := uint64(0); i < numHalves; i++ {
+		if b := halvesRaw[i*halfSize+26]; b > 1 {
+			return nil, fmt.Errorf("half %d has invalid forward byte %d", i, b)
+		}
+	}
+
+	tables, err := decodeStringBlob(byID[secTableNames])
+	if err != nil {
+		return nil, fmt.Errorf("table names: %w", err)
+	}
+	g, err := graph.FromSections(graph.Sections{
+		Offsets:      viewI32(byID[secGraphOffsets], int(numNodes)+1),
+		Halves:       viewHalves(halvesRaw, int(numHalves)),
+		NodeTable:    viewI32(byID[secNodeTable], int(numNodes)),
+		Prestige:     viewF64(byID[secPrestige], int(numNodes)),
+		Tables:       tables,
+		NumOrigEdges: int(numOrig),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if got := math.Float64bits(g.MaxPrestige()); got != le.Uint64(data[56:]) {
+		return nil, fmt.Errorf("header max prestige does not match prestige section")
+	}
+
+	flat := &index.Flat{
+		TermOffsets:    viewU32(byID[secTermOffsets], int(numTerms)+1),
+		TermBytes:      byID[secTermBytes],
+		PostOffsets:    viewU32(byID[secPostOffsets], int(numTerms)+1),
+		Postings:       viewNodeIDs(byID[secPostings], len(byID[secPostings])/4),
+		RelOffsets:     viewU32(byID[secRelOffsets], int(numRels)+1),
+		RelBytes:       byID[secRelBytes],
+		RelPostOffsets: viewU32(byID[secRelPostOffsets], int(numRels)+1),
+		RelPostings:    viewNodeIDs(byID[secRelPostings], len(byID[secRelPostings])/4),
+	}
+	if err := flat.Validate(int(numNodes)); err != nil {
+		return nil, err
+	}
+
+	bases, err := decodeMapping(byID[secMapping], int(numNodes))
+	if err != nil {
+		return nil, fmt.Errorf("mapping: %w", err)
+	}
+	etNames, err := decodeStringBlob(byID[secEdgeTypes])
+	if err != nil {
+		return nil, fmt.Errorf("edge types: %w", err)
+	}
+
+	return &Snapshot{
+		Graph:     g,
+		Index:     index.FromFlat(flat),
+		Mapping:   convert.NewMapping(bases),
+		EdgeTypes: convert.NewEdgeTypes(etNames),
+		data:      data,
+		zeroCopy:  halfZeroCopy,
+	}, nil
+}
+
+// decodeStringBlob parses the count|offsets|bytes layout written by
+// encodeStringBlob, copying each entry into a fresh string.
+func decodeStringBlob(b []byte) ([]string, error) {
+	le := binary.LittleEndian
+	if len(b) < 8 {
+		return nil, fmt.Errorf("blob shorter than its own header (%d bytes)", len(b))
+	}
+	count := int(le.Uint32(b))
+	if count > maxStrings {
+		return nil, fmt.Errorf("implausible entry count %d", count)
+	}
+	hdr := 4 + 4*(count+1)
+	if len(b) < hdr {
+		return nil, fmt.Errorf("blob truncated in offset table")
+	}
+	bytesRegion := b[hdr:]
+	out := make([]string, count)
+	prev := uint32(0)
+	for i := 0; i < count; i++ {
+		lo := le.Uint32(b[4+4*i:])
+		hi := le.Uint32(b[4+4*(i+1):])
+		if lo != prev || hi < lo || hi > uint32(len(bytesRegion)) {
+			return nil, fmt.Errorf("corrupt offsets at entry %d", i)
+		}
+		out[i] = string(bytesRegion[lo:hi])
+		prev = hi
+	}
+	if int(prev) != len(bytesRegion) {
+		return nil, fmt.Errorf("blob has %d trailing bytes", len(bytesRegion)-int(prev))
+	}
+	return out, nil
+}
+
+// decodeMapping parses the mapping section: a string blob of table names
+// followed by one i32 base per table.
+func decodeMapping(b []byte, numNodes int) ([]convert.TableBase, error) {
+	le := binary.LittleEndian
+	if len(b) < 8 {
+		return nil, fmt.Errorf("mapping shorter than its own header")
+	}
+	count := int(le.Uint32(b))
+	if count > maxStrings {
+		return nil, fmt.Errorf("implausible table count %d", count)
+	}
+	basesLen := 4 * count
+	if len(b) < basesLen {
+		return nil, fmt.Errorf("mapping truncated before bases")
+	}
+	names, err := decodeStringBlob(b[:len(b)-basesLen])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]convert.TableBase, count)
+	basesRaw := b[len(b)-basesLen:]
+	for i := range out {
+		base := int32(le.Uint32(basesRaw[4*i:]))
+		if base < 0 || (int(base) > numNodes) {
+			return nil, fmt.Errorf("table %q base %d outside [0,%d]", names[i], base, numNodes)
+		}
+		out[i] = convert.TableBase{Table: names[i], Base: graph.NodeID(base)}
+	}
+	return out, nil
+}

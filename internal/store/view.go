@@ -1,0 +1,144 @@
+package store
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+
+	"banks/internal/graph"
+)
+
+// Zero-copy section views.
+//
+// The file format pins a canonical little-endian layout for every
+// fixed-width array. When the host matches that layout (little-endian,
+// and for halves the exact Go struct layout asserted below) a section is
+// "viewed" in place: the returned slice's backing array IS the mapped
+// file region, so opening a snapshot allocates no per-element memory and
+// the kernel pages data in on first touch. When the host does not match
+// (big-endian, exotic struct layout, or a misaligned heap buffer) the
+// same functions transparently fall back to a decode-copy, trading the
+// zero-copy property for portability — the format on disk never changes.
+
+// unsafeBytes reslices a uint64 array as bytes, giving callers an
+// 8-byte-aligned byte buffer.
+func unsafeBytes(words []uint64) []byte {
+	if len(words) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(words)*8)
+}
+
+// hostLittleEndian reports whether native integer layout matches the
+// on-disk little-endian encoding.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// halfZeroCopy reports whether graph.Half's in-memory layout matches the
+// canonical 32-byte on-disk record, making an in-place view valid.
+var halfZeroCopy = hostLittleEndian &&
+	unsafe.Sizeof(graph.Half{}) == halfSize &&
+	unsafe.Offsetof(graph.Half{}.To) == 0 &&
+	unsafe.Offsetof(graph.Half{}.WOut) == 8 &&
+	unsafe.Offsetof(graph.Half{}.WIn) == 16 &&
+	unsafe.Offsetof(graph.Half{}.Type) == 24 &&
+	unsafe.Offsetof(graph.Half{}.Forward) == 26
+
+// aligned reports whether b's backing array starts at an address aligned
+// for a type of the given alignment.
+func aligned(b []byte, alignment uintptr) bool {
+	return uintptr(unsafe.Pointer(unsafe.SliceData(b)))%alignment == 0
+}
+
+// viewScalar returns b reinterpreted as n values of a fixed-width scalar
+// type, zero-copy when possible. decode is the per-element fallback.
+// len(b) must already equal n×sizeof(T) (the caller validated section
+// lengths).
+func viewScalar[T int32 | uint32 | float64](b []byte, n int, decode func([]byte) T) []T {
+	if n == 0 {
+		return nil
+	}
+	var z T
+	size := int(unsafe.Sizeof(z))
+	if hostLittleEndian && aligned(b, unsafe.Alignof(z)) {
+		return unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]T, n)
+	for i := range out {
+		out[i] = decode(b[i*size:])
+	}
+	return out
+}
+
+func viewI32(b []byte, n int) []int32 {
+	return viewScalar(b, n, func(p []byte) int32 { return int32(binary.LittleEndian.Uint32(p)) })
+}
+
+func viewU32(b []byte, n int) []uint32 {
+	return viewScalar(b, n, binary.LittleEndian.Uint32)
+}
+
+func viewF64(b []byte, n int) []float64 {
+	return viewScalar(b, n, func(p []byte) float64 { return math.Float64frombits(binary.LittleEndian.Uint64(p)) })
+}
+
+// viewNodeIDs is viewI32 reinterpreted as graph.NodeID (same underlying
+// type, so the zero-copy path is preserved).
+func viewNodeIDs(b []byte, n int) []graph.NodeID {
+	if n == 0 {
+		return nil
+	}
+	if hostLittleEndian && aligned(b, unsafe.Alignof(graph.NodeID(0))) {
+		return unsafe.Slice((*graph.NodeID)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(int32(binary.LittleEndian.Uint32(b[i*4:])))
+	}
+	return out
+}
+
+// viewHalves returns the half-edge section as []graph.Half, zero-copy
+// when the host layout matches the canonical record. The forward byte of
+// every record must already have been validated to be 0 or 1 (a Go bool
+// must never alias any other value).
+func viewHalves(b []byte, n int) []graph.Half {
+	if n == 0 {
+		return nil
+	}
+	if halfZeroCopy && aligned(b, unsafe.Alignof(graph.Half{})) {
+		return unsafe.Slice((*graph.Half)(unsafe.Pointer(unsafe.SliceData(b))), n)
+	}
+	out := make([]graph.Half, n)
+	for i := range out {
+		out[i] = decodeHalf(b[i*halfSize:])
+	}
+	return out
+}
+
+func decodeHalf(p []byte) graph.Half {
+	return graph.Half{
+		To:      graph.NodeID(int32(binary.LittleEndian.Uint32(p[0:]))),
+		WOut:    math.Float64frombits(binary.LittleEndian.Uint64(p[8:])),
+		WIn:     math.Float64frombits(binary.LittleEndian.Uint64(p[16:])),
+		Type:    graph.EdgeType(binary.LittleEndian.Uint16(p[24:])),
+		Forward: p[26] == 1,
+	}
+}
+
+func encodeHalf(p []byte, h graph.Half) {
+	binary.LittleEndian.PutUint32(p[0:], uint32(h.To))
+	binary.LittleEndian.PutUint32(p[4:], 0)
+	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(h.WOut))
+	binary.LittleEndian.PutUint64(p[16:], math.Float64bits(h.WIn))
+	binary.LittleEndian.PutUint16(p[24:], uint16(h.Type))
+	p[26] = 0
+	if h.Forward {
+		p[26] = 1
+	}
+	for i := 27; i < halfSize; i++ {
+		p[i] = 0
+	}
+}

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"banks/internal/convert"
+	"banks/internal/graph"
+	"banks/internal/index"
+)
+
+// encBufSize is the staging-buffer size for chunked section encoding; big
+// sections stream through it instead of being materialized whole.
+const encBufSize = 1 << 16
+
+// section is one entry of the file being written: an ID plus a
+// re-runnable encoder. Encoders run twice — once into a CRC to size and
+// checksum the section, once into the output — so writing never
+// materializes a section larger than the staging buffer.
+type section struct {
+	id     uint32
+	enc    func(io.Writer) error
+	length uint64
+	crc    uint32
+	offset uint64
+}
+
+// Write serializes the complete queryable state into the snapshot format.
+// mapping and edgeTypes may be nil (their sections are written empty).
+// The index must be frozen. Returns the number of bytes written.
+func Write(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes) (int64, error) {
+	if g == nil || ix == nil {
+		return 0, fmt.Errorf("store: nil graph or index")
+	}
+	flat, err := ix.Flatten()
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	gs := g.Sections()
+
+	var mappingBlob, edgeTypeBlob []byte
+	if mapping != nil {
+		mappingBlob = encodeMapping(mapping.Export())
+	} else {
+		mappingBlob = encodeMapping(nil)
+	}
+	if edgeTypes != nil {
+		edgeTypeBlob = encodeStringBlob(edgeTypes.Names())
+	} else {
+		edgeTypeBlob = encodeStringBlob(nil)
+	}
+
+	secs := []section{
+		{id: secGraphOffsets, enc: encI32(gs.Offsets)},
+		{id: secGraphHalves, enc: encHalves(gs.Halves)},
+		{id: secNodeTable, enc: encI32(gs.NodeTable)},
+		{id: secPrestige, enc: encF64(gs.Prestige)},
+		{id: secTableNames, enc: encBytes(encodeStringBlob(gs.Tables))},
+		{id: secTermOffsets, enc: encU32(flat.TermOffsets)},
+		{id: secTermBytes, enc: encBytes(flat.TermBytes)},
+		{id: secPostOffsets, enc: encU32(flat.PostOffsets)},
+		{id: secPostings, enc: encNodeIDs(flat.Postings)},
+		{id: secRelOffsets, enc: encU32(flat.RelOffsets)},
+		{id: secRelBytes, enc: encBytes(flat.RelBytes)},
+		{id: secRelPostOffsets, enc: encU32(flat.RelPostOffsets)},
+		{id: secRelPostings, enc: encNodeIDs(flat.RelPostings)},
+		{id: secMapping, enc: encBytes(mappingBlob)},
+		{id: secEdgeTypes, enc: encBytes(edgeTypeBlob)},
+	}
+
+	// Pass 1: size and checksum every section.
+	for i := range secs {
+		h := crc32.New(castagnoli)
+		cw := &countWriter{w: h}
+		if err := secs[i].enc(cw); err != nil {
+			return 0, err
+		}
+		secs[i].length = uint64(cw.n)
+		secs[i].crc = h.Sum32()
+	}
+
+	// Lay sections out back-to-back on alignment boundaries.
+	off := align64(uint64(headerSize + len(secs)*entrySize + 4))
+	for i := range secs {
+		secs[i].offset = off
+		off = align64(off + secs[i].length)
+	}
+
+	// Header + section table + meta CRC.
+	meta := make([]byte, headerSize+len(secs)*entrySize)
+	copy(meta, magic)
+	le := binary.LittleEndian
+	le.PutUint32(meta[8:], version)
+	le.PutUint32(meta[12:], uint32(len(secs)))
+	le.PutUint64(meta[16:], uint64(g.NumNodes()))
+	le.PutUint64(meta[24:], uint64(len(gs.Halves)))
+	le.PutUint64(meta[32:], uint64(gs.NumOrigEdges))
+	le.PutUint64(meta[40:], uint64(flat.NumTerms()))
+	le.PutUint64(meta[48:], uint64(len(flat.RelOffsets)-1))
+	le.PutUint64(meta[56:], math.Float64bits(gs.MaxPrestige))
+	for i, s := range secs {
+		e := meta[headerSize+i*entrySize:]
+		le.PutUint32(e[0:], s.id)
+		le.PutUint32(e[4:], s.crc)
+		le.PutUint64(e[8:], s.offset)
+		le.PutUint64(e[16:], s.length)
+	}
+
+	cw := &countWriter{w: w}
+	if _, err := cw.Write(meta); err != nil {
+		return cw.n, err
+	}
+	var crcBuf [4]byte
+	le.PutUint32(crcBuf[:], crc32.Checksum(meta, castagnoli))
+	if _, err := cw.Write(crcBuf[:]); err != nil {
+		return cw.n, err
+	}
+
+	// Pass 2: emit payloads with alignment padding.
+	for _, s := range secs {
+		if err := pad(cw, int64(s.offset)-cw.n); err != nil {
+			return cw.n, err
+		}
+		if err := s.enc(cw); err != nil {
+			return cw.n, err
+		}
+		if uint64(cw.n) != s.offset+s.length {
+			return cw.n, fmt.Errorf("store: section %d encoder wrote %d bytes, sized %d", s.id, uint64(cw.n)-s.offset, s.length)
+		}
+	}
+	return cw.n, nil
+}
+
+// WriteFile writes a snapshot to path via a temp file + rename so a crash
+// mid-write never leaves a truncated snapshot at the target name. The
+// result is world-readable (0644) like a plain os.Create, not
+// CreateTemp's 0600 — snapshot caches are commonly shared between users.
+func WriteFile(path string, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes) (int64, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".banksnap-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	n, err := Write(tmp, g, ix, mapping, edgeTypes)
+	if err != nil {
+		tmp.Close()
+		return n, err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return n, err
+	}
+	if err := tmp.Close(); err != nil {
+		return n, err
+	}
+	return n, os.Rename(tmp.Name(), path)
+}
+
+// Chunked encoders: each streams its array through a stack buffer so the
+// encode cost is one sequential pass with no per-element I/O calls.
+
+// encScalar returns a re-runnable encoder for a fixed-width scalar slice;
+// size is the encoded width and put encodes one element.
+func encScalar[T any](s []T, size int, put func([]byte, T)) func(io.Writer) error {
+	return func(w io.Writer) error {
+		s := s // shadow: the encoder runs twice (size/CRC pass, then write pass)
+		var buf [encBufSize]byte
+		for len(s) > 0 {
+			n := min(len(s), encBufSize/size)
+			for i := 0; i < n; i++ {
+				put(buf[i*size:], s[i])
+			}
+			if _, err := w.Write(buf[:n*size]); err != nil {
+				return err
+			}
+			s = s[n:]
+		}
+		return nil
+	}
+}
+
+func encI32(s []int32) func(io.Writer) error {
+	return encScalar(s, 4, func(b []byte, v int32) { binary.LittleEndian.PutUint32(b, uint32(v)) })
+}
+
+func encU32(s []uint32) func(io.Writer) error {
+	return encScalar(s, 4, binary.LittleEndian.PutUint32)
+}
+
+func encF64(s []float64) func(io.Writer) error {
+	return encScalar(s, 8, func(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) })
+}
+
+func encNodeIDs(s []graph.NodeID) func(io.Writer) error {
+	return encScalar(s, 4, func(b []byte, v graph.NodeID) { binary.LittleEndian.PutUint32(b, uint32(v)) })
+}
+
+func encHalves(s []graph.Half) func(io.Writer) error {
+	return encScalar(s, halfSize, encodeHalf)
+}
+
+func encBytes(b []byte) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	}
+}
+
+// encodeStringBlob lays out names as: count u32 | offsets u32[count+1]
+// (relative to the start of the byte region) | bytes.
+func encodeStringBlob(names []string) []byte {
+	size := 4 + 4*(len(names)+1)
+	for _, s := range names {
+		size += len(s)
+	}
+	out := make([]byte, 4+4*(len(names)+1), size)
+	binary.LittleEndian.PutUint32(out, uint32(len(names)))
+	off := uint32(0)
+	for i, s := range names {
+		binary.LittleEndian.PutUint32(out[4+4*i:], off)
+		off += uint32(len(s))
+		out = append(out, s...)
+	}
+	binary.LittleEndian.PutUint32(out[4+4*len(names):], off)
+	return out
+}
+
+// encodeMapping is a string blob of table names followed by the i32 base
+// node ID of each table.
+func encodeMapping(bases []convert.TableBase) []byte {
+	names := make([]string, len(bases))
+	for i, b := range bases {
+		names[i] = b.Table
+	}
+	out := encodeStringBlob(names)
+	for _, b := range bases {
+		out = binary.LittleEndian.AppendUint32(out, uint32(b.Base))
+	}
+	return out
+}
+
+// pad writes n zero bytes.
+func pad(w io.Writer, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("store: negative padding %d", n)
+	}
+	var zeros [align]byte
+	for n > 0 {
+		c := min(n, int64(len(zeros)))
+		if _, err := w.Write(zeros[:c]); err != nil {
+			return err
+		}
+		n -= c
+	}
+	return nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

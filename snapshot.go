@@ -1,0 +1,91 @@
+package banks
+
+import (
+	"io"
+
+	"banks/internal/store"
+)
+
+// SnapshotOptions tunes OpenSnapshotOptions. The zero value is the safe
+// default: memory-map when the platform supports it and verify every
+// section checksum.
+type SnapshotOptions struct {
+	// SkipChecksums skips per-section CRC verification on open.
+	// Structural validation still runs; only bit-rot detection is skipped.
+	SkipChecksums bool
+	// NoMmap reads the snapshot into the heap instead of mapping it.
+	NoMmap bool
+}
+
+// WriteSnapshot serializes the DB's complete queryable state — graph,
+// prestige, frozen inverted index, and row/edge-type mappings — into the
+// single-file snapshot format (see docs/SNAPSHOT_FORMAT.md). The source
+// relational rows are not included: a snapshot-opened DB answers queries
+// bit-identically but labels nodes as "table[row]" only.
+func (d *DB) WriteSnapshot(w io.Writer) (int64, error) {
+	return store.Write(w, d.Graph, d.Index, d.Mapping, d.EdgeTypes)
+}
+
+// WriteSnapshotFile writes a snapshot atomically (temp file + rename).
+func (d *DB) WriteSnapshotFile(path string) error {
+	_, err := store.WriteFile(path, d.Graph, d.Index, d.Mapping, d.EdgeTypes)
+	return err
+}
+
+// OpenSnapshot memory-maps a snapshot file and returns a ready-to-query
+// DB without rebuilding anything: no tokenization, no sorting, no
+// prestige computation. On little-endian hosts the graph and index read
+// straight out of the mapping (zero-copy), so open time is dominated by
+// one sequential validation pass and pages fault in on demand.
+//
+// Call Close on the returned DB when done; the DB (and every Result
+// derived from it) must not be used after Close.
+func OpenSnapshot(path string) (*DB, error) {
+	return OpenSnapshotOptions(path, SnapshotOptions{})
+}
+
+// OpenSnapshotOptions is OpenSnapshot with explicit options.
+func OpenSnapshotOptions(path string, opts SnapshotOptions) (*DB, error) {
+	s, err := store.Open(path, store.Options{SkipChecksums: opts.SkipChecksums, NoMmap: opts.NoMmap})
+	if err != nil {
+		return nil, err
+	}
+	return dbFromSnapshot(s), nil
+}
+
+// ReadSnapshot decodes a snapshot from a stream into a heap-backed DB
+// (for callers that do not have a file, e.g. network transfer).
+func ReadSnapshot(r io.Reader) (*DB, error) {
+	s, err := store.Read(r, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return dbFromSnapshot(s), nil
+}
+
+func dbFromSnapshot(s *store.Snapshot) *DB {
+	return &DB{
+		Graph:     s.Graph,
+		Index:     s.Index,
+		Mapping:   s.Mapping,
+		EdgeTypes: s.EdgeTypes,
+		snap:      s,
+	}
+}
+
+// Close releases the snapshot mapping backing this DB, if any. It is a
+// no-op (and always safe) for DBs constructed by Build.
+func (d *DB) Close() error {
+	if d.snap == nil {
+		return nil
+	}
+	return d.snap.Close()
+}
+
+// Snapshotted reports whether this DB is served from an opened snapshot
+// (true) or was built in memory from relational source data (false).
+func (d *DB) Snapshotted() bool { return d.snap != nil }
+
+// SnapshotZeroCopy reports whether a snapshot-backed DB reads its arrays
+// directly out of the file mapping. It returns false for built DBs.
+func (d *DB) SnapshotZeroCopy() bool { return d.snap != nil && d.snap.ZeroCopy() }

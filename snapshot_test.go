@@ -1,0 +1,187 @@
+package banks_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"banks"
+)
+
+// openGoldenSnapshot round-trips the golden DB through a snapshot file
+// and opens it with the given options.
+func openGoldenSnapshot(t *testing.T, opts banks.SnapshotOptions) (built, snap *banks.DB) {
+	t.Helper()
+	built = goldenDB(t)
+	path := filepath.Join(t.TempDir(), "golden.snap")
+	if err := built.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := banks.OpenSnapshotOptions(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := snap.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return built, snap
+}
+
+// sameFloat demands bit-identical float64s (the acceptance bar: a
+// snapshot-opened DB is the same engine state, not an approximation).
+func sameFloat(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// assertSameResults runs every golden query on both DBs and compares
+// roots, scores, tree edges and keyword leaves bit-for-bit.
+func assertSameResults(t *testing.T, built, snap *banks.DB) {
+	t.Helper()
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.near {
+				wantRes, wantStats, err := built.Near(tc.query, banks.Options{K: tc.k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotRes, gotStats, err := snap.Near(tc.query, banks.Options{K: tc.k})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantStats.NodesExplored != gotStats.NodesExplored {
+					t.Errorf("explored %d vs %d", gotStats.NodesExplored, wantStats.NodesExplored)
+				}
+				if len(wantRes) != len(gotRes) {
+					t.Fatalf("near result count %d vs %d", len(gotRes), len(wantRes))
+				}
+				for i := range wantRes {
+					if wantRes[i].Node != gotRes[i].Node || !sameFloat(wantRes[i].Activation, gotRes[i].Activation) {
+						t.Fatalf("near %d: %v/%v vs %v/%v", i,
+							gotRes[i].Node, gotRes[i].Activation, wantRes[i].Node, wantRes[i].Activation)
+					}
+				}
+				return
+			}
+			want, err := built.Search(tc.query, tc.algo, banks.Options{K: tc.k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := snap.Search(tc.query, tc.algo, banks.Options{K: tc.k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want.Answers) != len(got.Answers) {
+				t.Fatalf("answer count %d vs %d", len(got.Answers), len(want.Answers))
+			}
+			for i, w := range want.Answers {
+				g := got.Answers[i]
+				if g.Root != w.Root {
+					t.Fatalf("answer %d root %v vs %v", i, g.Root, w.Root)
+				}
+				if !sameFloat(g.Score, w.Score) || !sameFloat(g.EdgeScore, w.EdgeScore) || !sameFloat(g.NodeScore, w.NodeScore) {
+					t.Fatalf("answer %d scores differ: %v/%v/%v vs %v/%v/%v",
+						i, g.Score, g.EdgeScore, g.NodeScore, w.Score, w.EdgeScore, w.NodeScore)
+				}
+				if len(g.KeywordNodes) != len(w.KeywordNodes) {
+					t.Fatalf("answer %d leaf count differs", i)
+				}
+				for j := range w.KeywordNodes {
+					if g.KeywordNodes[j] != w.KeywordNodes[j] {
+						t.Fatalf("answer %d leaf %d: %v vs %v", i, j, g.KeywordNodes[j], w.KeywordNodes[j])
+					}
+				}
+				if len(g.Edges) != len(w.Edges) {
+					t.Fatalf("answer %d edge count differs", i)
+				}
+				for j := range w.Edges {
+					if g.Edges[j] != w.Edges[j] {
+						t.Fatalf("answer %d edge %d: %+v vs %+v", i, j, g.Edges[j], w.Edges[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenSnapshot is the acceptance gate for the snapshot store: the
+// top-k roots, scores, leaves and tree edges of every golden query must be
+// bit-identical between an in-memory Build and a snapshot-opened DB, for
+// all three algorithms and Near.
+func TestGoldenSnapshot(t *testing.T) {
+	built, snap := openGoldenSnapshot(t, banks.SnapshotOptions{})
+	if !snap.Snapshotted() {
+		t.Fatal("snapshot-opened DB not marked as snapshotted")
+	}
+	assertSameResults(t, built, snap)
+}
+
+// TestGoldenSnapshotNoMmap exercises the heap-backed open path (the one
+// non-unix platforms always take).
+func TestGoldenSnapshotNoMmap(t *testing.T) {
+	built, snap := openGoldenSnapshot(t, banks.SnapshotOptions{NoMmap: true})
+	assertSameResults(t, built, snap)
+}
+
+// TestReadSnapshotStream decodes a snapshot from a plain io.Reader.
+func TestReadSnapshotStream(t *testing.T) {
+	built := goldenDB(t)
+	var buf bytes.Buffer
+	if _, err := built.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := banks.ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	assertSameResults(t, built, snap)
+}
+
+// TestSnapshotEngine serves a snapshot-backed DB through the concurrent
+// engine, which is the intended production wiring.
+func TestSnapshotEngine(t *testing.T) {
+	built, snap := openGoldenSnapshot(t, banks.SnapshotOptions{})
+	eng, err := banks.NewEngine(snap, banks.EngineOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := built.Search("gray transaction", banks.Bidirectional, banks.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Search(nil, "gray transaction", banks.Bidirectional, banks.Options{K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != len(want.Answers) {
+		t.Fatalf("engine answer count %d vs %d", len(got.Answers), len(want.Answers))
+	}
+	for i := range want.Answers {
+		if got.Answers[i].Root != want.Answers[i].Root || !sameFloat(got.Answers[i].Score, want.Answers[i].Score) {
+			t.Fatalf("engine answer %d differs", i)
+		}
+	}
+}
+
+// TestSnapshotLabels pins the degraded-label contract: without source
+// rows a node renders as "table[row]" and Explain still works.
+func TestSnapshotLabels(t *testing.T) {
+	built, snap := openGoldenSnapshot(t, banks.SnapshotOptions{})
+	if got, want := snap.NodeLabel(0), "author[0]"; got != want {
+		t.Fatalf("NodeLabel = %q, want %q", got, want)
+	}
+	res, err := snap.Search("gray transaction", banks.Bidirectional, banks.Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("no answers")
+	}
+	if out := snap.Explain(res.Answers[0]); out == "" {
+		t.Fatal("empty Explain")
+	}
+	if built.Close() != nil {
+		t.Fatal("Close on a built DB must be a nil no-op")
+	}
+}
