@@ -1,0 +1,105 @@
+// Intra-query parallelism benchmarks (BENCH_parallel.json): single-query
+// latency of MI-Backward across worker counts, and of Bidirectional with
+// sharded forward expansion, on factor-1 DBLP (~180k tuples — the scale
+// BENCH_store.json uses). These benchmarks build the full factor-1
+// dataset on first use and are meant for explicit runs:
+//
+//	go test -run xxx -bench 'MIBackwardSerial|MIBackwardParallel|BidirectionalShard' -benchtime 5x .
+//
+// The workers sweep measures the same query with Options.Workers set;
+// results are bit-identical across the sweep (the differential harness
+// enforces that), so ns/op is the only thing that may move. Speedup needs
+// parallel hardware: with GOMAXPROCS=1 the worker variants measure pure
+// coordination overhead instead (the same caveat as
+// BenchmarkSearchParallel).
+package banks_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"banks"
+	"banks/internal/experiments"
+	"banks/internal/workload"
+)
+
+// parallelBenchCfg mirrors the BENCH_store.json environment: factor-1
+// DBLP. MaxNodes bounds MI-Backward the way every other benchmark in this
+// suite does.
+var parallelBenchCfg = experiments.Config{Factor: 1, K: 10, MaxNodes: 120_000, Seed: 42}
+
+var (
+	parallelEnvOnce sync.Once
+	parallelEnv     *experiments.Env
+)
+
+func parallelBenchDB(b *testing.B) *banks.DB {
+	b.Helper()
+	parallelEnvOnce.Do(func() {
+		e, err := experiments.NewEnv("dblp", parallelBenchCfg.Factor)
+		if err != nil {
+			panic(err)
+		}
+		parallelEnv = e
+	})
+	e := parallelEnv
+	return &banks.DB{Graph: e.Built.Graph, Index: e.Built.Index, Mapping: e.Built.Mapping, EdgeTypes: e.Built.EdgeTypes, Source: e.DS.DB}
+}
+
+// parallelBenchQuery picks one deterministic 3-keyword large-origin query:
+// large origin sets mean many MI iterators, the parallelizable unit.
+var (
+	parallelQueryOnce sync.Once
+	parallelQuery     *workload.Query
+)
+
+func parallelBenchQuery(b *testing.B) *workload.Query {
+	b.Helper()
+	parallelBenchDB(b)
+	parallelQueryOnce.Do(func() {
+		rng := rand.New(rand.NewSource(parallelBenchCfg.Seed))
+		for tries := 0; tries < 3000; tries++ {
+			if q, ok := parallelEnv.Gen.SizeFive(rng, 3, workload.OriginLarge); ok {
+				parallelQuery = q
+				return
+			}
+		}
+		panic("could not generate a 3-keyword large-origin query")
+	})
+	return parallelQuery
+}
+
+func benchmarkParallelSearch(b *testing.B, algo banks.Algorithm, workers int) {
+	db := parallelBenchDB(b)
+	q := parallelBenchQuery(b)
+	opts := banks.Options{K: parallelBenchCfg.K, MaxNodes: parallelBenchCfg.MaxNodes, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := db.SearchNodes(q.Keywords, algo, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Answers) == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+// --- MI-Backward: serial vs parallel iterators ---
+
+func BenchmarkMIBackwardSerial(b *testing.B)    { benchmarkParallelSearch(b, banks.MIBackward, 0) }
+func BenchmarkMIBackwardParallel2(b *testing.B) { benchmarkParallelSearch(b, banks.MIBackward, 2) }
+func BenchmarkMIBackwardParallel4(b *testing.B) { benchmarkParallelSearch(b, banks.MIBackward, 4) }
+func BenchmarkMIBackwardParallel8(b *testing.B) { benchmarkParallelSearch(b, banks.MIBackward, 8) }
+
+// --- Bidirectional: serial vs sharded forward expansion ---
+
+func BenchmarkBidirectionalShardSerial(b *testing.B) {
+	benchmarkParallelSearch(b, banks.Bidirectional, 0)
+}
+
+func BenchmarkBidirectionalSharded(b *testing.B) {
+	benchmarkParallelSearch(b, banks.Bidirectional, 4)
+}

@@ -4,8 +4,13 @@
 // Usage:
 //
 //	banks [-dataset dblp|imdb|patents] [-factor 0.25] [-algo bidirectional]
-//	      [-k 10] [-near] [-timeout 200ms] [-parallel 4]
+//	      [-k 10] [-near] [-timeout 200ms] [-parallel 4] [-workers 4]
 //	      [-snapshot dblp.snap] [-query "gray transaction"]
+//
+// -parallel widens the pool that runs queries concurrently; -workers lets
+// each single query use that many extra goroutines for its own search
+// (intra-query parallelism, bit-identical results). Both draw on the same
+// pool budget when combined.
 //
 // Without -query it reads one query per line from standard input. A -query
 // value may contain several queries separated by ';' — tree-search queries
@@ -44,6 +49,7 @@ func main() {
 	near := flag.Bool("near", false, "run a near query (activation-ranked nodes) instead of tree search")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a truncated partial top-k")
 	parallel := flag.Int("parallel", 0, "worker-pool width for batch queries (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "intra-query worker goroutines per search (0 = serial; results are bit-identical either way)")
 	snapshot := flag.String("snapshot", "", "open this snapshot file (building and saving it first if absent)")
 	query := flag.String("query", "", "run a single query (or several separated by ';') and exit (default: read queries from stdin)")
 	flag.Parse()
@@ -60,7 +66,7 @@ func main() {
 	fmt.Printf("dataset %s ready: %d nodes, %d edges, %d terms (%d workers)\n",
 		*dataset, db.Graph.NumNodes(), db.Graph.NumEdges(), db.Index.NumTerms(), eng.Workers())
 
-	opts := banks.Options{K: *k}
+	opts := banks.Options{K: *k, Workers: *workers}
 	ctx := context.Background()
 
 	printResult := func(res *banks.Result, elapsed time.Duration) {

@@ -63,9 +63,9 @@ func goldenDB(t testing.TB) *banks.DB {
 // goldenAnswers renders the top-k of one search in the pinned format: one
 // line per answer with root label, score to 6 decimals, and the keyword
 // leaf labels in keyword order.
-func goldenAnswers(t testing.TB, db *banks.DB, query string, algo banks.Algorithm, k int) string {
+func goldenAnswers(t testing.TB, db *banks.DB, query string, algo banks.Algorithm, opts banks.Options) string {
 	t.Helper()
-	res, err := db.Search(query, algo, banks.Options{K: k})
+	res, err := db.Search(query, algo, opts)
 	if err != nil {
 		t.Fatalf("%s %q: %v", algo, query, err)
 	}
@@ -81,9 +81,9 @@ func goldenAnswers(t testing.TB, db *banks.DB, query string, algo banks.Algorith
 	return sb.String()
 }
 
-func goldenNear(t testing.TB, db *banks.DB, query string, k int) string {
+func goldenNear(t testing.TB, db *banks.DB, query string, opts banks.Options) string {
 	t.Helper()
-	res, _, err := db.Near(query, banks.Options{K: k})
+	res, _, err := db.Near(query, opts)
 	if err != nil {
 		t.Fatalf("near %q: %v", query, err)
 	}
@@ -155,9 +155,9 @@ func TestGoldenTopK(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			var got string
 			if tc.near {
-				got = goldenNear(t, db, tc.query, tc.k)
+				got = goldenNear(t, db, tc.query, banks.Options{K: tc.k})
 			} else {
-				got = goldenAnswers(t, db, tc.query, tc.algo, tc.k)
+				got = goldenAnswers(t, db, tc.query, tc.algo, banks.Options{K: tc.k})
 			}
 			if *goldenPrint {
 				fmt.Printf("=== %s ===\n%s", tc.name, got)
@@ -165,6 +165,32 @@ func TestGoldenTopK(t *testing.T) {
 			}
 			if got != tc.want {
 				t.Errorf("golden mismatch:\n--- want ---\n%s--- got ---\n%s", tc.want, got)
+			}
+		})
+	}
+}
+
+// TestGoldenTopKParallel re-runs every pinned query with intra-query
+// parallelism (Workers: 4) and diffs against the same serial pins:
+// parallel execution must not be able to change pinned ranking, scores or
+// leaves. Near ignores Workers by documented fallback and is pinned to
+// that too.
+func TestGoldenTopKParallel(t *testing.T) {
+	db := goldenDB(t)
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := banks.Options{K: tc.k, Workers: 4}
+			var got string
+			if tc.near {
+				got = goldenNear(t, db, tc.query, opts)
+			} else {
+				got = goldenAnswers(t, db, tc.query, tc.algo, opts)
+			}
+			if *goldenPrint {
+				return // serial pass already printed the pins
+			}
+			if got != tc.want {
+				t.Errorf("parallel golden mismatch (Workers: 4):\n--- want ---\n%s--- got ---\n%s", tc.want, got)
 			}
 		})
 	}

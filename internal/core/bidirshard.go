@@ -1,0 +1,196 @@
+package core
+
+import (
+	"sync"
+
+	"banks/internal/graph"
+)
+
+// Sharded Bidirectional forward expansion.
+//
+// Bidirectional search is a sequential fixpoint computation — every
+// expansion reads and writes global per-node state — so it cannot be
+// parallelized by running whole expansions concurrently without changing
+// results. What CAN run in parallel is the pure half of an expansion's
+// inner loop: per-edge scoring (the 1/w activation terms, edge-priority
+// lookups, filter checks) and the node-state lookups, none of which
+// depend on the mutations the same expansion performs. Sharded mode
+// splits exactly that work across contiguous partitions of the node's
+// adjacency range — each partition is a contiguous sub-range of the
+// graph's halves section (the same layout graph.Sections exposes, so a
+// partition of a mapped snapshot touches one contiguous byte range) — and
+// then applies all mutations serially in edge order.
+//
+// Determinism: the scratch arrays are indexed by edge position, the
+// activation denominator Σ 1/w is accumulated left-to-right by the merge
+// (never tree-reduced — floating-point addition is not associative, and
+// the serial scan order is the pinned one), and each per-edge share is
+// computed with the same operation sequence as the inline loop. The merge
+// therefore produces bit-identical state transitions; only the wall-clock
+// changes. The pre-pass reads the node-state map concurrently, which is
+// safe because the coordinator blocks until the pass completes and no
+// writer runs during it.
+//
+// Only expansions of nodes with at least bidirShardMinDegree combined
+// edges go through the pool: below that the fork/join barrier costs more
+// than the scoring loop saves. Hub nodes — exactly the expansions §4.3's
+// activation model makes expensive — are the target.
+
+// bidirShardMinDegree gates sharding. A variable (not a const) so the
+// differential tests can lower it and exercise the sharded path on small
+// randomized graphs.
+var bidirShardMinDegree = 256
+
+// BidirShardMinDegree reports the combined-degree gate for sharded
+// forward expansions: a Bidirectional query on a graph whose maximum
+// degree is below this can never employ intra-query workers. The engine
+// consults it to avoid reserving pool slots such a query would hold idle.
+func BidirShardMinDegree() int { return bidirShardMinDegree }
+
+// bidirShardTask is one partition of a scoring pass over a forward
+// expansion (only the outgoing iterator is sharded today; extending to
+// the backward iterator means re-introducing a WIn/WOut selector here).
+type bidirShardTask struct {
+	halves []graph.Half
+	lo, hi int
+}
+
+// bidirShards is a per-search pool of scoring workers plus the scratch
+// arrays they fill, reused across expansions.
+type bidirShards struct {
+	sc *searchContext
+	n  int
+
+	// Scratch, indexed by edge position within the expanded adjacency.
+	allow []bool
+	inv   []float64 // 1/w, the activation term of the edge (0 if filtered)
+	prio  []float64
+	state []*nodeState // pre-looked-up state of h.To (nil = none yet)
+
+	tasks chan bidirShardTask
+	fin   chan struct{}
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+func newBidirShards(sc *searchContext, workers int) *bidirShards {
+	p := &bidirShards{
+		sc:    sc,
+		n:     workers,
+		tasks: make(chan bidirShardTask),
+		fin:   make(chan struct{}, workers),
+		quit:  make(chan struct{}),
+	}
+	sc.stats.WorkersUsed = workers
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *bidirShards) close() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+func (p *bidirShards) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.tasks:
+			p.score(t)
+			p.fin <- struct{}{}
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// score fills the scratch arrays for one partition: pure per-edge values
+// and read-only state lookups, no mutations.
+func (p *bidirShards) score(t bidirShardTask) {
+	sc := p.sc
+	for i := t.lo; i < t.hi; i++ {
+		h := t.halves[i]
+		if !sc.allowEdge(h) {
+			p.allow[i] = false
+			p.inv[i] = 0
+			continue
+		}
+		p.allow[i] = true
+		p.inv[i] = 1 / h.WOut
+		p.prio[i] = sc.edgePriority(h)
+		p.state[i], _ = sc.peekState(h.To)
+	}
+}
+
+// scoreEdges runs one parallel scoring pass over the adjacency range and
+// blocks until every partition is done.
+func (p *bidirShards) scoreEdges(halves []graph.Half) {
+	n := len(halves)
+	if cap(p.inv) < n {
+		p.allow = make([]bool, n)
+		p.inv = make([]float64, n)
+		p.prio = make([]float64, n)
+		p.state = make([]*nodeState, n)
+	} else {
+		p.allow = p.allow[:n]
+		p.inv = p.inv[:n]
+		p.prio = p.prio[:n]
+		p.state = p.state[:n]
+	}
+	chunk := (n + p.n - 1) / p.n
+	sent := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.tasks <- bidirShardTask{halves: halves, lo: lo, hi: hi}
+		sent++
+	}
+	for i := 0; i < sent; i++ {
+		<-p.fin
+	}
+}
+
+// expandOutgoingSharded is the sharded replica of expandOutgoing's
+// neighbor loop: the scoring pass runs on the pool, then the mutations —
+// the activation denominator, state creation, distance pulls, activation
+// spreading, frontier pushes — are applied serially in edge order, exactly
+// as the inline loop would.
+func (b *bidirSearch) expandOutgoingSharded(u graph.NodeID, su *nodeState, halves []graph.Half) {
+	p := b.shards
+	p.scoreEdges(halves)
+
+	if su.invOut < 0 {
+		// Same left-to-right accumulation as invSumOut, reusing the
+		// precomputed 1/w terms.
+		sum := 0.0
+		for i := range halves {
+			if p.allow[i] {
+				sum += p.inv[i]
+			}
+		}
+		su.invOut = sum
+	}
+	invSum := su.invOut
+
+	for i, h := range halves {
+		if !p.allow[i] {
+			continue
+		}
+		sv := p.state[i]
+		if sv == nil {
+			// Not present at scoring time: created now (or by an earlier
+			// edge of this same expansion — st is a lookup then).
+			sv = b.st(h.To)
+		}
+		share := 0.0
+		if invSum > 0 {
+			share = p.inv[i] / invSum * p.prio[i]
+		}
+		b.mergeOutEdge(u, su, h, sv, share)
+	}
+}

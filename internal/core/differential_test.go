@@ -1,0 +1,369 @@
+package core
+
+// Differential/property harness for intra-query parallelism: randomized
+// graphs, every algorithm, worker counts {1,2,4,8}, and deterministic
+// mid-search cancellation — parallel execution must be bit-identical to
+// serial in everything except wall-clock fields and Stats.WorkersUsed.
+// This is the enforcement behind the Options.Workers contract ("parallel
+// execution is bit-identical to serial"): the golden tests pin serial
+// output to the pre-parallelism implementation, and this harness pins
+// every parallel mode to serial.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"banks/internal/graph"
+)
+
+// diffWorkerCounts are the worker counts the harness sweeps. 1 exercises
+// the full parallel machinery without parallel speedup; 8 exceeds the
+// iterator count of small queries (clamping paths).
+var diffWorkerCounts = []int{1, 2, 4, 8}
+
+// randomGraphSpec seeds one property-test case.
+type randomGraphSpec struct {
+	seed int64
+	// hub forces a node whose combined degree exceeds the (lowered) shard
+	// threshold so the sharded forward-expansion path runs.
+	hub bool
+}
+
+// buildRandomGraph generates a random graph with varied fan-out, edge
+// types, weights and prestige distributions, plus a random multi-keyword
+// query over it. All randomness is drawn from the seeded rng, so each
+// spec is fully reproducible.
+func buildRandomGraph(t testing.TB, spec randomGraphSpec) (*graph.Graph, [][]graph.NodeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(spec.seed))
+	n := 30 + rng.Intn(120)
+	b := graph.NewBuilder()
+	tables := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < n; i++ {
+		b.AddNode(tables[rng.Intn(len(tables))])
+	}
+	addEdge := func(u, v int) {
+		if u == v {
+			return
+		}
+		w := 0.25 + rng.Float64()*3
+		if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v), w, graph.EdgeType(rng.Intn(4))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Base fan-out: skewed out-degrees (most nodes sparse, some bushy).
+	for u := 0; u < n; u++ {
+		deg := rng.Intn(3)
+		if rng.Intn(8) == 0 {
+			deg += 3 + rng.Intn(6)
+		}
+		for j := 0; j < deg; j++ {
+			addEdge(u, rng.Intn(n))
+		}
+	}
+	if spec.hub {
+		// One dense hub: enough combined edges to clear the lowered shard
+		// threshold several partitions over.
+		hub := rng.Intn(n)
+		for j := 0; j < 48; j++ {
+			if other := rng.Intn(n); other != hub {
+				addEdge(hub, other)
+			}
+		}
+	}
+	g := b.Build()
+
+	// Prestige: uniform, uniform-random, or power-law-ish, per seed.
+	p := make([]float64, g.NumNodes())
+	switch rng.Intn(3) {
+	case 0:
+		for i := range p {
+			p[i] = 1
+		}
+	case 1:
+		for i := range p {
+			p[i] = 0.05 + rng.Float64()
+		}
+	default:
+		for i := range p {
+			p[i] = 0.05 + math.Pow(rng.Float64(), 4)*8
+		}
+	}
+	if err := g.SetPrestige(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// Query: 2–4 keywords, 1–4 distinct matching nodes each.
+	nk := 2 + rng.Intn(3)
+	kw := make([][]graph.NodeID, nk)
+	for i := range kw {
+		seen := map[graph.NodeID]bool{}
+		for len(kw[i]) < 1+rng.Intn(4) {
+			u := graph.NodeID(rng.Intn(n))
+			if !seen[u] {
+				seen[u] = true
+				kw[i] = append(kw[i], u)
+			}
+		}
+	}
+	return g, kw
+}
+
+// diffSignature renders everything deterministic about a result: the full
+// answer structure with exact float bits, plus every Stats field that the
+// serial/parallel contract covers. Wall-clock fields (Duration,
+// GeneratedAt, OutputAt) and WorkersUsed are excluded — they are the only
+// fields allowed to differ.
+func diffSignature(res *Result) string {
+	var sb strings.Builder
+	s := res.Stats
+	fmt.Fprintf(&sb, "explored=%d touched=%d relaxed=%d generated=%d best=%x budget=%v truncated=%v\n",
+		s.NodesExplored, s.NodesTouched, s.EdgesRelaxed, s.AnswersGenerated,
+		math.Float64bits(s.BestGeneratedScore), s.BudgetExhausted, s.Truncated)
+	for i, a := range res.Answers {
+		fmt.Fprintf(&sb, "%d: root=%d score=%x edge=%x node=%x nodes=%v kw=%v explG=%d touchG=%d explO=%d touchO=%d\n",
+			i, a.Root, math.Float64bits(a.Score), math.Float64bits(a.EdgeScore), math.Float64bits(a.NodeScore),
+			a.Nodes, a.KeywordNodes, a.ExploredAtGen, a.TouchedAtGen, a.ExploredAtOut, a.TouchedAtOut)
+		for _, e := range a.Edges {
+			fmt.Fprintf(&sb, "   %d->%d w=%x t=%d f=%v\n", e.From, e.To, math.Float64bits(e.Weight), e.Type, e.Forward)
+		}
+		for _, w := range a.PathWeights {
+			fmt.Fprintf(&sb, "   pw=%x\n", math.Float64bits(w))
+		}
+	}
+	return sb.String()
+}
+
+// diffOptVariants are the option shapes each random case is swept over.
+func diffOptVariants() []Options {
+	return []Options{
+		{K: 8},
+		{K: 8, StrictBound: true},
+		{K: 8, ActivationSum: true},
+		{K: 8, MaxNodes: 40},
+		{K: 8, EdgeFilter: func(t graph.EdgeType, forward bool) bool { return forward || t != 2 }},
+	}
+}
+
+// lowerShardThreshold drops the bidirectional shard gate so the random
+// graphs (which have hubs of ~50–100 combined edges) exercise the sharded
+// expansion path, restoring it when the test ends.
+func lowerShardThreshold(t testing.TB) {
+	t.Helper()
+	old := bidirShardMinDegree
+	bidirShardMinDegree = 8
+	t.Cleanup(func() { bidirShardMinDegree = old })
+}
+
+// TestDifferentialParallelMatchesSerial is the acceptance property: on
+// ≥ 50 randomized graphs, for every algorithm, option shape and worker
+// count, the parallel result is bit-identical to the serial one.
+func TestDifferentialParallelMatchesSerial(t *testing.T) {
+	lowerShardThreshold(t)
+	numGraphs := 60
+	if testing.Short() {
+		numGraphs = 12
+	}
+	for gi := 0; gi < numGraphs; gi++ {
+		spec := randomGraphSpec{seed: int64(1000 + gi), hub: gi%2 == 0}
+		g, kw := buildRandomGraph(t, spec)
+		for _, algo := range Algos() {
+			for vi, opts := range diffOptVariants() {
+				serialRes, err := Search(nil, g, algo, kw, opts)
+				if err != nil {
+					t.Fatalf("graph %d %s variant %d serial: %v", gi, algo, vi, err)
+				}
+				want := diffSignature(serialRes)
+				if serialRes.Stats.WorkersUsed != 0 {
+					t.Fatalf("graph %d %s variant %d: serial run reports WorkersUsed=%d", gi, algo, vi, serialRes.Stats.WorkersUsed)
+				}
+				for _, w := range diffWorkerCounts {
+					po := opts
+					po.Workers = w
+					parRes, err := Search(nil, g, algo, kw, po)
+					if err != nil {
+						t.Fatalf("graph %d %s variant %d workers %d: %v", gi, algo, vi, w, err)
+					}
+					if got := diffSignature(parRes); got != want {
+						t.Fatalf("graph %d (seed %d) %s variant %d workers %d diverged:\n--- serial ---\n%s--- parallel ---\n%s",
+							gi, spec.seed, algo, vi, w, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialShallowBatches drives the adaptive-batch path the big
+// sweep cannot reach on small graphs: with the speculation budget lowered,
+// every query uses the minimum batch size, so batch boundaries, refills
+// and worker wakeups occur constantly — and results must still be
+// bit-identical.
+func TestDifferentialShallowBatches(t *testing.T) {
+	oldBudget := miSpecBudget
+	miSpecBudget = 1
+	t.Cleanup(func() { miSpecBudget = oldBudget })
+	for gi := 0; gi < 10; gi++ {
+		g, kw := buildRandomGraph(t, randomGraphSpec{seed: int64(3000 + gi), hub: true})
+		serialRes, err := MIBackward(nil, g, kw, Options{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := diffSignature(serialRes)
+		for _, w := range diffWorkerCounts {
+			parRes, err := MIBackward(nil, g, kw, Options{K: 8, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := diffSignature(parRes); got != want {
+				t.Fatalf("graph %d workers %d diverged with shallow batches:\n--- serial ---\n%s--- parallel ---\n%s",
+					gi, w, want, got)
+			}
+		}
+	}
+}
+
+// TestDifferentialNearIgnoresWorkers pins the documented fallback: Near
+// accepts Workers and returns results identical to serial.
+func TestDifferentialNearIgnoresWorkers(t *testing.T) {
+	for gi := 0; gi < 10; gi++ {
+		g, kw := buildRandomGraph(t, randomGraphSpec{seed: int64(7000 + gi)})
+		serialRes, serialStats, err := Near(nil, g, kw, Options{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range diffWorkerCounts {
+			res, stats, err := Near(nil, g, kw, Options{K: 8, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.WorkersUsed != 0 {
+				t.Fatalf("near workers %d: WorkersUsed=%d, want 0 (serial fallback)", w, stats.WorkersUsed)
+			}
+			if len(res) != len(serialRes) {
+				t.Fatalf("near workers %d: %d results vs %d serial", w, len(res), len(serialRes))
+			}
+			for i := range res {
+				if res[i] != serialRes[i] {
+					t.Fatalf("near workers %d result %d: %+v vs %+v", w, i, res[i], serialRes[i])
+				}
+			}
+			if stats.NodesExplored != serialStats.NodesExplored || stats.NodesTouched != serialStats.NodesTouched {
+				t.Fatalf("near workers %d stats diverged", w)
+			}
+		}
+	}
+}
+
+// countingCtx is a context whose Err flips to Canceled after a fixed
+// number of Err consultations. The search cancellers consult Err at a
+// deterministic, data-dependent cadence that is identical in serial and
+// parallel mode (only the coordinator ever consults the context), so a
+// countingCtx cancels serial and parallel runs at exactly the same merge
+// position — which is what makes truncation exactly comparable, where a
+// wall-clock deadline would be racy.
+type countingCtx struct {
+	calls atomic.Int64
+	limit int64
+}
+
+func (c *countingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countingCtx) Done() <-chan struct{}       { return nil }
+func (c *countingCtx) Value(any) any               { return nil }
+func (c *countingCtx) Err() error {
+	if c.calls.Add(1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// buildCancellationGraph makes a denser, larger graph so searches run for
+// hundreds of expansions — enough to cross several amortized cancellation
+// checks before exhausting the frontier.
+func buildCancellationGraph(t testing.TB, seed int64) (*graph.Graph, [][]graph.NodeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := 400
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode("t")
+	}
+	for u := 0; u < n; u++ {
+		for j := 0; j < 2+rng.Intn(4); j++ {
+			v := rng.Intn(n)
+			if v == u {
+				continue
+			}
+			if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v), 0.5+rng.Float64()*2, graph.EdgeType(rng.Intn(3))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g := b.Build()
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 0.1 + rng.Float64()
+	}
+	if err := g.SetPrestige(p); err != nil {
+		t.Fatal(err)
+	}
+	kw := [][]graph.NodeID{
+		{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))},
+		{graph.NodeID(rng.Intn(n))},
+		{graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))},
+	}
+	return g, kw
+}
+
+// TestDifferentialCancellation proves the Truncated-prefix contract under
+// mid-search cancellation: with a deterministic cancellation point, the
+// parallel run reports the same Truncated flag, the same partial top-k
+// prefix, and the same counters as the serial run — and shuts its workers
+// down cleanly (a leak or deadlock would hang the test).
+func TestDifferentialCancellation(t *testing.T) {
+	lowerShardThreshold(t)
+	for gi := 0; gi < 6; gi++ {
+		g, kw := buildCancellationGraph(t, int64(9000+gi))
+		for _, algo := range Algos() {
+			for _, limit := range []int64{0, 1, 2, 4, 8} {
+				serialRes, err := Search(&countingCtx{limit: limit}, g, algo, kw, Options{K: 10})
+				if err != nil {
+					t.Fatalf("%s limit %d serial: %v", algo, limit, err)
+				}
+				want := diffSignature(serialRes)
+				for _, w := range diffWorkerCounts {
+					parRes, err := Search(&countingCtx{limit: limit}, g, algo, kw, Options{K: 10, Workers: w})
+					if err != nil {
+						t.Fatalf("%s limit %d workers %d: %v", algo, limit, w, err)
+					}
+					if got := diffSignature(parRes); got != want {
+						t.Fatalf("graph %d %s limit %d workers %d diverged under cancellation:\n--- serial ---\n%s--- parallel ---\n%s",
+							gi, algo, limit, w, want, got)
+					}
+				}
+			}
+			// Sanity: a small limit must actually truncate mid-search and a
+			// huge one must not, so the sweep covers both regimes.
+			full, err := Search(context.Background(), g, algo, kw, Options{K: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut, err := Search(&countingCtx{limit: 1}, g, algo, kw, Options{K: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cut.Stats.Truncated {
+				t.Fatalf("%s: limit-1 run was not truncated (graph too small for the harness?)", algo)
+			}
+			if full.Stats.Truncated {
+				t.Fatalf("%s: uncancelled run reports Truncated", algo)
+			}
+		}
+	}
+}

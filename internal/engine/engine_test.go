@@ -319,13 +319,53 @@ func TestSearchBatch(t *testing.T) {
 			t.Fatalf("query %d: no answers", i)
 		}
 	}
-	if results[4] != results[0] {
-		t.Fatal("duplicate batch query did not share the cached result")
+	// The in-batch duplicate (query 4) may or may not hit the cache — its
+	// dispatcher can reach the lookup while query 0 is still in flight
+	// (query 1 fails instantly, freeing its dispatcher early), which is a
+	// legitimate miss. What IS guaranteed: after the batch completes, the
+	// result is cached, so a repeat query must share it.
+	again, againErrs := e.SearchBatch(context.Background(), qs[:1])
+	if againErrs[0] != nil {
+		t.Fatalf("repeat query: %v", againErrs[0])
+	}
+	if again[0] != results[0] {
+		t.Fatal("repeat query did not share the cached result")
 	}
 
 	// Empty batch is a no-op.
 	r0, e0 := e.SearchBatch(nil, nil)
 	if len(r0) != 0 || len(e0) != 0 {
 		t.Fatal("empty batch returned entries")
+	}
+}
+
+// TestWorkersUsable pins the grant clamp: no slots for algorithms that
+// ignore Workers, at most the iterator count for MI-Backward, none for
+// Bidirectional on a hub-free graph, and never more than core.MaxWorkers
+// — the pool must not reserve slots a search cannot employ.
+func TestWorkersUsable(t *testing.T) {
+	kw2 := [][]graph.NodeID{{1}, {2}} // 2 MI iterators
+	hub := core.BidirShardMinDegree()
+	cases := []struct {
+		algo      core.Algo
+		requested int
+		kw        [][]graph.NodeID
+		maxDeg    int
+		want      int
+	}{
+		{core.AlgoSIBackward, 8, kw2, hub, 0},
+		{core.AlgoMIBackward, 8, kw2, hub, 2},
+		{core.AlgoMIBackward, 1, kw2, hub, 1},
+		{core.AlgoBidirectional, 8, kw2, hub, 8},
+		{core.AlgoBidirectional, 8, kw2, hub - 1, 0},
+		{core.AlgoBidirectional, core.MaxWorkers + 100, kw2, hub, core.MaxWorkers},
+		{core.AlgoMIBackward, 0, kw2, hub, 0},
+		{core.AlgoMIBackward, -3, kw2, hub, 0},
+		{core.Algo("bogus"), 8, kw2, hub, 0},
+	}
+	for _, tc := range cases {
+		if got := workersUsable(tc.algo, tc.requested, tc.kw, func() int { return tc.maxDeg }); got != tc.want {
+			t.Errorf("workersUsable(%s, %d, maxDeg %d) = %d, want %d", tc.algo, tc.requested, tc.maxDeg, got, tc.want)
+		}
 	}
 }
