@@ -1,0 +1,190 @@
+// Command banksd serves BANKS keyword search over HTTP: the interactive,
+// multi-tenant front end the paper's system implies (§1), layered on
+// banks.Engine. See docs/SERVING.md for the API.
+//
+// Usage:
+//
+//	banksd [-addr :8080] [-snapshot dblp.snap | -dataset dblp -factor 0.25]
+//	       [-parallel 0] [-cache 256] [-max-inflight 0]
+//	       [-tenants tenants.json] [-drain-timeout 15s]
+//
+// -snapshot serves from a memory-mapped snapshot file (see cmd/datagen
+// -out), building and saving it first if absent — the fast path for
+// production restarts. -parallel sets the engine worker-pool width
+// (0 = GOMAXPROCS) and -max-inflight the admission limit (0 = 4× pool).
+// -tenants points at a JSON file of per-tenant caps (docs/SERVING.md has
+// the schema); without it every tenant gets the built-in limits.
+//
+// On SIGTERM or SIGINT the server drains gracefully: /healthz flips to
+// 503, listeners close, in-flight requests run to completion (bounded by
+// -drain-timeout), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"banks"
+	"banks/internal/datagen"
+	"banks/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("banksd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	dataset := flag.String("dataset", "dblp", "dataset family: dblp, imdb or patents")
+	factor := flag.Float64("factor", 0.25, "dataset scale factor (1 ≈ 180k tuples)")
+	snapshot := flag.String("snapshot", "", "serve from this snapshot file (building and saving it first if absent)")
+	parallel := flag.Int("parallel", 0, "engine worker-pool width (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "result-cache entries (0 = default 256, negative disables)")
+	maxInFlight := flag.Int("max-inflight", 0, "admission limit on concurrent query requests (0 = 4x pool width)")
+	tenantsPath := flag.String("tenants", "", "JSON file of per-tenant serving limits (see docs/SERVING.md)")
+	drainGrace := flag.Duration("drain-grace", time.Second, "window between /healthz turning 503 and the listener closing, so load balancers can observe unreadiness and stop routing (0 for tests)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
+	flag.Parse()
+
+	tenants := server.DefaultTenantConfig()
+	if *tenantsPath != "" {
+		var err error
+		if tenants, err = server.LoadTenants(*tenantsPath); err != nil {
+			return err
+		}
+	}
+
+	db, desc, err := openOrBuild(*snapshot, *dataset, *factor)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: *parallel, CacheSize: *cacheSize})
+	if err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:      eng,
+		DB:          db,
+		Tenants:     tenants,
+		MaxInFlight: *maxInFlight,
+		Logger:      log.Default(),
+		Dataset:     desc,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s on %s (pool=%d, max-inflight=%d)",
+			desc, *addr, eng.Workers(), srv.MaxInFlight())
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: advertise unreadiness, give load balancers a
+	// window to observe it before the listener closes, then let
+	// in-flight requests finish and confirm the engine is idle.
+	log.Printf("signal received, draining (grace %v, timeout %v)", *drainGrace, *drainTimeout)
+	srv.BeginDrain()
+	time.Sleep(*drainGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := eng.Quiesce(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: engine still busy: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}
+
+// openOrBuild serves the DB from a snapshot when one is requested and
+// present; otherwise it builds from the generated dataset (and, with
+// -snapshot set, saves the snapshot for the next start).
+func openOrBuild(snapshot, dataset string, factor float64) (*banks.DB, string, error) {
+	if snapshot != "" {
+		switch _, err := os.Stat(snapshot); {
+		case err == nil:
+			start := time.Now()
+			db, err := banks.OpenSnapshot(snapshot)
+			if err != nil {
+				return nil, "", err
+			}
+			log.Printf("opened snapshot %s in %v (zero-copy=%v)",
+				snapshot, time.Since(start).Round(time.Microsecond), db.SnapshotZeroCopy())
+			return db, fmt.Sprintf("snapshot %s", snapshot), nil
+		case !errors.Is(err, fs.ErrNotExist):
+			// Only a missing file means "build it": a permission or I/O
+			// error must fail in milliseconds with the real diagnosis,
+			// not after minutes of rebuilding a dataset that exists.
+			return nil, "", fmt.Errorf("snapshot %s: %w", snapshot, err)
+		}
+	}
+	db, err := buildDataset(dataset, factor)
+	if err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("%s factor %g", dataset, factor)
+	if snapshot != "" {
+		if err := db.WriteSnapshotFile(snapshot); err != nil {
+			return nil, "", err
+		}
+		log.Printf("saved snapshot %s", snapshot)
+		desc = fmt.Sprintf("snapshot %s", snapshot)
+	}
+	return db, desc, nil
+}
+
+func buildDataset(name string, factor float64) (*banks.DB, error) {
+	var (
+		ds  *datagen.Dataset
+		err error
+	)
+	switch name {
+	case "dblp":
+		ds, err = datagen.DBLP(datagen.DefaultDBLP(factor))
+	case "imdb":
+		ds, err = datagen.IMDB(datagen.DefaultIMDB(factor))
+	case "patents":
+		ds, err = datagen.Patents(datagen.DefaultPatents(factor))
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return banks.Build(ds.DB, banks.BuildOptions{})
+}

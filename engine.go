@@ -93,6 +93,53 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []BatchQuery) (results
 // CacheStats reports cumulative result-cache hits and misses.
 func (e *Engine) CacheStats() (hits, misses uint64) { return e.e.CacheStats() }
 
+// EngineStats is a point-in-time snapshot of an Engine's activity, for
+// status pages and metrics exporters. Counters are cumulative; gauges
+// (CacheLen, InFlight) reflect the sampling instant.
+type EngineStats struct {
+	// Searches counts tree-search queries accepted by the engine,
+	// including ones answered from the result cache.
+	Searches uint64
+	// Nears counts near queries accepted by the engine.
+	Nears uint64
+	// Truncated counts queries whose result was cut short by a deadline
+	// or cancellation (Stats.Truncated set).
+	Truncated uint64
+	// Errored counts queries that returned an error.
+	Errored uint64
+	// CacheHits/CacheMisses are the result-cache counters.
+	CacheHits, CacheMisses uint64
+	// CacheLen is the current number of cached results.
+	CacheLen int
+	// InFlight is the number of pool slots currently held (executing
+	// queries plus intra-query worker grants).
+	InFlight int
+	// Workers is the pool's concurrency bound.
+	Workers int
+}
+
+// Stats samples the engine's activity counters and pool state.
+func (e *Engine) Stats() EngineStats {
+	c := e.e.Counters()
+	hits, misses := e.e.CacheStats()
+	return EngineStats{
+		Searches:    c.Searches,
+		Nears:       c.Nears,
+		Truncated:   c.Truncated,
+		Errored:     c.Errored,
+		CacheHits:   hits,
+		CacheMisses: misses,
+		CacheLen:    e.e.CacheLen(),
+		InFlight:    e.e.InFlight(),
+		Workers:     e.e.Workers(),
+	}
+}
+
+// Quiesce blocks until the engine has no query executing (all pool slots
+// simultaneously free) or ctx is done. It is the drain barrier used by
+// serving front ends during graceful shutdown.
+func (e *Engine) Quiesce(ctx context.Context) error { return e.e.Quiesce(ctx) }
+
 // SearchBatch is a convenience one-shot batch on a DB: it fans the queries
 // out across a temporary pool of the given width (0 = GOMAXPROCS) without
 // caching. For repeated batches build a NewEngine once and reuse it.

@@ -133,11 +133,14 @@ func (o Options) validate() error {
 	if o.K < 0 {
 		return &OptionsError{Field: "K", Reason: "must be non-negative"}
 	}
-	if o.Mu <= 0 || o.Mu >= 1 {
+	// Both range checks are written as negated conjunctions so NaN —
+	// which fails every comparison — lands in the error branch instead
+	// of slipping through and poisoning scores downstream.
+	if !(o.Mu > 0 && o.Mu < 1) {
 		return &OptionsError{Field: "Mu", Reason: fmt.Sprintf("must be in (0,1), got %v", o.Mu)}
 	}
-	if o.Lambda < 0 {
-		return &OptionsError{Field: "Lambda", Reason: "must be non-negative"}
+	if !(o.Lambda >= 0) {
+		return &OptionsError{Field: "Lambda", Reason: fmt.Sprintf("must be non-negative, got %v", o.Lambda)}
 	}
 	if o.DMax < 0 {
 		return &OptionsError{Field: "DMax", Reason: "must be non-negative"}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"banks/internal/graph"
@@ -21,6 +22,8 @@ func TestOptionsValidationTyped(t *testing.T) {
 		{"negative Mu", Options{Mu: -0.5}, "Mu"},
 		{"Mu at 1", Options{Mu: 1}, "Mu"},
 		{"negative Lambda", Options{Lambda: -1}, "Lambda"},
+		{"NaN Mu", Options{Mu: math.NaN()}, "Mu"},
+		{"NaN Lambda", Options{Lambda: math.NaN()}, "Lambda"},
 		{"negative DMax", Options{DMax: -2}, "DMax"},
 		{"negative MaxNodes", Options{MaxNodes: -7}, "MaxNodes"},
 		{"negative Workers", Options{Workers: -1}, "Workers"},

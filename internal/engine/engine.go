@@ -76,6 +76,73 @@ type Engine struct {
 
 	cache        *lruCache // nil when caching is disabled
 	hits, misses atomic.Uint64
+
+	// Cumulative activity counters for serving introspection (/statusz).
+	searches  atomic.Uint64
+	nears     atomic.Uint64
+	truncated atomic.Uint64
+	errored   atomic.Uint64
+}
+
+// Counters is a point-in-time snapshot of cumulative engine activity,
+// exposed for serving-layer introspection. All fields only ever grow.
+type Counters struct {
+	// Searches counts Search calls that passed input validation,
+	// including ones answered from the result cache.
+	Searches uint64
+	// Nears counts Near calls that passed input validation.
+	Nears uint64
+	// Truncated counts queries whose result came back with
+	// Stats.Truncated set (deadline or cancellation cut the search short).
+	Truncated uint64
+	// Errored counts queries that returned an error (bad options,
+	// deadline expiry while waiting for a pool slot, ...).
+	Errored uint64
+}
+
+// Counters returns a snapshot of the cumulative activity counters. The
+// fields are read individually, not atomically as a set: a query
+// completing concurrently may be reflected in one counter and not yet in
+// another.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Searches:  e.searches.Load(),
+		Nears:     e.nears.Load(),
+		Truncated: e.truncated.Load(),
+		Errored:   e.errored.Load(),
+	}
+}
+
+// InFlight reports how many pool slots are currently held. This counts
+// executing queries plus any extra slots granted for intra-query
+// parallelism, so it can exceed the number of distinct queries running.
+func (e *Engine) InFlight() int { return len(e.sem) }
+
+// Quiesce blocks until every pool slot is simultaneously free — i.e. no
+// query is executing — or ctx is done, in which case it returns ctx.Err().
+// It is a drain barrier for graceful shutdown: after HTTP listeners stop
+// accepting work, Quiesce confirms the engine has gone idle. New queries
+// arriving while Quiesce holds slots will wait and then proceed normally;
+// it observes a moment of idleness, it does not fence the pool.
+func (e *Engine) Quiesce(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	held := 0
+	defer func() {
+		for i := 0; i < held; i++ {
+			<-e.sem
+		}
+	}()
+	for held < e.workers {
+		select {
+		case e.sem <- struct{}{}:
+			held++
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // New builds an Engine over a graph and its keyword index.
@@ -191,6 +258,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*core.Result, error) {
 	if len(terms) == 0 {
 		return nil, errors.New("engine: query contains no keywords")
 	}
+	e.searches.Add(1)
 
 	key, cacheable := cacheKey{}, false
 	if e.cache != nil {
@@ -215,6 +283,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*core.Result, error) {
 	case e.sem <- struct{}{}:
 		defer func() { <-e.sem }()
 	case <-ctx.Done():
+		e.errored.Add(1)
 		return nil, ctx.Err()
 	}
 
@@ -259,7 +328,11 @@ func (e *Engine) Search(ctx context.Context, q Query) (*core.Result, error) {
 
 	res, err := core.Search(ctx, e.g, q.Algo, kw, q.Opts)
 	if err != nil {
+		e.errored.Add(1)
 		return nil, err
+	}
+	if res.Stats.Truncated {
+		e.truncated.Add(1)
 	}
 	// Truncated results are deadline artifacts of this one call, not the
 	// query's answer; caching them would serve partial answers to callers
@@ -280,6 +353,7 @@ func (e *Engine) Near(ctx context.Context, terms []string, opts core.Options) ([
 	if len(nt) == 0 {
 		return nil, core.Stats{}, errors.New("engine: query contains no keywords")
 	}
+	e.nears.Add(1)
 	if e.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.timeout)
@@ -289,13 +363,21 @@ func (e *Engine) Near(ctx context.Context, terms []string, opts core.Options) ([
 	case e.sem <- struct{}{}:
 		defer func() { <-e.sem }()
 	case <-ctx.Done():
+		e.errored.Add(1)
 		return nil, core.Stats{}, ctx.Err()
 	}
 	kw := make([][]graph.NodeID, len(nt))
 	for i, t := range nt {
 		kw[i] = e.ix.Lookup(t)
 	}
-	return core.Near(ctx, e.g, kw, opts)
+	res, stats, err := core.Near(ctx, e.g, kw, opts)
+	switch {
+	case err != nil:
+		e.errored.Add(1)
+	case stats.Truncated:
+		e.truncated.Add(1)
+	}
+	return res, stats, err
 }
 
 // SearchBatch fans len(qs) queries out across the worker pool and waits for

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// admission is the bounded in-flight gate in front of the query
+// endpoints. It admits at most limit requests simultaneously; the
+// (limit+1)-th concurrent request is rejected immediately with
+// ErrOverCapacity rather than queued, so overload turns into fast 429s
+// (with a Retry-After hint) instead of an unbounded latency tail. The
+// engine's own worker pool below still bounds executing searches; the
+// admission limit bounds how many requests may be *waiting on* that pool,
+// which is what keeps memory and tail latency flat when traffic spikes.
+type admission struct {
+	limit    int
+	slots    chan struct{}
+	rejected atomic.Uint64
+
+	// ewmaNS tracks an exponentially-weighted moving average of admitted
+	// request durations, the basis of the Retry-After hint.
+	mu     sync.Mutex
+	ewmaNS float64
+}
+
+// ewmaAlpha weights the latest observation at 1/8 — smooth enough to
+// ignore one slow query, fresh enough to follow a load shift.
+const ewmaAlpha = 0.125
+
+func newAdmission(limit int) *admission {
+	return &admission{limit: limit, slots: make(chan struct{}, limit)}
+}
+
+// tryAcquire claims an in-flight slot. It never blocks: false means the
+// gate is at capacity and the caller must reject the request.
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+		a.rejected.Add(1)
+		return false
+	}
+}
+
+// release returns a slot and feeds the request's duration into the
+// latency average.
+func (a *admission) release(elapsed time.Duration) {
+	<-a.slots
+	a.mu.Lock()
+	if a.ewmaNS == 0 {
+		a.ewmaNS = float64(elapsed)
+	} else {
+		a.ewmaNS += ewmaAlpha * (float64(elapsed) - a.ewmaNS)
+	}
+	a.mu.Unlock()
+}
+
+// retryAfterSeconds estimates how long a rejected caller should back off:
+// the average request duration rounded up to whole seconds, at least 1
+// (Retry-After is integral seconds and 0 would invite an immediate,
+// equally doomed retry).
+func (a *admission) retryAfterSeconds() int {
+	a.mu.Lock()
+	ewma := a.ewmaNS
+	a.mu.Unlock()
+	s := int(math.Ceil(ewma / float64(time.Second)))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// inFlight reports the number of currently admitted requests.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// rejectedTotal reports how many requests have been turned away.
+func (a *admission) rejectedTotal() uint64 { return a.rejected.Load() }

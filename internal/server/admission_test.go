@@ -1,0 +1,183 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"banks"
+)
+
+// pinnedRequest is one in-flight request the test holds open
+// deterministically: a POST /v1/search whose JSON body arrives through a
+// pipe the test controls. Admission happens before body decoding, so the
+// handler sits inside the gate, blocked on the body, until the test calls
+// finish — no dependence on query duration or scheduler timing.
+type pinnedRequest struct {
+	pw   *io.PipeWriter
+	done chan outcome
+}
+
+type outcome struct {
+	code int
+	body []byte
+	err  error
+}
+
+func startPinnedRequest(t *testing.T, ts *httptest.Server) *pinnedRequest {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/search", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	p := &pinnedRequest{pw: pw, done: make(chan outcome, 1)}
+	go func() {
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			p.done <- outcome{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		p.done <- outcome{code: resp.StatusCode, body: body, err: err}
+	}()
+	return p
+}
+
+// finish delivers the request body, letting the pinned handler decode and
+// run a real (cheap) query, and returns the outcome.
+func (p *pinnedRequest) finish(t *testing.T) outcome {
+	t.Helper()
+	if _, err := p.pw.Write([]byte(`{"query":"database query","k":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case out := <-p.done:
+		return out
+	case <-time.After(30 * time.Second):
+		t.Fatal("pinned request never completed")
+		return outcome{}
+	}
+}
+
+// TestAdmissionOverflow is the acceptance-criterion scenario, table-driven
+// over the in-flight limit: with limit n, n concurrent requests are
+// admitted and all complete successfully, while the (n+1)-th is rejected
+// with 429 and a Retry-After hint.
+func TestAdmissionOverflow(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("limit=%d", n), func(t *testing.T) {
+			db := testDB(t)
+			eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: 1, CacheSize: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, ts := newTestServer(t, Config{Engine: eng, DB: db, MaxInFlight: n})
+
+			// Occupy all n in-flight slots with requests pinned open on
+			// their half-sent bodies.
+			pinned := make([]*pinnedRequest, n)
+			for i := range pinned {
+				pinned[i] = startPinnedRequest(t, ts)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for s.adm.inFlight() != n {
+				if time.Now().After(deadline) {
+					t.Fatalf("in-flight never reached %d (at %d)", n, s.adm.inFlight())
+				}
+				time.Sleep(time.Millisecond)
+			}
+
+			// The (n+1)-th concurrent request: rejected immediately, with
+			// the slots still pinned by the first n.
+			code, body, hdr := get(t, ts, "/v1/search?q=database+query&k=1", "")
+			if code != http.StatusTooManyRequests {
+				t.Fatalf("overflow request: status %d, want 429\n%s", code, body)
+			}
+			ra := hdr.Get("Retry-After")
+			if ra == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+				t.Fatalf("bad Retry-After %q", ra)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error.Code != "over_capacity" {
+				t.Fatalf("bad 429 body: %s", body)
+			}
+
+			// The first n complete successfully once their bodies arrive.
+			for i, p := range pinned {
+				out := p.finish(t)
+				if out.err != nil {
+					t.Fatalf("admitted request %d: %v", i, out.err)
+				}
+				if out.code != http.StatusOK {
+					t.Fatalf("admitted request %d: status %d\n%s", i, out.code, out.body)
+				}
+				if resp := decodeSearchResponse(t, out.body); len(resp.Answers) == 0 {
+					t.Fatalf("admitted request %d returned no answers", i)
+				}
+			}
+			if got := s.adm.rejectedTotal(); got != 1 {
+				t.Fatalf("rejected counter %d, want 1", got)
+			}
+			if got := s.adm.inFlight(); got != 0 {
+				t.Fatalf("in-flight %d after completion, want 0", got)
+			}
+
+			// And the gate admits again now that the slots are free.
+			if code, body, _ := get(t, ts, "/v1/search?q=database+query&k=1", ""); code != http.StatusOK {
+				t.Fatalf("post-overflow request: status %d\n%s", code, body)
+			}
+		})
+	}
+}
+
+// TestAdmissionRecovers: after load subsides, the gate admits again.
+func TestAdmissionRecovers(t *testing.T) {
+	db := testDB(t)
+	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: 1, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Engine: eng, DB: db, MaxInFlight: 1})
+	for i := 0; i < 3; i++ {
+		code, body, _ := get(t, ts, "/v1/search?q=database&k=1", "")
+		if code != http.StatusOK {
+			t.Fatalf("sequential request %d: status %d\n%s", i, code, body)
+		}
+	}
+}
+
+func TestRetryAfterEstimate(t *testing.T) {
+	a := newAdmission(1)
+	if got := a.retryAfterSeconds(); got != 1 {
+		t.Fatalf("cold estimate %d, want 1", got)
+	}
+	if !a.tryAcquire() {
+		t.Fatal("empty gate refused")
+	}
+	a.release(2500 * time.Millisecond)
+	if got := a.retryAfterSeconds(); got != 3 {
+		t.Fatalf("estimate after 2.5s request: %d, want 3 (ceil)", got)
+	}
+	if !a.tryAcquire() {
+		t.Fatal("gate refused after release")
+	}
+	a.release(10 * time.Millisecond)
+	// EWMA moves toward the fast request but stays >= 1s floor.
+	if got := a.retryAfterSeconds(); got < 1 || got > 3 {
+		t.Fatalf("estimate drifted to %d", got)
+	}
+}

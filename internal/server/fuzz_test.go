@@ -1,0 +1,136 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"banks/internal/core"
+)
+
+// FuzzDecodeSearchRequest throws arbitrary bytes at the /v1/search
+// decoder through both transports (URL query string and JSON body) and
+// checks the decoder's contract: it never panics, and whatever it
+// accepts respects the tenant clamps — no fuzz input may smuggle a k,
+// worker count or deadline past the caps, because those caps are the
+// serving layer's overload defense.
+func FuzzDecodeSearchRequest(f *testing.F) {
+	seeds := []string{
+		"q=database+query&k=3",
+		"q=gray+transaction&algo=mi-backward&workers=4&timeout=250ms",
+		"q=a&k=999999&workers=999999&timeout=9999999",
+		"q=%21%21%21",
+		"q=db&kk=3",
+		"q=db&mu=1.5&lambda=-1&dmax=-2&max_nodes=-1",
+		"q=db&strict_bound=true&activation_sum=1",
+		"q=db&mu=NaN&lambda=Inf",
+		"q=db&timeout=10000000000000",
+		`{"query":"db","timeout_ms":10000000000000}`,
+		`{"query":"database query","k":3}`,
+		`{"query":"db","algo":"si-backward","timeout_ms":100,"workers":2}`,
+		`{"query":"db","kk":1}`,
+		`{"query":"db"} trailing`,
+		`{"query":"` + strings.Repeat("w ", 40) + `"}`,
+		`[1,2,3]`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s, true)
+		f.Add(s, false)
+	}
+
+	// MaxK below core.DefaultK on purpose: an omitted k runs as the
+	// default, and the cap must bind that too, not just explicit values.
+	lim := TenantLimits{MaxK: 5, MaxWorkers: 3, MaxTimeoutMS: 500, DefaultTimeoutMS: 200, MaxBatch: 4}
+
+	f.Fuzz(func(t *testing.T, data string, asJSON bool) {
+		var r *http.Request
+		if asJSON {
+			r = httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader(data))
+		} else {
+			// Raw fuzz data lands in RawQuery exactly as a client could
+			// send it on the wire (the URL parser has its own fuzzing;
+			// here it is just transport).
+			r = httptest.NewRequest(http.MethodGet, "/v1/search", nil)
+			r.URL.RawQuery = data
+		}
+		req, herr := decodeSearchRequest(r, lim)
+		if herr != nil {
+			if req != nil {
+				t.Fatal("decoder returned both a request and an error")
+			}
+			if herr.status < 400 || herr.status > 499 {
+				t.Fatalf("decode failure with non-4xx status %d (%s)", herr.status, herr.message)
+			}
+			if herr.message == "" || herr.code == "" {
+				t.Fatalf("error without message/code: %+v", herr)
+			}
+			return
+		}
+
+		// Accepted requests are executable and inside the tenant caps.
+		if len(req.Terms) == 0 || len(req.Terms) > core.MaxKeywords {
+			t.Fatalf("accepted %d terms", len(req.Terms))
+		}
+		if !knownAlgo(req.Algo) {
+			t.Fatalf("accepted unknown algorithm %q", req.Algo)
+		}
+		if req.Opts.K > lim.MaxK {
+			t.Fatalf("k %d escaped the cap %d", req.Opts.K, lim.MaxK)
+		}
+		// The cap binds the k the search runs with, defaults included.
+		if effK := req.Opts.Normalized().K; effK > lim.MaxK {
+			t.Fatalf("normalized k %d escaped the cap %d", effK, lim.MaxK)
+		}
+		if req.Opts.Workers > lim.MaxWorkers {
+			t.Fatalf("workers %d escaped the cap %d", req.Opts.Workers, lim.MaxWorkers)
+		}
+		if req.Timeout <= 0 || req.Timeout > lim.MaxTimeout() {
+			t.Fatalf("timeout %v outside (0, %v]", req.Timeout, lim.MaxTimeout())
+		}
+		// The stable ID must be derivable for anything accepted.
+		if id := req.queryID(); !strings.HasPrefix(id, "q-") || len(id) != 18 {
+			t.Fatalf("bad query id %q", id)
+		}
+	})
+}
+
+// FuzzDecodeBatchRequest does the same for the batch decoder: no panics,
+// and every accepted batch respects MaxBatch and the per-element caps.
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add(`{"queries":[{"query":"database query","k":3}]}`)
+	f.Add(`{"queries":[{"query":"a"},{"query":"b"},{"query":"c"},{"query":"d"},{"query":"e"}]}`)
+	f.Add(`{"timeout_ms":100,"queries":[{"query":"db","workers":99}]}`)
+	f.Add(`{"queries":[{"query":"db","timeout_ms":5}]}`)
+	f.Add(`{"queries":[]}`)
+	f.Add(`not json`)
+
+	lim := TenantLimits{MaxK: 5, MaxWorkers: 3, MaxTimeoutMS: 500, DefaultTimeoutMS: 200, MaxBatch: 4}
+
+	f.Fuzz(func(t *testing.T, data string) {
+		r := httptest.NewRequest(http.MethodPost, "/v1/batch", strings.NewReader(data))
+		reqs, timeout, _, herr := decodeBatchRequest(r, lim)
+		if herr != nil {
+			if herr.status < 400 || herr.status > 499 {
+				t.Fatalf("decode failure with non-4xx status %d", herr.status)
+			}
+			return
+		}
+		if len(reqs) == 0 || len(reqs) > lim.MaxBatch {
+			t.Fatalf("accepted batch of %d outside (0, %d]", len(reqs), lim.MaxBatch)
+		}
+		if timeout <= 0 || timeout > time.Duration(lim.MaxTimeoutMS)*time.Millisecond {
+			t.Fatalf("batch timeout %v outside caps", timeout)
+		}
+		for i, req := range reqs {
+			if req == nil {
+				t.Fatalf("nil element %d in accepted batch", i)
+			}
+			if effK := req.Opts.Normalized().K; effK > lim.MaxK || req.Opts.Workers > lim.MaxWorkers {
+				t.Fatalf("element %d escaped caps: %+v", i, req.Opts)
+			}
+		}
+	})
+}

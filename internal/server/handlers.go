@@ -1,0 +1,468 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"banks"
+)
+
+// nodeJSON is one tree node with its display label.
+type nodeJSON struct {
+	ID    banks.NodeID `json:"id"`
+	Label string       `json:"label"`
+}
+
+// edgeJSON is one parent→child tree edge.
+type edgeJSON struct {
+	From    banks.NodeID `json:"from"`
+	To      banks.NodeID `json:"to"`
+	Type    string       `json:"type,omitempty"`
+	Forward bool         `json:"forward"`
+	Weight  float64      `json:"weight"`
+}
+
+// answerJSON is one ranked answer tree.
+type answerJSON struct {
+	Root         banks.NodeID   `json:"root"`
+	RootLabel    string         `json:"root_label"`
+	Score        float64        `json:"score"`
+	EdgeScore    float64        `json:"edge_score"`
+	NodeScore    float64        `json:"node_score"`
+	Nodes        []nodeJSON     `json:"nodes"`
+	Edges        []edgeJSON     `json:"edges"`
+	KeywordNodes []banks.NodeID `json:"keyword_nodes"`
+	PathWeights  []float64      `json:"path_weights"`
+}
+
+// statsJSON carries the §5.2 performance counters over the wire.
+type statsJSON struct {
+	NodesExplored    int     `json:"nodes_explored"`
+	NodesTouched     int     `json:"nodes_touched"`
+	EdgesRelaxed     int     `json:"edges_relaxed"`
+	AnswersGenerated int     `json:"answers_generated"`
+	WorkersUsed      int     `json:"workers_used"`
+	DurationMS       float64 `json:"duration_ms"`
+	BudgetExhausted  bool    `json:"budget_exhausted,omitempty"`
+}
+
+// searchResponse is the /v1/search (and per-element /v1/batch) body.
+type searchResponse struct {
+	QueryID string `json:"query_id"`
+	Algo    string `json:"algo"`
+	K       int    `json:"k"`
+	// Clamped lists request fields reduced by the tenant limits, so a
+	// caller can tell "ran as asked" from "ran with caps applied".
+	Clamped []string `json:"clamped,omitempty"`
+	// Truncated reports that the deadline cut the search short: Answers
+	// is a valid partial top-k prefix, not the complete answer.
+	Truncated bool         `json:"truncated"`
+	Answers   []answerJSON `json:"answers"`
+	Stats     statsJSON    `json:"stats"`
+}
+
+func (s *Server) statsJSON(st banks.Stats) statsJSON {
+	return statsJSON{
+		NodesExplored:    st.NodesExplored,
+		NodesTouched:     st.NodesTouched,
+		EdgesRelaxed:     st.EdgesRelaxed,
+		AnswersGenerated: st.AnswersGenerated,
+		WorkersUsed:      st.WorkersUsed,
+		DurationMS:       float64(st.Duration) / float64(time.Millisecond),
+		BudgetExhausted:  st.BudgetExhausted,
+	}
+}
+
+func (s *Server) answerJSON(a *banks.Answer) answerJSON {
+	nodes := make([]nodeJSON, len(a.Nodes))
+	for i, u := range a.Nodes {
+		nodes[i] = nodeJSON{ID: u, Label: s.db.NodeLabel(u)}
+	}
+	edges := make([]edgeJSON, len(a.Edges))
+	for i, e := range a.Edges {
+		edges[i] = edgeJSON{
+			From: e.From, To: e.To,
+			Type:    s.db.EdgeTypes.Name(e.Type),
+			Forward: e.Forward,
+			Weight:  e.Weight,
+		}
+	}
+	return answerJSON{
+		Root:         a.Root,
+		RootLabel:    s.db.NodeLabel(a.Root),
+		Score:        a.Score,
+		EdgeScore:    a.EdgeScore,
+		NodeScore:    a.NodeScore,
+		Nodes:        nodes,
+		Edges:        edges,
+		KeywordNodes: a.KeywordNodes,
+		PathWeights:  a.PathWeights,
+	}
+}
+
+func (s *Server) searchResponse(req *searchRequest, res *banks.Result) *searchResponse {
+	answers := make([]answerJSON, len(res.Answers))
+	for i, a := range res.Answers {
+		answers[i] = s.answerJSON(a)
+	}
+	return &searchResponse{
+		QueryID:   req.queryID(),
+		Algo:      string(req.Algo),
+		K:         req.Opts.Normalized().K,
+		Clamped:   req.Clamped,
+		Truncated: res.Stats.Truncated,
+		Answers:   answers,
+		Stats:     s.statsJSON(res.Stats),
+	}
+}
+
+// annotate fills the request-log record for the middleware.
+func annotate(r *http.Request, queryID string, answers int, truncated bool) {
+	if info := infoFrom(r.Context()); info != nil {
+		info.queryID = queryID
+		info.answers = answers
+		info.truncated = truncated
+	}
+}
+
+// limits resolves the request's tenant header to its serving limits.
+func (s *Server) limits(r *http.Request) TenantLimits {
+	return s.tenants.Resolve(r.Header.Get("X-Tenant"))
+}
+
+// queryCtx applies the effective deadline to the request context.
+func queryCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// runSearch executes one decoded query and records its metrics outcome.
+// The duration fed to the latency metric is the search's own execution
+// time (Stats.Duration), the one definition every query path shares;
+// errored queries have no execution time and contribute only to the
+// outcome counter.
+func (s *Server) runSearch(ctx context.Context, req *searchRequest) (*banks.Result, *httpError) {
+	res, err := s.eng.Search(ctx, req.Query, req.Algo, req.Opts)
+	if err != nil {
+		s.met.observeQuery(string(req.Algo), outcomeError, 0)
+		return nil, mapQueryError(err)
+	}
+	outcome := outcomeOK
+	if res.Stats.Truncated {
+		outcome = outcomeTruncated
+	}
+	s.met.observeQuery(string(req.Algo), outcome, res.Stats.Duration)
+	return res, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	req, herr := decodeSearchRequest(r, s.limits(r))
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	ctx, cancel := queryCtx(r, req.Timeout)
+	defer cancel()
+	res, herr := s.runSearch(ctx, req)
+	if herr != nil {
+		annotate(r, req.queryID(), 0, false)
+		writeError(w, herr)
+		return
+	}
+	resp := s.searchResponse(req, res)
+	annotate(r, resp.QueryID, len(resp.Answers), resp.Truncated)
+	writeJSON(w, resp)
+}
+
+// explainResponse is the /v1/explain body: the same search, rendered the
+// way cmd/banks prints it.
+type explainResponse struct {
+	QueryID   string   `json:"query_id"`
+	Algo      string   `json:"algo"`
+	Clamped   []string `json:"clamped,omitempty"`
+	Truncated bool     `json:"truncated"`
+	Explains  []string `json:"explains"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	req, herr := decodeSearchRequest(r, s.limits(r))
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	ctx, cancel := queryCtx(r, req.Timeout)
+	defer cancel()
+	res, herr := s.runSearch(ctx, req)
+	if herr != nil {
+		annotate(r, req.queryID(), 0, false)
+		writeError(w, herr)
+		return
+	}
+	explains := make([]string, len(res.Answers))
+	for i, a := range res.Answers {
+		explains[i] = s.db.Explain(a)
+	}
+	annotate(r, req.queryID(), len(explains), res.Stats.Truncated)
+	writeJSON(w, explainResponse{
+		QueryID:   req.queryID(),
+		Algo:      string(req.Algo),
+		Clamped:   req.Clamped,
+		Truncated: res.Stats.Truncated,
+		Explains:  explains,
+	})
+}
+
+// nearNodeJSON is one activation-ranked node.
+type nearNodeJSON struct {
+	ID         banks.NodeID `json:"id"`
+	Label      string       `json:"label"`
+	Activation float64      `json:"activation"`
+}
+
+// nearResponse is the /v1/near body.
+type nearResponse struct {
+	QueryID   string         `json:"query_id"`
+	Clamped   []string       `json:"clamped,omitempty"`
+	Truncated bool           `json:"truncated"`
+	Nodes     []nearNodeJSON `json:"nodes"`
+	Stats     statsJSON      `json:"stats"`
+}
+
+func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
+	p, herr := decodeSearchParams(r)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	// Near queries have no algorithm choice, no output-bound mode, and
+	// always combine activations by sum (core.Near forces it); accepting
+	// and ignoring any of these would be the silent mismatch the strict
+	// decoding exists to prevent.
+	if p.Algo != "" {
+		writeError(w, badRequest("algo", "near queries have no algorithm choice"))
+		return
+	}
+	if p.StrictBound {
+		writeError(w, badRequest("strict_bound", "near queries have no output bound mode"))
+		return
+	}
+	if p.ActivationSum {
+		writeError(w, badRequest("activation_sum", "near queries always sum activations; the flag is not configurable"))
+		return
+	}
+	req, herr := p.resolve(s.limits(r))
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	// Discriminate the stable query ID from a tree search over the same
+	// terms: "near" takes the algorithm slot in the hash.
+	req.Algo = "near"
+	ctx, cancel := queryCtx(r, req.Timeout)
+	defer cancel()
+	res, stats, err := s.eng.Near(ctx, req.Query, req.Opts)
+	if err != nil {
+		s.met.observeQuery("near", outcomeError, 0)
+		annotate(r, req.queryID(), 0, false)
+		writeError(w, mapQueryError(err))
+		return
+	}
+	outcome := outcomeOK
+	if stats.Truncated {
+		outcome = outcomeTruncated
+	}
+	s.met.observeQuery("near", outcome, stats.Duration)
+	nodes := make([]nearNodeJSON, len(res))
+	for i, n := range res {
+		nodes[i] = nearNodeJSON{ID: n.Node, Label: s.db.NodeLabel(n.Node), Activation: n.Activation}
+	}
+	annotate(r, req.queryID(), len(nodes), stats.Truncated)
+	writeJSON(w, nearResponse{
+		QueryID:   req.queryID(),
+		Clamped:   req.Clamped,
+		Truncated: stats.Truncated,
+		Nodes:     nodes,
+		Stats:     s.statsJSON(stats),
+	})
+}
+
+// batchResponse is the /v1/batch body: results[i] and errors[i] mirror
+// queries[i]; exactly one of the pair is non-null. Clamped discloses
+// batch-level reductions (the shared deadline); per-element clamps appear
+// on the elements.
+type batchResponse struct {
+	Clamped []string          `json:"clamped,omitempty"`
+	Results []*searchResponse `json:"results"`
+	Errors  []*errorJSON      `json:"errors"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", message: "batch requests are POST with a JSON body"})
+		return
+	}
+	reqs, timeout, clamped, herr := decodeBatchRequest(r, s.limits(r))
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	ctx, cancel := queryCtx(r, timeout)
+	defer cancel()
+
+	queries := make([]banks.BatchQuery, len(reqs))
+	for i, req := range reqs {
+		queries[i] = banks.BatchQuery{Query: req.Query, Algo: req.Algo, Opts: req.Opts}
+	}
+	results, errs := s.eng.SearchBatch(ctx, queries)
+
+	resp := batchResponse{
+		Clamped: clamped,
+		Results: make([]*searchResponse, len(reqs)),
+		Errors:  make([]*errorJSON, len(reqs)),
+	}
+	answers, truncated := 0, false
+	for i := range reqs {
+		if errs[i] != nil {
+			s.met.observeQuery(string(reqs[i].Algo), outcomeError, 0)
+			he := mapQueryError(errs[i])
+			field := he.field
+			if field != "" {
+				field = fmt.Sprintf("queries[%d].%s", i, field)
+			}
+			resp.Errors[i] = &errorJSON{Status: he.status, Code: he.code, Field: field, Message: he.message}
+			continue
+		}
+		res := results[i]
+		outcome := outcomeOK
+		if res.Stats.Truncated {
+			outcome = outcomeTruncated
+			truncated = true
+		}
+		s.met.observeQuery(string(reqs[i].Algo), outcome, res.Stats.Duration)
+		resp.Results[i] = s.searchResponse(reqs[i], res)
+		answers += len(resp.Results[i].Answers)
+	}
+	annotate(r, "batch", answers, truncated)
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// statuszResponse is the /statusz introspection document.
+type statuszResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	Dataset       struct {
+		Description string `json:"description,omitempty"`
+		Nodes       int    `json:"nodes"`
+		Edges       int    `json:"edges"`
+		Terms       int    `json:"terms"`
+		Snapshotted bool   `json:"snapshotted"`
+		ZeroCopy    bool   `json:"zero_copy"`
+	} `json:"dataset"`
+	Engine struct {
+		PoolWorkers int    `json:"pool_workers"`
+		InFlight    int    `json:"in_flight"`
+		Searches    uint64 `json:"searches"`
+		Nears       uint64 `json:"nears"`
+		Truncated   uint64 `json:"truncated"`
+		Errored     uint64 `json:"errored"`
+		CacheHits   uint64 `json:"cache_hits"`
+		CacheMisses uint64 `json:"cache_misses"`
+		CacheLen    int    `json:"cache_len"`
+	} `json:"engine"`
+	Admission struct {
+		Limit    int    `json:"limit"`
+		InFlight int    `json:"in_flight"`
+		Rejected uint64 `json:"rejected"`
+	} `json:"admission"`
+	Tenants []string `json:"tenants,omitempty"`
+	Runtime struct {
+		GoVersion  string `json:"go_version"`
+		Goroutines int    `json:"goroutines"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		HeapBytes  uint64 `json:"heap_bytes"`
+	} `json:"runtime"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	var resp statuszResponse
+	resp.UptimeSeconds = time.Since(s.start).Seconds()
+	resp.Draining = s.draining.Load()
+
+	resp.Dataset.Description = s.dataset
+	resp.Dataset.Nodes = s.db.Graph.NumNodes()
+	resp.Dataset.Edges = s.db.Graph.NumEdges()
+	resp.Dataset.Terms = s.db.Index.NumTerms()
+	resp.Dataset.Snapshotted = s.db.Snapshotted()
+	resp.Dataset.ZeroCopy = s.db.SnapshotZeroCopy()
+
+	es := s.eng.Stats()
+	resp.Engine.PoolWorkers = es.Workers
+	resp.Engine.InFlight = es.InFlight
+	resp.Engine.Searches = es.Searches
+	resp.Engine.Nears = es.Nears
+	resp.Engine.Truncated = es.Truncated
+	resp.Engine.Errored = es.Errored
+	resp.Engine.CacheHits = es.CacheHits
+	resp.Engine.CacheMisses = es.CacheMisses
+	resp.Engine.CacheLen = es.CacheLen
+
+	resp.Admission.Limit = s.adm.limit
+	resp.Admission.InFlight = s.adm.inFlight()
+	resp.Admission.Rejected = s.adm.rejectedTotal()
+
+	resp.Tenants = s.tenants.Names()
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	resp.Runtime.GoVersion = runtime.Version()
+	resp.Runtime.Goroutines = runtime.NumGoroutine()
+	resp.Runtime.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	resp.Runtime.HeapBytes = mem.HeapAlloc
+
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	es := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w,
+		[]counterExtra{
+			{"banksd_admission_rejected_total", "Requests rejected by the admission gate (HTTP 429).", s.adm.rejectedTotal()},
+			{"banksd_cache_hits_total", "Engine result-cache hits.", es.CacheHits},
+			{"banksd_cache_misses_total", "Engine result-cache misses.", es.CacheMisses},
+		},
+		[]gauge{
+			{"banksd_admission_in_flight", "Requests currently admitted.", float64(s.adm.inFlight())},
+			{"banksd_admission_limit", "Admission in-flight limit.", float64(s.adm.limit)},
+			{"banksd_engine_in_flight", "Engine pool slots currently held.", float64(es.InFlight)},
+			{"banksd_engine_pool_workers", "Engine pool width.", float64(es.Workers)},
+			{"banksd_cache_entries", "Entries in the engine result cache.", float64(es.CacheLen)},
+			{"banksd_draining", "1 once graceful drain has begun.", boolGauge(s.draining.Load())},
+			{"banksd_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds()},
+			{"go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine())},
+		})
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// reqInfo is the per-request record handlers annotate (query ID, answer
+// count, truncation) so the middleware can emit one complete log line
+// after the response is written.
+type reqInfo struct {
+	id        uint64
+	tenant    string
+	queryID   string
+	answers   int
+	truncated bool
+}
+
+type reqInfoKey struct{}
+
+func infoFrom(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// knownRoutes are the paths the request-counter metric labels verbatim.
+// Anything else — scanners probing /wp-login.php, typos, 404s — is
+// bucketed as "other": every distinct path would otherwise mint a
+// permanent metrics series, an unbounded memory and scrape-size leak on
+// an exposed listener.
+var knownRoutes = map[string]bool{
+	"/v1/search": true, "/v1/batch": true, "/v1/near": true, "/v1/explain": true,
+	"/healthz": true, "/statusz": true, "/metrics": true,
+}
+
+func metricsPath(path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	return "other"
+}
+
+// instrument wraps the route mux with panic containment, per-request IDs,
+// the request-counter metric, and (for /v1/ endpoints) one structured log
+// line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := &reqInfo{id: s.reqSeq.Add(1), tenant: r.Header.Get("X-Tenant")}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				// A handler panic must not take the process (and every
+				// other in-flight query) down with it.
+				if s.logger != nil {
+					s.logger.Printf("panic rid=%d %s %s: %v\n%s", info.id, r.Method, r.URL.Path, p, debug.Stack())
+				}
+				if sw.status == 0 {
+					writeError(sw, &httpError{status: http.StatusInternalServerError,
+						code: "internal", message: "internal server error"})
+				}
+			}
+			s.met.observeRequest(metricsPath(r.URL.Path), sw.status)
+			if s.logger != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+				tenant := info.tenant
+				if tenant == "" {
+					tenant = "-"
+				}
+				qid := info.queryID
+				if qid == "" {
+					qid = "-"
+				}
+				s.logger.Printf("rid=%d tenant=%s qid=%s %s %s %d %s answers=%d truncated=%v",
+					info.id, tenant, qid, r.Method, r.URL.RequestURI(), sw.status,
+					time.Since(start).Round(time.Microsecond), info.answers, info.truncated)
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// admitted wraps a query handler with the admission gate: at capacity the
+// request is rejected immediately with 429 and a Retry-After estimate
+// instead of queueing without bound.
+func (s *Server) admitted(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.adm.tryAcquire() {
+			writeError(w, &httpError{
+				status:     http.StatusTooManyRequests,
+				code:       "over_capacity",
+				message:    fmt.Sprintf("server is at its in-flight limit (%d); retry after the indicated delay", s.adm.limit),
+				retryAfter: s.adm.retryAfterSeconds(),
+			})
+			return
+		}
+		start := time.Now()
+		defer func() { s.adm.release(time.Since(start)) }()
+		next(w, r)
+	}
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error errorJSON `json:"error"`
+}
+
+type errorJSON struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Field   string `json:"field,omitempty"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	w.Header().Set("Content-Type", "application/json")
+	if e.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
+	}
+	w.WriteHeader(e.status)
+	json.NewEncoder(w).Encode(errorBody{Error: errorJSON{
+		Status: e.status, Code: e.code, Field: e.field, Message: e.message,
+	}})
+}
+
+// writeJSON encodes the response body. An encode error at this point is a
+// broken client connection — the status line is already out, so there is
+// nothing useful left to report to the peer.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: banks
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMIBackwardSerial          	       5	 324381790 ns/op
+BenchmarkMIBackwardParallel2-8     	       5	 208288079 ns/op
+BenchmarkMIBackwardParallel4-8     	       5	 161705669 ns/op
+BenchmarkMIBackwardParallel8-8     	       5	 155829560 ns/op
+BenchmarkBidirectionalShardSerial-8	       5	 847792415 ns/op
+BenchmarkBidirectionalSharded-8    	       5	 623737649 ns/op
+PASS
+ok  	banks	45.2s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("parsed %d results, want 6: %v", len(results), results)
+	}
+	if got := results["BenchmarkMIBackwardSerial"]; got != 324381790 {
+		t.Fatalf("serial ns/op = %v", got)
+	}
+	if got := results["BenchmarkMIBackwardParallel4"]; got != 161705669 {
+		t.Fatalf("parallel4 ns/op = %v (GOMAXPROCS suffix not stripped?)", got)
+	}
+}
+
+func TestParseBenchKeepsFastestRun(t *testing.T) {
+	out := "BenchmarkMIBackwardSerial 5 300 ns/op\nBenchmarkMIBackwardSerial 5 200 ns/op\nBenchmarkMIBackwardSerial 5 250 ns/op\n"
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["BenchmarkMIBackwardSerial"]; got != 200 {
+		t.Fatalf("kept %v, want fastest 200", got)
+	}
+}
+
+func TestBuild(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := build(results, "test-cpu", 8, "2026-07-29")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 6 {
+		t.Fatalf("%d results, want 6", len(doc.Results))
+	}
+	if doc.Results[0].Benchmark != "BenchmarkMIBackwardSerial" || doc.Results[0].NsPerOp != 324381790 {
+		t.Fatalf("result order/values wrong: %+v", doc.Results[0])
+	}
+	// 324381790 / 161705669 = 2.006... → 2.01
+	if doc.Derived.MISpeedup4 != 2.01 {
+		t.Fatalf("speedup %v, want 2.01", doc.Derived.MISpeedup4)
+	}
+	if !doc.Derived.AcceptanceMet {
+		t.Fatal("2x speedup did not meet the 1.5x threshold")
+	}
+	if !strings.Contains(doc.Derived.Note, "8-core") {
+		t.Fatalf("multi-core note wrong: %q", doc.Derived.Note)
+	}
+
+	// Missing benchmark fails loudly instead of writing a partial file.
+	delete(results, "BenchmarkBidirectionalSharded")
+	if _, err := build(results, "test-cpu", 8, "2026-07-29"); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+}
+
+func TestBuildSingleCoreNote(t *testing.T) {
+	results, _ := parseBench(strings.NewReader(sampleOutput))
+	doc, err := build(results, "test-cpu", 1, "2026-07-29")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc.Derived.Note, "bound coordination overhead") {
+		t.Fatalf("single-core note wrong: %q", doc.Derived.Note)
+	}
+}
