@@ -51,6 +51,12 @@ type (
 	Stats = core.Stats
 	// NearResult is a node ranked by activation ("near queries").
 	NearResult = core.NearResult
+	// EmittedAnswer is one incremental answer release, as delivered on a
+	// Stream (and to Options.Emit): the answer, its rank so far, and the
+	// emission offset from search start.
+	EmittedAnswer = core.EmittedAnswer
+	// EmittedNear is one incremental near-query emission (Options.EmitNear).
+	EmittedNear = core.EmittedNear
 	// NodeID identifies a graph node.
 	NodeID = graph.NodeID
 )

@@ -4,8 +4,12 @@
 // Usage:
 //
 //	banks [-dataset dblp|imdb|patents] [-factor 0.25] [-algo bidirectional]
-//	      [-k 10] [-near] [-timeout 200ms] [-parallel 4] [-workers 4]
+//	      [-k 10] [-near] [-stream] [-timeout 200ms] [-parallel 4] [-workers 4]
 //	      [-snapshot dblp.snap] [-query "gray transaction"]
+//
+// -stream prints each answer the moment the search outputs it (the
+// paper's §5.2 interactive delivery) instead of waiting for the full
+// top-k, and reports the first-answer latency alongside the total.
 //
 // -parallel widens the pool that runs queries concurrently; -workers lets
 // each single query use that many extra goroutines for its own search
@@ -15,7 +19,8 @@
 // Without -query it reads one query per line from standard input. A -query
 // value may contain several queries separated by ';' — tree-search queries
 // are executed as one batch fanned out across -parallel workers; with -near
-// they run sequentially (near queries have no batch API yet).
+// or -stream they run sequentially (near queries have no batch API yet, and
+// interleaving several streams would garble the incremental output).
 //
 // -snapshot serves queries from a memory-mapped snapshot file (see cmd/
 // datagen -out): if the file exists it is opened without any rebuild; if
@@ -47,6 +52,7 @@ func main() {
 	algo := flag.String("algo", string(banks.Bidirectional), "search algorithm: bidirectional, si-backward or mi-backward")
 	k := flag.Int("k", 10, "answers to return")
 	near := flag.Bool("near", false, "run a near query (activation-ranked nodes) instead of tree search")
+	stream := flag.Bool("stream", false, "print answers as they are output (incremental delivery with first-answer latency)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none); expired queries return a truncated partial top-k")
 	parallel := flag.Int("parallel", 0, "worker-pool width for batch queries (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "intra-query worker goroutines per search (0 = serial; results are bit-identical either way)")
@@ -82,6 +88,40 @@ func main() {
 		}
 	}
 
+	// runStream delivers answers as the search outputs them, printing the
+	// first-answer latency — the number streaming exists to shrink.
+	runStream := func(q string, start time.Time) {
+		st, err := eng.SearchStream(ctx, q, banks.Algorithm(*algo), opts, banks.StreamOptions{})
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		n := 0
+		for ev := range st.Answers() {
+			n++
+			if n == 1 {
+				fmt.Printf("first answer in %v (output at +%v into the search)\n",
+					time.Since(start).Round(time.Microsecond), ev.OutputAt.Round(time.Microsecond))
+			}
+			fmt.Printf("--- answer %d (+%v) ---\n%s", ev.Rank, ev.OutputAt.Round(time.Microsecond), db.Explain(ev.Answer))
+		}
+		tr, err := st.Trailer()
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		suffix := ""
+		if tr.Truncated {
+			suffix = " [truncated by deadline]"
+		}
+		if tr.Cached {
+			suffix += " [replayed from cache]"
+		}
+		fmt.Printf("%d answers in %v (explored %d, touched %d)%s\n",
+			n, time.Since(start).Round(time.Microsecond),
+			tr.Stats.NodesExplored, tr.Stats.NodesTouched, suffix)
+	}
+
 	runOne := func(q string) {
 		q = strings.TrimSpace(q)
 		if q == "" {
@@ -103,6 +143,10 @@ func main() {
 			for i, r := range res {
 				fmt.Printf("%2d. a=%.5f %s\n", i+1, r.Activation, db.NodeLabel(r.Node))
 			}
+			return
+		}
+		if *stream {
+			runStream(q, start)
 			return
 		}
 		res, err := eng.Search(ctx, q, banks.Algorithm(*algo), opts)
@@ -142,7 +186,7 @@ func main() {
 		switch {
 		case len(queries) == 0:
 			log.Fatal("no queries in -query")
-		case len(queries) == 1 || *near:
+		case len(queries) == 1 || *near || *stream:
 			for _, q := range queries {
 				runOne(q)
 			}

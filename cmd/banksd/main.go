@@ -55,6 +55,7 @@ func run() error {
 	cacheSize := flag.Int("cache", 0, "result-cache entries (0 = default 256, negative disables)")
 	maxInFlight := flag.Int("max-inflight", 0, "admission limit on concurrent query requests (0 = 4x pool width)")
 	tenantsPath := flag.String("tenants", "", "JSON file of per-tenant serving limits (see docs/SERVING.md)")
+	streamDropToBatch := flag.Bool("stream-drop-to-batch", false, "degrade slow /v1/search/stream consumers to batch delivery instead of blocking answer generation (see docs/STREAMING.md)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "window between /healthz turning 503 and the listener closing, so load balancers can observe unreadiness and stop routing (0 for tests)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
 	flag.Parse()
@@ -78,12 +79,13 @@ func run() error {
 	}
 
 	srv, err := server.New(server.Config{
-		Engine:      eng,
-		DB:          db,
-		Tenants:     tenants,
-		MaxInFlight: *maxInFlight,
-		Logger:      log.Default(),
-		Dataset:     desc,
+		Engine:            eng,
+		DB:                db,
+		Tenants:           tenants,
+		MaxInFlight:       *maxInFlight,
+		Logger:            log.Default(),
+		Dataset:           desc,
+		StreamDropToBatch: *streamDropToBatch,
 	})
 	if err != nil {
 		return err

@@ -79,6 +79,39 @@ func (e *Engine) Near(ctx context.Context, query string, opts Options) ([]NearRe
 	return e.e.Near(ctx, Keywords(query), opts)
 }
 
+// Streaming types, aliased from the engine so callers configure streams
+// without importing internal packages.
+type (
+	// StreamOptions configures a SearchStream call (buffer size and
+	// backpressure policy).
+	StreamOptions = engine.StreamOptions
+	// Stream is one in-progress streaming search: range over Answers()
+	// until closed, then read Trailer().
+	Stream = engine.Stream
+	// StreamTrailer summarizes a finished stream (stats, truncation,
+	// cache provenance, delivered-answer count).
+	StreamTrailer = engine.StreamTrailer
+)
+
+// DefaultStreamBuffer is the answer-channel capacity used when
+// StreamOptions.Buffer is zero.
+const DefaultStreamBuffer = engine.DefaultStreamBuffer
+
+// SearchStream runs one free-text query with incremental answer
+// delivery: answers appear on the returned Stream the moment the search
+// outputs them (the paper's §5.2 generation-vs-output distinction made
+// visible to callers), instead of all at once when the search finishes.
+// The streamed sequence is bit-identical in content and order to what
+// Search returns for the same query; a result-cache hit is replayed as a
+// stream; deadline expiry mid-stream ends the stream cleanly with the
+// trailer's Truncated flag set over a valid partial prefix.
+//
+// The consumer must drain Answers() until it closes, or cancel ctx to
+// abandon the stream.
+func (e *Engine) SearchStream(ctx context.Context, query string, algo Algorithm, opts Options, sopts StreamOptions) (*Stream, error) {
+	return e.e.SearchStream(ctx, engine.Query{Terms: Keywords(query), Algo: algo, Opts: opts}, sopts)
+}
+
 // SearchBatch fans the queries out across the worker pool and waits for all
 // of them; results[i] and errs[i] correspond to queries[i], and one failing
 // query never affects its siblings.

@@ -41,7 +41,7 @@ func MIBackward(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, 
 	}
 	start := time.Now()
 	stats := &Stats{}
-	out := newOutputHeap(opts.K, !opts.StrictBound, start, stats)
+	out := newOutputHeap(opts.K, !opts.StrictBound, start, stats, opts.Emit)
 	m := &miSearch{
 		canceller: newCanceller(ctx, stats),
 		g:         g,

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sort"
+	"time"
 
 	"banks/internal/graph"
 	"banks/internal/pqueue"
@@ -137,6 +138,13 @@ func Near(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts O
 	})
 	if opts.K > 0 && len(out) > opts.K {
 		out = out[:opts.K]
+	}
+	if opts.EmitNear != nil {
+		// Emission happens before Duration is stamped so every OutputAt
+		// offset lies inside the reported search duration.
+		for i, nr := range out {
+			opts.EmitNear(EmittedNear{Result: nr, Rank: i + 1, OutputAt: time.Since(sc.start)})
+		}
 	}
 	res := sc.finishResult() // stamps Duration
 	return out, res.Stats, nil

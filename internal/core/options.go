@@ -100,6 +100,23 @@ type Options struct {
 	// an edge (the §1 extension "prioritize certain paths over others").
 	// It does not affect distances or scores, only search order.
 	EdgePriority func(t graph.EdgeType, forward bool) float64
+	// Emit, when non-nil, is invoked synchronously at the exact moment the
+	// output heap releases an answer (§5.2's "output" event), on the
+	// goroutine running the search. The emitted sequence is bit-identical
+	// in content and order to the Result.Answers the search returns,
+	// including truncated prefixes under cancellation. The callback must
+	// not modify the answer and must not re-enter the search; it may
+	// block, which stalls answer generation (the streaming layers build
+	// their backpressure policies on exactly that). Emit never changes
+	// what a search computes — only when the caller hears about it — but
+	// it has no identity to cache on, so queries carrying it bypass the
+	// engine result cache. Tree searches only; Near uses EmitNear.
+	Emit func(EmittedAnswer)
+	// EmitNear, when non-nil, receives each near-query result as it is
+	// ranked (all at search end — activation ranking needs the full
+	// spread; see EmittedNear). The emitted sequence is identical to the
+	// returned slice. Same re-entrancy and caching caveats as Emit.
+	EmitNear func(EmittedNear)
 }
 
 // Normalized returns the options with zero values replaced by the paper's
@@ -128,6 +145,14 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// Validate checks the options exactly as the search entry points do
+// (defaults applied first), returning the same typed *OptionsError on the
+// first invalid field. It exists for callers that must fail fast before
+// launching an asynchronous search — the engine's streaming path
+// validates here so an invalid request errors synchronously instead of
+// surfacing after the stream has started.
+func (o Options) Validate() error { return o.withDefaults().validate() }
 
 func (o Options) validate() error {
 	if o.K < 0 {

@@ -43,9 +43,14 @@ type outputHeap struct {
 	k     int
 	start time.Time
 	stats *Stats
+	// emit, when non-nil, observes every release as it happens — the
+	// streaming seam (Options.Emit). release is the single funnel all
+	// output paths (drain, flush, releaseBuilt) pass through, so hooking
+	// it here guarantees the streamed sequence equals the batch result.
+	emit func(EmittedAnswer)
 }
 
-func newOutputHeap(k int, heuristic bool, start time.Time, stats *Stats) *outputHeap {
+func newOutputHeap(k int, heuristic bool, start time.Time, stats *Stats, emit func(EmittedAnswer)) *outputHeap {
 	h := pqueue.NewMax[*Answer]()
 	if heuristic {
 		h = pqueue.NewMin[*Answer]()
@@ -60,6 +65,7 @@ func newOutputHeap(k int, heuristic bool, start time.Time, stats *Stats) *output
 		k:           k,
 		start:       start,
 		stats:       stats,
+		emit:        emit,
 	}
 }
 
@@ -189,6 +195,14 @@ func (o *outputHeap) release(a *Answer) {
 		o.stats.LastGenerated = a.GeneratedAt
 	}
 	o.stats.LastOutput = a.OutputAt
+	if o.emit != nil {
+		o.emit(EmittedAnswer{
+			Answer:    a,
+			Rank:      len(o.out),
+			OutputAt:  a.OutputAt,
+			Generated: o.stats.AnswersGenerated,
+		})
+	}
 }
 
 // released reports whether an answer rooted at u was already output.

@@ -17,7 +17,7 @@ func mkAnswer(root graph.NodeID, score float64, edges ...TreeEdge) *Answer {
 
 func TestOutputHeapOrdersByScore(t *testing.T) {
 	stats := &Stats{}
-	o := newOutputHeap(10, false, time.Now(), stats)
+	o := newOutputHeap(10, false, time.Now(), stats, nil)
 	o.add(mkAnswer(1, 0.3, TreeEdge{From: 1, To: 2}))
 	o.add(mkAnswer(3, 0.9, TreeEdge{From: 3, To: 4}))
 	o.add(mkAnswer(5, 0.6, TreeEdge{From: 5, To: 6}))
@@ -32,7 +32,7 @@ func TestOutputHeapOrdersByScore(t *testing.T) {
 }
 
 func TestOutputHeapDrainRespectsBound(t *testing.T) {
-	o := newOutputHeap(10, false, time.Now(), &Stats{})
+	o := newOutputHeap(10, false, time.Now(), &Stats{}, nil)
 	o.add(mkAnswer(1, 0.3, TreeEdge{From: 1, To: 2}))
 	o.add(mkAnswer(3, 0.9, TreeEdge{From: 3, To: 4}))
 	if o.drain(0.5, 0) {
@@ -50,7 +50,7 @@ func TestOutputHeapDrainRespectsBound(t *testing.T) {
 func TestOutputHeapRotationDedup(t *testing.T) {
 	// Same undirected tree {1-2}, two rootings with different scores: the
 	// better one must win regardless of arrival order.
-	o := newOutputHeap(10, false, time.Now(), &Stats{})
+	o := newOutputHeap(10, false, time.Now(), &Stats{}, nil)
 	worse := mkAnswer(1, 0.4, TreeEdge{From: 1, To: 2})
 	better := mkAnswer(2, 0.8, TreeEdge{From: 2, To: 1})
 	if !o.add(worse) {
@@ -72,7 +72,7 @@ func TestOutputHeapRotationDedup(t *testing.T) {
 
 func TestOutputHeapRootReplacement(t *testing.T) {
 	// Improved tree for the same root replaces the buffered one.
-	o := newOutputHeap(10, false, time.Now(), &Stats{})
+	o := newOutputHeap(10, false, time.Now(), &Stats{}, nil)
 	o.add(mkAnswer(1, 0.4, TreeEdge{From: 1, To: 2}))
 	o.add(mkAnswer(1, 0.7, TreeEdge{From: 1, To: 3}))
 	o.flush()
@@ -83,7 +83,7 @@ func TestOutputHeapRootReplacement(t *testing.T) {
 }
 
 func TestOutputHeapEmittedSuppression(t *testing.T) {
-	o := newOutputHeap(10, false, time.Now(), &Stats{})
+	o := newOutputHeap(10, false, time.Now(), &Stats{}, nil)
 	o.add(mkAnswer(1, 0.4, TreeEdge{From: 1, To: 2}))
 	o.drain(0.0, 0)
 	// The same tree cannot be emitted twice, even as a rotation or an
@@ -100,7 +100,7 @@ func TestOutputHeapEmittedSuppression(t *testing.T) {
 }
 
 func TestOutputHeapKZero(t *testing.T) {
-	o := newOutputHeap(0, false, time.Now(), &Stats{})
+	o := newOutputHeap(0, false, time.Now(), &Stats{}, nil)
 	if o.add(mkAnswer(1, 0.4, TreeEdge{From: 1, To: 2})) {
 		t.Fatal("K=0 accepted an answer")
 	}
@@ -110,7 +110,7 @@ func TestOutputHeapKZero(t *testing.T) {
 }
 
 func TestOutputHeapKLimit(t *testing.T) {
-	o := newOutputHeap(2, false, time.Now(), &Stats{})
+	o := newOutputHeap(2, false, time.Now(), &Stats{}, nil)
 	for i := 0; i < 5; i++ {
 		o.add(mkAnswer(graph.NodeID(i*2), float64(i)/10+0.1,
 			TreeEdge{From: graph.NodeID(i * 2), To: graph.NodeID(i*2 + 1)}))

@@ -173,7 +173,7 @@ func newSearchContext(ctx context.Context, g *graph.Graph, keywords [][]graph.No
 		kw:        keywords,
 		bits:      make(map[graph.NodeID]uint32),
 		state:     make(map[graph.NodeID]*nodeState),
-		out:       newOutputHeap(opts.K, !opts.StrictBound, start, stats),
+		out:       newOutputHeap(opts.K, !opts.StrictBound, start, stats, opts.Emit),
 		stats:     stats,
 		start:     start,
 		cands:     pqueue.NewMin[graph.NodeID](),

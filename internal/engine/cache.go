@@ -10,9 +10,11 @@ import (
 
 // cacheKey identifies one cacheable query: the normalized keyword terms (in
 // query order, NUL-joined), the algorithm, and the scalar search options in
-// their normalized (defaults-applied) form. Queries carrying EdgeFilter or
-// EdgePriority callbacks are never cached — functions have no identity to
-// key on.
+// their normalized (defaults-applied) form. Queries carrying EdgeFilter,
+// EdgePriority, Emit or EmitNear callbacks are never cached — functions
+// have no identity to key on (and an Emit observer belongs to one call,
+// not to every future cache hit; the streaming path replays cache hits
+// itself, with the callback stripped from the key's perspective).
 type cacheKey struct {
 	terms string
 	algo  core.Algo
@@ -33,7 +35,7 @@ type optsKey struct {
 // newCacheKey builds the key for a query, or ok=false when the query is not
 // cacheable.
 func newCacheKey(terms []string, algo core.Algo, opts core.Options) (cacheKey, bool) {
-	if opts.EdgeFilter != nil || opts.EdgePriority != nil {
+	if opts.EdgeFilter != nil || opts.EdgePriority != nil || opts.Emit != nil || opts.EmitNear != nil {
 		return cacheKey{}, false
 	}
 	n := opts.Normalized()

@@ -19,11 +19,38 @@ type admission struct {
 	limit    int
 	slots    chan struct{}
 	rejected atomic.Uint64
+	// tenantRejected counts rejections caused by a per-tenant quota
+	// specifically (also included in rejected).
+	tenantRejected atomic.Uint64
 
 	// ewmaNS tracks an exponentially-weighted moving average of admitted
 	// request durations, the basis of the Retry-After hint.
 	mu     sync.Mutex
 	ewmaNS float64
+
+	// tenants tracks per-tenant in-flight counts for tenants subject to a
+	// quota (TenantLimits.MaxInFlight), keyed by the raw X-Tenant header
+	// value. Streams hold their slot for their full duration, so
+	// long-lived streams count against the quota the whole time they are
+	// open. The header value is attacker-controlled, so the map must not
+	// grow one entry per name ever seen: gates for names that are not
+	// explicitly configured tenants (keep=false — they merely inherit the
+	// default chain's quota) are pruned as soon as they go idle, keeping
+	// the map bounded by the config size plus currently-active traffic.
+	// A pruned gate's rejection count survives in the aggregate
+	// tenantRejected counter.
+	tmu     sync.Mutex
+	tenants map[string]*tenantGate
+}
+
+// tenantGate is one tenant's admission state.
+type tenantGate struct {
+	inFlight int
+	rejected uint64
+	// keep pins the gate across idle periods (explicitly configured
+	// tenants only — a bounded set, so their rejection counts can stay
+	// visible in /statusz).
+	keep bool
 }
 
 // ewmaAlpha weights the latest observation at 1/8 — smooth enough to
@@ -31,24 +58,59 @@ type admission struct {
 const ewmaAlpha = 0.125
 
 func newAdmission(limit int) *admission {
-	return &admission{limit: limit, slots: make(chan struct{}, limit)}
+	return &admission{limit: limit, slots: make(chan struct{}, limit), tenants: make(map[string]*tenantGate)}
 }
 
-// tryAcquire claims an in-flight slot. It never blocks: false means the
-// gate is at capacity and the caller must reject the request.
-func (a *admission) tryAcquire() bool {
+// tryAcquire claims an in-flight slot for the tenant, applying first the
+// global gate and then the tenant's own quota (quota ≤ 0 means the
+// tenant has none). keep marks explicitly configured tenant names whose
+// gates persist across idle periods (see the tenants field comment). It
+// never blocks: ok=false means the caller must reject the request, and
+// byTenant tells which gate refused (so the 429 can say whether the
+// server or the tenant is saturated).
+func (a *admission) tryAcquire(tenant string, quota int, keep bool) (ok, byTenant bool) {
 	select {
 	case a.slots <- struct{}{}:
-		return true
 	default:
 		a.rejected.Add(1)
-		return false
+		return false, false
 	}
+	if quota <= 0 {
+		return true, false
+	}
+	a.tmu.Lock()
+	g := a.tenants[tenant]
+	if g == nil {
+		g = &tenantGate{keep: keep}
+		a.tenants[tenant] = g
+	}
+	if g.inFlight >= quota {
+		g.rejected++
+		a.tmu.Unlock()
+		<-a.slots // hand the global slot back
+		a.rejected.Add(1)
+		a.tenantRejected.Add(1)
+		return false, true
+	}
+	g.inFlight++
+	a.tmu.Unlock()
+	return true, false
 }
 
-// release returns a slot and feeds the request's duration into the
-// latency average.
-func (a *admission) release(elapsed time.Duration) {
+// release returns a slot (and the tenant's quota share, mirroring the
+// tryAcquire that admitted the request) and feeds the request's duration
+// into the latency average.
+func (a *admission) release(tenant string, quota int, elapsed time.Duration) {
+	if quota > 0 {
+		a.tmu.Lock()
+		if g := a.tenants[tenant]; g != nil {
+			g.inFlight--
+			if g.inFlight <= 0 && !g.keep {
+				delete(a.tenants, tenant)
+			}
+		}
+		a.tmu.Unlock()
+	}
 	<-a.slots
 	a.mu.Lock()
 	if a.ewmaNS == 0 {
@@ -77,5 +139,30 @@ func (a *admission) retryAfterSeconds() int {
 // inFlight reports the number of currently admitted requests.
 func (a *admission) inFlight() int { return len(a.slots) }
 
-// rejectedTotal reports how many requests have been turned away.
+// rejectedTotal reports how many requests have been turned away (global
+// and per-tenant gates combined).
 func (a *admission) rejectedTotal() uint64 { return a.rejected.Load() }
+
+// tenantRejectedTotal reports rejections caused by per-tenant quotas.
+func (a *admission) tenantRejectedTotal() uint64 { return a.tenantRejected.Load() }
+
+// tenantState is a point-in-time snapshot of one tenant's gate, for
+// /statusz disclosure.
+type tenantState struct {
+	InFlight int    `json:"in_flight"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// tenantSnapshot returns the active per-tenant gates.
+func (a *admission) tenantSnapshot() map[string]tenantState {
+	a.tmu.Lock()
+	defer a.tmu.Unlock()
+	if len(a.tenants) == 0 {
+		return nil
+	}
+	out := make(map[string]tenantState, len(a.tenants))
+	for name, g := range a.tenants {
+		out[name] = tenantState{InFlight: g.inFlight, Rejected: g.rejected}
+	}
+	return out
+}

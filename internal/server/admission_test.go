@@ -29,7 +29,7 @@ type outcome struct {
 	err  error
 }
 
-func startPinnedRequest(t *testing.T, ts *httptest.Server) *pinnedRequest {
+func startPinnedRequest(t *testing.T, ts *httptest.Server, tenant string) *pinnedRequest {
 	t.Helper()
 	pr, pw := io.Pipe()
 	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/search", pr)
@@ -37,6 +37,9 @@ func startPinnedRequest(t *testing.T, ts *httptest.Server) *pinnedRequest {
 		t.Fatal(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
 	p := &pinnedRequest{pw: pw, done: make(chan outcome, 1)}
 	go func() {
 		resp, err := ts.Client().Do(req)
@@ -88,7 +91,7 @@ func TestAdmissionOverflow(t *testing.T) {
 			// their half-sent bodies.
 			pinned := make([]*pinnedRequest, n)
 			for i := range pinned {
-				pinned[i] = startPinnedRequest(t, ts)
+				pinned[i] = startPinnedRequest(t, ts, "")
 			}
 			deadline := time.Now().Add(10 * time.Second)
 			for s.adm.inFlight() != n {
@@ -165,17 +168,17 @@ func TestRetryAfterEstimate(t *testing.T) {
 	if got := a.retryAfterSeconds(); got != 1 {
 		t.Fatalf("cold estimate %d, want 1", got)
 	}
-	if !a.tryAcquire() {
+	if ok, _ := a.tryAcquire("", 0, false); !ok {
 		t.Fatal("empty gate refused")
 	}
-	a.release(2500 * time.Millisecond)
+	a.release("", 0, 2500*time.Millisecond)
 	if got := a.retryAfterSeconds(); got != 3 {
 		t.Fatalf("estimate after 2.5s request: %d, want 3 (ceil)", got)
 	}
-	if !a.tryAcquire() {
+	if ok, _ := a.tryAcquire("", 0, false); !ok {
 		t.Fatal("gate refused after release")
 	}
-	a.release(10 * time.Millisecond)
+	a.release("", 0, 10*time.Millisecond)
 	// EWMA moves toward the fast request but stays >= 1s floor.
 	if got := a.retryAfterSeconds(); got < 1 || got > 3 {
 		t.Fatalf("estimate drifted to %d", got)

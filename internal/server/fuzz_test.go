@@ -97,6 +97,74 @@ func FuzzDecodeSearchRequest(f *testing.F) {
 	})
 }
 
+// FuzzDecodeStreamRequest throws the same arbitrary inputs at the
+// /v1/search/stream decoder: the stream endpoint must be exactly as
+// strict as /v1/search — no panic, and no accepted request may smuggle a
+// k, worker count or deadline past the tenant caps by asking for a
+// stream instead of a batch response. The per-tenant in-flight quota is
+// enforced at admission (before decoding), so the decoder contract here
+// is the caps themselves.
+func FuzzDecodeStreamRequest(f *testing.F) {
+	seeds := []string{
+		"q=database+query&k=3",
+		"q=gray+transaction&algo=mi-backward&workers=4&timeout=250ms",
+		"q=a&k=999999&workers=999999&timeout=9999999",
+		"q=db&strict_bound=true&activation_sum=1",
+		"q=db&mu=NaN&lambda=Inf",
+		`{"query":"database query","k":3}`,
+		`{"query":"db","algo":"si-backward","timeout_ms":100,"workers":2}`,
+		`{"query":"db","buffer":64}`, // not a stream parameter: must 400
+		`{"query":"db","drop_to_batch":true}`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s, true)
+		f.Add(s, false)
+	}
+
+	lim := TenantLimits{MaxK: 5, MaxWorkers: 3, MaxTimeoutMS: 500, DefaultTimeoutMS: 200, MaxBatch: 4, MaxInFlight: 2}
+
+	f.Fuzz(func(t *testing.T, data string, asJSON bool) {
+		var r *http.Request
+		if asJSON {
+			r = httptest.NewRequest(http.MethodPost, "/v1/search/stream", strings.NewReader(data))
+		} else {
+			r = httptest.NewRequest(http.MethodGet, "/v1/search/stream", nil)
+			r.URL.RawQuery = data
+		}
+		req, herr := decodeStreamRequest(r, lim)
+		if herr != nil {
+			if req != nil {
+				t.Fatal("decoder returned both a request and an error")
+			}
+			if herr.status < 400 || herr.status > 499 {
+				t.Fatalf("decode failure with non-4xx status %d (%s)", herr.status, herr.message)
+			}
+			return
+		}
+		if len(req.Terms) == 0 || len(req.Terms) > core.MaxKeywords {
+			t.Fatalf("accepted %d terms", len(req.Terms))
+		}
+		if !knownAlgo(req.Algo) {
+			t.Fatalf("accepted unknown algorithm %q", req.Algo)
+		}
+		if effK := req.Opts.Normalized().K; effK > lim.MaxK {
+			t.Fatalf("normalized k %d escaped the cap %d", effK, lim.MaxK)
+		}
+		if req.Opts.Workers > lim.MaxWorkers {
+			t.Fatalf("workers %d escaped the cap %d", req.Opts.Workers, lim.MaxWorkers)
+		}
+		if req.Timeout <= 0 || req.Timeout > lim.MaxTimeout() {
+			t.Fatalf("timeout %v outside (0, %v]", req.Timeout, lim.MaxTimeout())
+		}
+		// Accepted stream requests never carry callbacks from the wire:
+		// the emission seam belongs to the engine, not the client.
+		if req.Opts.Emit != nil || req.Opts.EmitNear != nil || req.Opts.EdgeFilter != nil || req.Opts.EdgePriority != nil {
+			t.Fatal("wire request smuggled a callback into Options")
+		}
+	})
+}
+
 // FuzzDecodeBatchRequest does the same for the batch decoder: no panics,
 // and every accepted batch respects MaxBatch and the per-element caps.
 func FuzzDecodeBatchRequest(f *testing.F) {

@@ -390,6 +390,14 @@ type statuszResponse struct {
 		Limit    int    `json:"limit"`
 		InFlight int    `json:"in_flight"`
 		Rejected uint64 `json:"rejected"`
+		// TenantRejected counts rejections caused by per-tenant quotas
+		// (included in Rejected).
+		TenantRejected uint64 `json:"tenant_rejected,omitempty"`
+		// Tenants discloses the per-tenant admission state: the
+		// configured max in-flight quota for every tenant that has one,
+		// plus live in-flight/rejected counts for tenants currently
+		// holding or recently refused slots.
+		Tenants map[string]tenantAdmissionJSON `json:"tenants,omitempty"`
 	} `json:"admission"`
 	Tenants []string `json:"tenants,omitempty"`
 	Runtime struct {
@@ -398,6 +406,40 @@ type statuszResponse struct {
 		GOMAXPROCS int    `json:"gomaxprocs"`
 		HeapBytes  uint64 `json:"heap_bytes"`
 	} `json:"runtime"`
+}
+
+// tenantAdmissionJSON is one tenant's admission disclosure in /statusz.
+type tenantAdmissionJSON struct {
+	// MaxInFlight is the configured quota (0 = none; the global limit
+	// alone applies).
+	MaxInFlight int    `json:"max_in_flight"`
+	InFlight    int    `json:"in_flight"`
+	Rejected    uint64 `json:"rejected"`
+}
+
+// tenantAdmission merges the configured quotas with the live gate state:
+// every configured tenant with a quota appears (even when idle), and so
+// does any tenant currently holding quota slots or with past rejections.
+func (s *Server) tenantAdmission() map[string]tenantAdmissionJSON {
+	out := make(map[string]tenantAdmissionJSON)
+	for _, name := range s.tenants.Names() {
+		if q := s.tenants.Resolve(name).MaxInFlight; q > 0 {
+			out[name] = tenantAdmissionJSON{MaxInFlight: q}
+		}
+	}
+	// The default chain may impose a quota on every unconfigured tenant;
+	// disclose it under the empty-header key only when active below.
+	for name, st := range s.adm.tenantSnapshot() {
+		out[name] = tenantAdmissionJSON{
+			MaxInFlight: s.tenants.Resolve(name).MaxInFlight,
+			InFlight:    st.InFlight,
+			Rejected:    st.Rejected,
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -426,6 +468,8 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	resp.Admission.Limit = s.adm.limit
 	resp.Admission.InFlight = s.adm.inFlight()
 	resp.Admission.Rejected = s.adm.rejectedTotal()
+	resp.Admission.TenantRejected = s.adm.tenantRejectedTotal()
+	resp.Admission.Tenants = s.tenantAdmission()
 
 	resp.Tenants = s.tenants.Names()
 
@@ -445,6 +489,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.write(w,
 		[]counterExtra{
 			{"banksd_admission_rejected_total", "Requests rejected by the admission gate (HTTP 429).", s.adm.rejectedTotal()},
+			{"banksd_admission_tenant_rejected_total", "Requests rejected by a per-tenant in-flight quota (subset of rejected).", s.adm.tenantRejectedTotal()},
 			{"banksd_cache_hits_total", "Engine result-cache hits.", es.CacheHits},
 			{"banksd_cache_misses_total", "Engine result-cache misses.", es.CacheMisses},
 		},

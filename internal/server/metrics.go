@@ -24,6 +24,14 @@ type metrics struct {
 	queries  map[string]uint64
 	qSecSum  float64
 	qCount   uint64
+	// Streaming delivery: total streams served, total answers emitted
+	// across all streams, and a first-answer-latency sum/count pair over
+	// streams that produced at least one answer — the interactive-latency
+	// axis the paper's §5.2 generation-vs-output split is about.
+	streams       uint64
+	streamAnswers uint64
+	faSecSum      float64
+	faCount       uint64
 }
 
 func newMetrics() *metrics {
@@ -60,6 +68,20 @@ func (m *metrics) observeQuery(algo string, outcome string, elapsed time.Duratio
 	m.mu.Unlock()
 }
 
+// observeStream records one finished stream: how many answers it
+// emitted, and (when it emitted any) the wall-clock latency from request
+// handling start to its first answer.
+func (m *metrics) observeStream(answers int, firstAnswer time.Duration) {
+	m.mu.Lock()
+	m.streams++
+	m.streamAnswers += uint64(answers)
+	if answers > 0 {
+		m.faSecSum += firstAnswer.Seconds()
+		m.faCount++
+	}
+	m.mu.Unlock()
+}
+
 // gauge is one instantaneous value appended at scrape time.
 type gauge struct {
 	name, help string
@@ -87,6 +109,8 @@ func (m *metrics) write(w io.Writer, extraCounters []counterExtra, gauges []gaug
 		queries[k] = v
 	}
 	qSecSum, qCount := m.qSecSum, m.qCount
+	streams, streamAnswers := m.streams, m.streamAnswers
+	faSecSum, faCount := m.faSecSum, m.faCount
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP banksd_http_requests_total HTTP requests served, by path and status code.")
@@ -107,6 +131,19 @@ func (m *metrics) write(w io.Writer, extraCounters []counterExtra, gauges []gaug
 	fmt.Fprintln(w, "# TYPE banksd_query_duration_seconds summary")
 	fmt.Fprintf(w, "banksd_query_duration_seconds_sum %s\n", formatFloat(qSecSum))
 	fmt.Fprintf(w, "banksd_query_duration_seconds_count %d\n", qCount)
+
+	fmt.Fprintln(w, "# HELP banksd_first_answer_seconds Wall-clock latency from stream request start to its first emitted answer (streams that emitted at least one).")
+	fmt.Fprintln(w, "# TYPE banksd_first_answer_seconds summary")
+	fmt.Fprintf(w, "banksd_first_answer_seconds_sum %s\n", formatFloat(faSecSum))
+	fmt.Fprintf(w, "banksd_first_answer_seconds_count %d\n", faCount)
+
+	fmt.Fprintln(w, "# HELP banksd_streams_total Streaming search requests served to completion.")
+	fmt.Fprintln(w, "# TYPE banksd_streams_total counter")
+	fmt.Fprintf(w, "banksd_streams_total %d\n", streams)
+
+	fmt.Fprintln(w, "# HELP banksd_stream_answers_total Answers emitted across all streams.")
+	fmt.Fprintln(w, "# TYPE banksd_stream_answers_total counter")
+	fmt.Fprintf(w, "banksd_stream_answers_total %d\n", streamAnswers)
 
 	for _, c := range extraCounters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)

@@ -40,6 +40,11 @@ type reqInfo struct {
 	queryID   string
 	answers   int
 	truncated bool
+	// stream/firstAnswer annotate streaming requests: whether the request
+	// streamed, and the wall-clock latency from handler start to the
+	// first emitted answer (0 when no answer was emitted).
+	stream      bool
+	firstAnswer time.Duration
 }
 
 type reqInfoKey struct{}
@@ -55,7 +60,8 @@ func infoFrom(ctx context.Context) *reqInfo {
 // permanent metrics series, an unbounded memory and scrape-size leak on
 // an exposed listener.
 var knownRoutes = map[string]bool{
-	"/v1/search": true, "/v1/batch": true, "/v1/near": true, "/v1/explain": true,
+	"/v1/search": true, "/v1/search/stream": true, "/v1/batch": true,
+	"/v1/near": true, "/v1/explain": true,
 	"/healthz": true, "/statusz": true, "/metrics": true,
 }
 
@@ -97,31 +103,47 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				if qid == "" {
 					qid = "-"
 				}
-				s.logger.Printf("rid=%d tenant=%s qid=%s %s %s %d %s answers=%d truncated=%v",
+				first := ""
+				if info.stream {
+					first = fmt.Sprintf(" first=%s", info.firstAnswer.Round(time.Microsecond))
+				}
+				s.logger.Printf("rid=%d tenant=%s qid=%s %s %s %d %s answers=%d truncated=%v%s",
 					info.id, tenant, qid, r.Method, r.URL.RequestURI(), sw.status,
-					time.Since(start).Round(time.Microsecond), info.answers, info.truncated)
+					time.Since(start).Round(time.Microsecond), info.answers, info.truncated, first)
 			}
 		}()
 		next.ServeHTTP(sw, r)
 	})
 }
 
-// admitted wraps a query handler with the admission gate: at capacity the
-// request is rejected immediately with 429 and a Retry-After estimate
-// instead of queueing without bound.
+// admitted wraps a query handler with the admission gates: the global
+// in-flight bound first, then the tenant's own quota (when its limits
+// configure one). At capacity the request is rejected immediately with
+// 429 and a Retry-After estimate instead of queueing without bound; the
+// error code says which gate refused. The slot — global and tenant —
+// is held until the handler returns, so a streaming response counts
+// against both gates for its entire lifetime.
 func (s *Server) admitted(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if !s.adm.tryAcquire() {
-			writeError(w, &httpError{
+		tenant := r.Header.Get("X-Tenant")
+		quota := s.tenants.Resolve(tenant).MaxInFlight
+		ok, byTenant := s.adm.tryAcquire(tenant, quota, s.tenants.Configured(tenant))
+		if !ok {
+			herr := &httpError{
 				status:     http.StatusTooManyRequests,
 				code:       "over_capacity",
 				message:    fmt.Sprintf("server is at its in-flight limit (%d); retry after the indicated delay", s.adm.limit),
 				retryAfter: s.adm.retryAfterSeconds(),
-			})
+			}
+			if byTenant {
+				herr.code = "tenant_over_capacity"
+				herr.message = fmt.Sprintf("tenant is at its in-flight limit (%d); retry after the indicated delay", quota)
+			}
+			writeError(w, herr)
 			return
 		}
 		start := time.Now()
-		defer func() { s.adm.release(time.Since(start)) }()
+		defer func() { s.adm.release(tenant, quota, time.Since(start)) }()
 		next(w, r)
 	}
 }

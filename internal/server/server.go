@@ -5,22 +5,26 @@
 //
 // Endpoints:
 //
-//	GET|POST /v1/search   one keyword query → ranked answer trees
-//	POST     /v1/batch    many queries fanned out across the engine pool
-//	GET|POST /v1/near     activation-ranked nodes ("near queries", §4.3)
-//	GET|POST /v1/explain  a query's answers rendered as indented trees
-//	GET      /healthz     liveness; 503 once draining
-//	GET      /statusz     JSON introspection: engine, cache, admission, runtime
-//	GET      /metrics     Prometheus text format (stdlib-only exporter)
+//	GET|POST /v1/search         one keyword query → ranked answer trees
+//	GET|POST /v1/search/stream  the same query, answered incrementally as NDJSON
+//	POST     /v1/batch          many queries fanned out across the engine pool
+//	GET|POST /v1/near           activation-ranked nodes ("near queries", §4.3)
+//	GET|POST /v1/explain        a query's answers rendered as indented trees
+//	GET      /healthz           liveness; 503 once draining
+//	GET      /statusz           JSON introspection: engine, cache, admission, runtime
+//	GET      /metrics           Prometheus text format (stdlib-only exporter)
 //
 // The serving discipline, front to back: admission control bounds how
-// many requests may be in flight at once (excess is rejected immediately
-// with 429 + Retry-After, keeping the latency tail flat under overload);
-// per-tenant limits resolved from the X-Tenant header clamp what an
-// admitted request may ask for (k, intra-query workers, deadline); the
-// engine's worker pool bounds actual search execution; and every query
-// runs under a deadline, returning its partial top-k with truncated=true
-// rather than failing when time runs out.
+// many requests may be in flight at once — globally, and per tenant when
+// the tenant's limits configure a quota (excess is rejected immediately
+// with 429 + Retry-After, keeping the latency tail flat under overload;
+// streams hold their slot for their full duration); per-tenant limits
+// resolved from the X-Tenant header clamp what an admitted request may
+// ask for (k, intra-query workers, deadline); the engine's worker pool
+// bounds actual search execution; and every query runs under a deadline,
+// returning its partial top-k with truncated=true rather than failing
+// when time runs out. Streaming responses end with a trailer line
+// carrying the same truncation disclosure (docs/STREAMING.md).
 package server
 
 import (
@@ -56,6 +60,13 @@ type Config struct {
 	// Dataset describes the served data for /statusz (e.g. "dblp factor
 	// 0.25" or a snapshot path).
 	Dataset string
+	// StreamDropToBatch selects the backpressure policy for
+	// /v1/search/stream consumers slower than answer generation: false
+	// (the default) blocks generation until the client keeps up — strict
+	// incrementality at the cost of holding an engine pool slot; true
+	// degrades such streams to batch delivery so a slow client never
+	// throttles the search (the trailer discloses "degraded").
+	StreamDropToBatch bool
 }
 
 // Server routes HTTP requests into a banks.Engine.
@@ -67,6 +78,8 @@ type Server struct {
 	met     *metrics
 	logger  *log.Logger
 	dataset string
+
+	streamDropToBatch bool
 
 	start    time.Time
 	draining atomic.Bool
@@ -97,17 +110,19 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: MaxInFlight must be positive")
 	}
 	s := &Server{
-		eng:     cfg.Engine,
-		db:      cfg.DB,
-		tenants: tenants,
-		adm:     newAdmission(maxInFlight),
-		met:     newMetrics(),
-		logger:  cfg.Logger,
-		dataset: cfg.Dataset,
-		start:   time.Now(),
+		eng:               cfg.Engine,
+		db:                cfg.DB,
+		tenants:           tenants,
+		adm:               newAdmission(maxInFlight),
+		met:               newMetrics(),
+		logger:            cfg.Logger,
+		dataset:           cfg.Dataset,
+		streamDropToBatch: cfg.StreamDropToBatch,
+		start:             time.Now(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/search", s.admitted(s.handleSearch))
+	mux.HandleFunc("/v1/search/stream", s.admitted(s.handleSearchStream))
 	mux.HandleFunc("/v1/batch", s.admitted(s.handleBatch))
 	mux.HandleFunc("/v1/near", s.admitted(s.handleNear))
 	mux.HandleFunc("/v1/explain", s.admitted(s.handleExplain))

@@ -38,6 +38,14 @@ type TenantLimits struct {
 	// larger batches are rejected (400), not clamped — silently dropping
 	// queries from a batch would corrupt the positional result mapping.
 	MaxBatch int `json:"max_batch,omitempty"`
+	// MaxInFlight caps how many of this tenant's requests may be admitted
+	// simultaneously (streams count for their full duration, so one
+	// long-lived stream occupies quota until its last byte). Breaching
+	// requests get an immediate 429 with Retry-After, like the global
+	// gate. 0 inherits (default entry, then the built-in: no per-tenant
+	// quota — the global admission limit alone applies). Disclosed in
+	// /statusz under admission.tenants.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
 }
 
 // MaxTimeout returns the cap as a duration.
@@ -67,6 +75,9 @@ func (l TenantLimits) overlay(base TenantLimits) TenantLimits {
 	if l.MaxBatch == 0 {
 		l.MaxBatch = base.MaxBatch
 	}
+	if l.MaxInFlight == 0 {
+		l.MaxInFlight = base.MaxInFlight
+	}
 	return l
 }
 
@@ -86,6 +97,7 @@ func (l TenantLimits) validate(who string) error {
 		{"max_timeout_ms", l.MaxTimeoutMS},
 		{"default_timeout_ms", l.DefaultTimeoutMS},
 		{"max_batch", int64(l.MaxBatch)},
+		{"max_in_flight", int64(l.MaxInFlight)},
 	} {
 		if err := check(f.name, f.v); err != nil {
 			return err
@@ -182,6 +194,15 @@ func (c *TenantConfig) Resolve(name string) TenantLimits {
 		l.DefaultTimeoutMS = l.MaxTimeoutMS
 	}
 	return l
+}
+
+// Configured reports whether name has an explicit tenant entry (as
+// opposed to resolving through the default chain). The admission layer
+// uses it to decide which per-tenant gates may persist: explicit names
+// are a bounded set, arbitrary header values are not.
+func (c *TenantConfig) Configured(name string) bool {
+	_, ok := c.Tenants[name]
+	return ok
 }
 
 // Names lists the configured tenant names, sorted (for /statusz).

@@ -1,0 +1,292 @@
+// Command loadgen drives a running banksd with concurrent keyword
+// queries and reports the latency distribution as JSON — the measuring
+// stick for the serving roadmap (admission tuning, streaming first-answer
+// latency, future perf PRs).
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 [-stream] [-c 8] [-duration 10s]
+//	        [-query "database query" | -queries file] [-k 10]
+//	        [-algo bidirectional] [-tenant name] [-timeout 2s]
+//
+// Queries run round-robin from -queries (one query per line, '#'
+// comments) or the single -query. Every worker loops until -duration
+// elapses. With -stream the workers call /v1/search/stream and
+// additionally record first-answer latency — the time from request start
+// to the first NDJSON answer line, the number the streaming subsystem
+// exists to shrink. Output is one JSON document on stdout:
+//
+//	{"requests":1234,"errors":0,"qps":123.4,
+//	 "total_ms":{"p50":8.1,"p95":14.2,"p99":21.0,...},
+//	 "first_answer_ms":{"p50":1.2,...}}        // -stream only
+//
+// The exit status is 1 when any request errored, so CI can gate on a
+// clean run.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// sample is one request's measurements.
+type sample struct {
+	totalMS float64
+	// firstMS is the first-answer latency (streaming runs only; negative
+	// when the stream produced no answer line).
+	firstMS float64
+	err     bool
+}
+
+// latencySummary is a percentile digest of one latency series, in
+// milliseconds.
+type latencySummary struct {
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	Count int     `json:"count"`
+}
+
+// summary is the JSON report.
+type summary struct {
+	Requests        int             `json:"requests"`
+	Errors          int             `json:"errors"`
+	DurationSeconds float64         `json:"duration_seconds"`
+	QPS             float64         `json:"qps"`
+	TotalMS         latencySummary  `json:"total_ms"`
+	FirstAnswerMS   *latencySummary `json:"first_answer_ms,omitempty"`
+}
+
+// percentile returns the p-th percentile (0 < p ≤ 100) of a sorted
+// series using the nearest-rank definition: the smallest value with at
+// least p% of the mass at or below it. Zero-length series yield 0.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted)) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// summarize digests a latency series (any order) into percentiles.
+func summarize(ms []float64) latencySummary {
+	if len(ms) == 0 {
+		return latencySummary{}
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	return latencySummary{
+		P50:   percentile(sorted, 50),
+		P95:   percentile(sorted, 95),
+		P99:   percentile(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+		Mean:  sum / float64(len(sorted)),
+		Count: len(sorted),
+	}
+}
+
+// buildReport assembles the JSON report from raw samples.
+func buildReport(samples []sample, elapsed time.Duration, stream bool) summary {
+	var totals, firsts []float64
+	errors := 0
+	for _, s := range samples {
+		if s.err {
+			errors++
+			continue
+		}
+		totals = append(totals, s.totalMS)
+		if stream && s.firstMS >= 0 {
+			firsts = append(firsts, s.firstMS)
+		}
+	}
+	rep := summary{
+		Requests:        len(samples),
+		Errors:          errors,
+		DurationSeconds: elapsed.Seconds(),
+		TotalMS:         summarize(totals),
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	if stream {
+		fa := summarize(firsts)
+		rep.FirstAnswerMS = &fa
+	}
+	return rep
+}
+
+// loadQueries reads one query per line, skipping blanks and '#' comments.
+func loadQueries(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s contains no queries", path)
+	}
+	return out, nil
+}
+
+// oneRequest performs a single query and measures it. For streams the
+// first-answer latency is the time to the first NDJSON line of type
+// "answer"; the body is read to EOF either way so connections are reused.
+func oneRequest(client *http.Client, base *url.URL, stream bool, query string, k int, algo, tenant string, timeout time.Duration) sample {
+	endpoint := "/v1/search"
+	if stream {
+		endpoint = "/v1/search/stream"
+	}
+	u := *base
+	u.Path = strings.TrimSuffix(u.Path, "/") + endpoint
+	q := url.Values{}
+	q.Set("q", query)
+	if k > 0 {
+		q.Set("k", fmt.Sprint(k))
+	}
+	if algo != "" {
+		q.Set("algo", algo)
+	}
+	if timeout > 0 {
+		// The Go duration string, not rounded milliseconds: the server
+		// parses it exactly and applies its own sub-millisecond guard —
+		// a 500µs request must be rejected there, not silently rounded
+		// to "unset" here.
+		q.Set("timeout", timeout.String())
+	}
+	u.RawQuery = q.Encode()
+
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, u.String(), nil)
+	if err != nil {
+		return sample{err: true}
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{err: true}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return sample{err: true}
+	}
+	s := sample{firstMS: -1}
+	if stream {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			if s.firstMS < 0 && strings.Contains(sc.Text(), `"type":"answer"`) {
+				s.firstMS = float64(time.Since(start)) / float64(time.Millisecond)
+			}
+		}
+		if sc.Err() != nil {
+			return sample{err: true}
+		}
+	} else if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return sample{err: true}
+	}
+	s.totalMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return s
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+
+	baseURL := flag.String("url", "http://127.0.0.1:8080", "banksd base URL")
+	stream := flag.Bool("stream", false, "use /v1/search/stream and record first-answer latency")
+	concurrency := flag.Int("c", 8, "concurrent workers")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	query := flag.String("query", "database query", "single query to run (ignored with -queries)")
+	queriesPath := flag.String("queries", "", "file of queries, one per line ('#' comments)")
+	k := flag.Int("k", 10, "answers per query (0 = server default)")
+	algo := flag.String("algo", "", "algorithm (empty = server default)")
+	tenant := flag.String("tenant", "", "X-Tenant header value")
+	timeout := flag.Duration("timeout", 0, "per-query deadline passed to the server (0 = tenant default)")
+	flag.Parse()
+
+	queries := []string{*query}
+	if *queriesPath != "" {
+		var err error
+		if queries, err = loadQueries(*queriesPath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	base, err := url.Parse(*baseURL)
+	if err != nil {
+		log.Fatalf("bad -url: %v", err)
+	}
+	if *concurrency < 1 {
+		log.Fatalf("-c must be positive, got %d", *concurrency)
+	}
+
+	client := &http.Client{}
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	stop := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(stop); i++ {
+				s := oneRequest(client, base, *stream, queries[i%len(queries)], *k, *algo, *tenant, *timeout)
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep := buildReport(samples, time.Since(start), *stream)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 5},   // 50% of 10 = rank 5
+		{95, 10},  // ceil(9.5) = rank 10
+		{99, 10},  // ceil(9.9) = rank 10
+		{100, 10}, // the max
+		{10, 1},   // rank 1
+		{1, 1},    // rank floor
+	}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Fatalf("p%g of 1..10 = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Fatalf("p50 of empty = %g, want 0", got)
+	}
+	if got := percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("p99 of single = %g, want 7", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// Input deliberately unsorted: summarize must not assume order.
+	s := summarize([]float64{30, 10, 20})
+	if s.Count != 3 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 != 20 || s.Max != 30 {
+		t.Fatalf("p50=%g max=%g, want 20/30", s.P50, s.Max)
+	}
+	if math.Abs(s.Mean-20) > 1e-12 {
+		t.Fatalf("mean = %g, want 20", s.Mean)
+	}
+	if s.P95 != 30 || s.P99 != 30 {
+		t.Fatalf("tail percentiles %g/%g, want 30/30", s.P95, s.P99)
+	}
+	zero := summarize(nil)
+	if zero.Count != 0 || zero.P50 != 0 {
+		t.Fatalf("empty summary %+v", zero)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("summarize reordered its input: %v", in)
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	samples := []sample{
+		{totalMS: 10, firstMS: 2},
+		{totalMS: 20, firstMS: 4},
+		{totalMS: 30, firstMS: -1}, // stream with no answers: excluded from first-answer stats
+		{err: true},
+	}
+	rep := buildReport(samples, 2*time.Second, true)
+	if rep.Requests != 4 || rep.Errors != 1 {
+		t.Fatalf("requests/errors = %d/%d", rep.Requests, rep.Errors)
+	}
+	if rep.TotalMS.Count != 3 {
+		t.Fatalf("total count = %d (errored request included?)", rep.TotalMS.Count)
+	}
+	if rep.FirstAnswerMS == nil || rep.FirstAnswerMS.Count != 2 {
+		t.Fatalf("first-answer summary %+v, want count 2", rep.FirstAnswerMS)
+	}
+	if math.Abs(rep.QPS-2) > 1e-9 {
+		t.Fatalf("qps = %g, want 2", rep.QPS)
+	}
+
+	// Non-streaming runs omit the first-answer block entirely.
+	rep = buildReport(samples[:2], time.Second, false)
+	if rep.FirstAnswerMS != nil {
+		t.Fatalf("non-stream report carries first-answer stats: %+v", rep.FirstAnswerMS)
+	}
+}
