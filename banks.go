@@ -47,6 +47,8 @@ type (
 	Result = core.Result
 	// Answer is one minimal rooted answer tree.
 	Answer = core.Answer
+	// TreeEdge is one parent→child edge of an answer tree.
+	TreeEdge = core.TreeEdge
 	// Stats carries the §5.2 performance counters.
 	Stats = core.Stats
 	// NearResult is a node ranked by activation ("near queries").

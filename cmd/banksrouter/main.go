@@ -1,0 +1,105 @@
+// Command banksrouter is the scatter-gather front end over a sharded
+// BANKS deployment: it fans each query out to N banksd shard servers
+// (one per shard file written by cmd/datagen -shards) and merges their
+// top-k streams into the global top-k, bit-identical to a single-node
+// server over the unsharded snapshot. See docs/SERVING.md, "Sharded
+// deployment".
+//
+// Usage:
+//
+//	banksrouter -shards http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 \
+//	            [-addr :8080] [-probe-interval 5s] [-drain-timeout 15s]
+//
+// -shards lists the shard base URLs in shard order: position i must
+// serve shard i of N (the router's /statusz flags backends whose own
+// shard claim contradicts their position). On SIGTERM or SIGINT the
+// router drains gracefully, mirroring banksd: /healthz flips to 503,
+// listeners close, in-flight fan-outs run to completion (bounded by
+// -drain-timeout), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"banks/internal/router"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("banksrouter: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.String("shards", "", "comma-separated shard base URLs, in shard order (required)")
+	probeInterval := flag.Duration("probe-interval", 5*time.Second, "shard health-probe period (negative disables probing)")
+	drainGrace := flag.Duration("drain-grace", time.Second, "window between /healthz turning 503 and the listener closing, so load balancers can observe unreadiness and stop routing (0 for tests)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
+	flag.Parse()
+
+	if *shards == "" {
+		return errors.New("-shards is required (comma-separated shard base URLs)")
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	rt, err := router.New(router.Config{
+		Shards:        urls,
+		ProbeInterval: *probeInterval,
+		Logger:        log.Default(),
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d shards on %s", rt.NumShards(), *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining (grace %v, timeout %v)", *drainGrace, *drainTimeout)
+	rt.BeginDrain()
+	time.Sleep(*drainGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

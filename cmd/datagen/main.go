@@ -6,6 +6,7 @@
 // Usage:
 //
 //	datagen -dataset dblp -factor 1 -out dblp.snap       # generate + save
+//	datagen -dataset dblp -out dblp.snap -shards 3       # + 3 shard files
 //	datagen -in dblp.snap                                # load + stats
 //	datagen -dataset dblp -legacy-graph dblp.graph       # graph-only BNK2 file
 //
@@ -13,6 +14,13 @@
 // graph-only "BNK2" format. At -factor 11 the DBLP-like dataset
 // approaches the paper's 2M-node, 9M-edge graph (§5); the default stays
 // laptop-friendly.
+//
+// With -shards N the dataset is additionally partitioned into N
+// component-closed shard snapshots named "<out>.shard<i>of<N>", ready to
+// serve behind cmd/banksrouter (see docs/SERVING.md, "Sharded
+// deployment"). Prestige is computed once on the full graph before
+// partitioning, so per-shard scores match the single-node snapshot
+// bit-for-bit.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"banks"
 	"banks/internal/datagen"
 	"banks/internal/graph"
+	"banks/internal/shard"
 )
 
 func main() {
@@ -34,9 +43,17 @@ func main() {
 	dataset := flag.String("dataset", "dblp", "dataset family: dblp, imdb or patents")
 	factor := flag.Float64("factor", 1, "scale factor (1 ≈ 180k tuples; paper scale ≈ 11)")
 	out := flag.String("out", "", "write the built graph+index snapshot to this file")
+	shards := flag.Int("shards", 1, "also partition into N component-closed shard snapshots named <out>.shard<i>of<N>")
 	legacyOut := flag.String("legacy-graph", "", "also write the graph (only) in the legacy BNK2 format")
 	in := flag.String("in", "", "load a snapshot or legacy graph file and print stats instead of generating")
 	flag.Parse()
+
+	if *shards < 1 {
+		log.Fatalf("-shards must be >= 1, got %d", *shards)
+	}
+	if *shards > 1 && *out == "" {
+		log.Fatal("-shards requires -out (shard files are named <out>.shard<i>of<N>)")
+	}
 
 	if *in != "" {
 		printStats(*in)
@@ -81,6 +98,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote snapshot %s (%d bytes) in %v\n", *out, st.Size(), time.Since(start).Round(time.Millisecond))
+
+		if *shards > 1 {
+			start = time.Now()
+			stats, err := shard.WriteFiles(*out, *shards, db.Graph, db.Index, db.Mapping, db.EdgeTypes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, s := range stats {
+				fmt.Printf("wrote shard %s (%d bytes): %d nodes, %d edges, %d components\n",
+					s.Path, s.Bytes, s.Nodes, s.Edges, s.Components)
+			}
+			fmt.Printf("partitioned into %d shards in %v\n", *shards, time.Since(start).Round(time.Millisecond))
+		}
 	}
 	if *legacyOut != "" {
 		f, err := os.Create(*legacyOut)
@@ -129,4 +159,8 @@ func printStats(path string) {
 	fmt.Printf("%s (snapshot, zero-copy=%v, opened in %v): %d nodes, %d original edges, %d relations, %d terms, max prestige %.3f\n",
 		path, db.SnapshotZeroCopy(), time.Since(start).Round(time.Millisecond),
 		db.Graph.NumNodes(), db.Graph.NumEdges(), len(db.Graph.Tables()), db.Index.NumTerms(), db.Graph.MaxPrestige())
+	if sm := db.ShardInfo(); sm != nil {
+		fmt.Printf("  shard %d of %d: %d owned nodes, %d components, %d duplicated edges\n",
+			sm.Shard, sm.NumShards, sm.OwnedNodes, sm.OwnedComponents, sm.DuplicatedEdges)
+	}
 }

@@ -126,6 +126,18 @@ func (e *Engine) SearchBatch(ctx context.Context, queries []BatchQuery) (results
 // CacheStats reports cumulative result-cache hits and misses.
 func (e *Engine) CacheStats() (hits, misses uint64) { return e.e.CacheStats() }
 
+// MergeTopK merges independently produced answer lists into one global
+// top-k with the canonical scatter-gather recipe: duplicate trees
+// (rotations) and duplicate roots keep only their best-scoring version,
+// survivors sort stably by score descending (bit-equal scores keep their
+// arrival order, mirroring the core output heap's final sort), and the
+// list is cut at k. Answers are returned by reference, bit-identical to
+// the inputs. This is the merge the sharded serving tier
+// (cmd/banksrouter) applies to per-shard results.
+func MergeTopK(k int, lists ...[]*Answer) []*Answer {
+	return engine.MergeTopK(k, lists...)
+}
+
 // EngineStats is a point-in-time snapshot of an Engine's activity, for
 // status pages and metrics exporters. Counters are cumulative; gauges
 // (CacheLen, InFlight) reflect the sampling instant.

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sort"
+
+	"banks/internal/graph"
+)
+
+// MergeTopK merges independently produced answer lists into one global
+// top-k, applying the same duplicate discipline as the output heap
+// (§4.2.3/§4.6): among answers sharing a tree signature (rotations) or a
+// root, only the best-scoring one survives. Survivors are ordered by
+// relevance score descending — stably, so answers with bit-equal scores
+// keep their arrival order (list order, then emission order within a
+// list), exactly like the output heap's own final sort, which orders by
+// score alone and leaves ties in emission order — and cut at k.
+//
+// This is the scatter-gather seam: when the input lists are the per-shard
+// results of a component-closed partition (internal/shard), every answer
+// tree lives on exactly one shard, so the merge reduces to the
+// deterministic global ordering of disjoint result sets. The answers are
+// returned by reference, never copied or rescored, so float bits pass
+// through untouched.
+func MergeTopK(k int, lists ...[]*Answer) []*Answer {
+	if k <= 0 {
+		return nil
+	}
+	bySig := make(map[uint64]*Answer)
+	byRoot := make(map[graph.NodeID]*Answer)
+	var order []*Answer // insertion order, for deterministic iteration
+	for _, list := range lists {
+		for _, a := range list {
+			if a == nil {
+				continue
+			}
+			sig := a.Signature()
+			// Mirror outputHeap.add: a challenger must strictly beat every
+			// incumbent it collides with; winners evict losers from both
+			// maps (first arrival wins ties, keeping the merge stable).
+			if prev, ok := bySig[sig]; ok && prev.Score >= a.Score {
+				continue
+			}
+			if prev, ok := byRoot[a.Root]; ok && prev.Score >= a.Score {
+				continue
+			}
+			if prev, ok := bySig[sig]; ok {
+				delete(byRoot, prev.Root)
+				delete(bySig, sig)
+			}
+			if prev, ok := byRoot[a.Root]; ok {
+				delete(bySig, prev.Signature())
+				delete(byRoot, a.Root)
+			}
+			bySig[sig] = a
+			byRoot[a.Root] = a
+			order = append(order, a)
+		}
+	}
+	merged := make([]*Answer, 0, len(byRoot))
+	for _, a := range order {
+		if bySig[a.Signature()] == a && byRoot[a.Root] == a {
+			merged = append(merged, a)
+		}
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		return merged[i].Score > merged[j].Score
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}

@@ -1,0 +1,92 @@
+package core
+
+import "testing"
+
+func TestMergeTopKOrderingAndCut(t *testing.T) {
+	a := mkAnswer(1, 0.9, TreeEdge{From: 1, To: 2})
+	b := mkAnswer(3, 0.7, TreeEdge{From: 3, To: 4})
+	c := mkAnswer(5, 0.8, TreeEdge{From: 5, To: 6})
+	got := MergeTopK(2, []*Answer{b}, []*Answer{a, c})
+	if len(got) != 2 || got[0] != a || got[1] != c {
+		t.Fatalf("got %v, want [a c]", got)
+	}
+}
+
+func TestMergeTopKStableTies(t *testing.T) {
+	// Bit-equal scores keep arrival order: list order first, then
+	// position within the list — mirroring the output heap's final sort,
+	// which orders by score alone.
+	a := mkAnswer(1, 0.5, TreeEdge{From: 1, To: 2})
+	b := mkAnswer(3, 0.5, TreeEdge{From: 3, To: 4})
+	c := mkAnswer(5, 0.5, TreeEdge{From: 5, To: 6})
+	got := MergeTopK(10, []*Answer{a, b}, []*Answer{c})
+	if len(got) != 3 || got[0] != a || got[1] != b || got[2] != c {
+		t.Fatalf("tie order not preserved: got %v", got)
+	}
+}
+
+func TestMergeTopKDedupeBySignature(t *testing.T) {
+	// The same undirected tree discovered with different roots (a
+	// rotation): only the better-scoring version survives.
+	worse := mkAnswer(2, 0.4, TreeEdge{From: 2, To: 7})
+	better := mkAnswer(7, 0.6, TreeEdge{From: 7, To: 2})
+	if worse.Signature() != better.Signature() {
+		t.Fatal("test setup: rotations must share a signature")
+	}
+	got := MergeTopK(10, []*Answer{worse}, []*Answer{better})
+	if len(got) != 1 || got[0] != better {
+		t.Fatalf("got %v, want [better]", got)
+	}
+	// First arrival wins an exact score tie (challenger must strictly beat).
+	tie := mkAnswer(7, 0.4, TreeEdge{From: 7, To: 2})
+	got = MergeTopK(10, []*Answer{worse}, []*Answer{tie})
+	if len(got) != 1 || got[0] != worse {
+		t.Fatalf("tie: got %v, want first arrival", got)
+	}
+}
+
+func TestMergeTopKDedupeByRoot(t *testing.T) {
+	worse := mkAnswer(2, 0.4, TreeEdge{From: 2, To: 7})
+	better := mkAnswer(2, 0.6, TreeEdge{From: 2, To: 9})
+	got := MergeTopK(10, []*Answer{worse, better})
+	if len(got) != 1 || got[0] != better {
+		t.Fatalf("got %v, want [better]", got)
+	}
+}
+
+// TestMergeTopKEvictionConsistency pins the subtle case: when a
+// challenger beats an incumbent in one map, the incumbent must vanish
+// from BOTH maps, or a later duplicate check could resurrect or drop the
+// wrong answer.
+func TestMergeTopKEvictionConsistency(t *testing.T) {
+	// x: root 1, tree A. y: root 1, tree B, better score (evicts x by
+	// root). z: tree A again, root 3, score between — must survive,
+	// because x (its signature twin) was already evicted.
+	x := mkAnswer(1, 0.3, TreeEdge{From: 1, To: 2})
+	y := mkAnswer(1, 0.9, TreeEdge{From: 1, To: 4})
+	z := mkAnswer(3, 0.5, TreeEdge{From: 2, To: 1}) // same undirected tree as x
+	if x.Signature() != z.Signature() {
+		t.Fatal("test setup: x and z must share a signature")
+	}
+	got := MergeTopK(10, []*Answer{x, y, z})
+	if len(got) != 2 || got[0] != y || got[1] != z {
+		t.Fatalf("got %v, want [y z]", got)
+	}
+}
+
+func TestMergeTopKEdgeCases(t *testing.T) {
+	if got := MergeTopK(0, []*Answer{mkAnswer(1, 0.5)}); got != nil {
+		t.Fatalf("k=0: got %v", got)
+	}
+	if got := MergeTopK(3); len(got) != 0 {
+		t.Fatalf("no lists: got %v", got)
+	}
+	if got := MergeTopK(3, nil, []*Answer{nil}); len(got) != 0 {
+		t.Fatalf("nil entries: got %v", got)
+	}
+	// Single-node answers (no edges) sign by root and are distinct per root.
+	a, b := mkAnswer(1, 0.5), mkAnswer(2, 0.6)
+	if got := MergeTopK(10, []*Answer{a}, []*Answer{b}); len(got) != 2 {
+		t.Fatalf("single-node answers: got %v", got)
+	}
+}

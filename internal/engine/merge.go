@@ -1,0 +1,19 @@
+package engine
+
+import "banks/internal/core"
+
+// MergeTopK merges independently produced answer lists (typically the
+// per-shard results of a scatter-gather fan-out) into one global top-k
+// using the core output-heap discipline: rotation/root duplicates keep
+// the best-scoring version, survivors are stably ordered by relevance
+// score descending (exact ties keep arrival order, mirroring the output
+// heap's own final sort) and cut at k.
+// Answers pass through by reference — no copy, no rescore — so the
+// merged list preserves every float bit of its inputs.
+//
+// This is the serving-tier merge seam used by internal/router; it is
+// exported here so front ends compose it with Engine results without
+// reaching into core.
+func MergeTopK(k int, lists ...[]*core.Answer) []*core.Answer {
+	return core.MergeTopK(k, lists...)
+}

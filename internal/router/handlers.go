@@ -1,0 +1,346 @@
+package router
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// maxBodyBytes bounds a forwarded POST body; the shards enforce their
+// own (smaller) request limits, this only keeps the router's buffering
+// bounded.
+const maxBodyBytes = 1 << 20
+
+// routedStats is the routed response's stats object: the shard counters
+// aggregated per the aggregate() contract, plus the fan-out width.
+type routedStats struct {
+	statsJSON
+	Shards int `json:"shards"`
+}
+
+// searchResponse is the routed /v1/search body — the same shape the
+// shards serve (internal/server searchResponse), with answers passed
+// through as the shards' bytes.
+type searchResponse struct {
+	QueryID   string            `json:"query_id"`
+	Algo      string            `json:"algo"`
+	K         int               `json:"k"`
+	Clamped   []string          `json:"clamped,omitempty"`
+	Truncated bool              `json:"truncated"`
+	Answers   []json.RawMessage `json:"answers"`
+	Stats     routedStats       `json:"stats"`
+}
+
+// streamAnswerLine is one routed NDJSON answer line. Ranks are assigned
+// by the merged order; generated_ms/output_ms are the originating
+// shard's own offsets, passed through.
+type streamAnswerLine struct {
+	Type        string          `json:"type"` // always "answer"
+	Rank        int             `json:"rank"`
+	GeneratedMS float64         `json:"generated_ms"`
+	OutputMS    float64         `json:"output_ms"`
+	Answer      json.RawMessage `json:"answer"`
+}
+
+// streamTrailerLine is the final NDJSON line of every routed stream.
+type streamTrailerLine struct {
+	Type          string      `json:"type"` // always "trailer"
+	QueryID       string      `json:"query_id"`
+	Algo          string      `json:"algo"`
+	K             int         `json:"k"`
+	Clamped       []string    `json:"clamped,omitempty"`
+	Truncated     bool        `json:"truncated"`
+	Cached        bool        `json:"cached,omitempty"`
+	Degraded      bool        `json:"degraded,omitempty"`
+	Answers       int         `json:"answers"`
+	FirstAnswerMS *float64    `json:"first_answer_ms,omitempty"`
+	Error         string      `json:"error,omitempty"`
+	Stats         routedStats `json:"stats"`
+}
+
+// readBody buffers a POST body for replay to every shard. GET requests
+// return nil.
+func readBody(r *http.Request) ([]byte, *httpError) {
+	if r.Body == nil || r.Method == http.MethodGet {
+		return nil, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, &httpError{status: http.StatusBadRequest, code: "bad_body",
+			message: fmt.Sprintf("reading request body: %v", err)}
+	}
+	if len(body) > maxBodyBytes {
+		return nil, &httpError{status: http.StatusRequestEntityTooLarge, code: "body_too_large",
+			message: fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes)}
+	}
+	return body, nil
+}
+
+func checkMethod(r *http.Request) *httpError {
+	if r.Method == http.MethodGet || r.Method == http.MethodPost {
+		return nil
+	}
+	return &httpError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+		message: "use GET with query parameters or POST with a JSON body"}
+}
+
+// gather runs the full scatter-gather-merge for one request, mapping
+// failures to wire errors.
+func (rt *Router) gather(w http.ResponseWriter, r *http.Request) ([]*shardResult, []*wireAnswer, bool) {
+	if herr := checkMethod(r); herr != nil {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, herr)
+		return nil, nil, false
+	}
+	body, herr := readBody(r)
+	if herr != nil {
+		writeError(w, herr)
+		return nil, nil, false
+	}
+	start := time.Now()
+	results, err := rt.scatter(r, body)
+	if err != nil {
+		// A merged answer is only correct when every shard contributed:
+		// fail the query rather than serve a silently partial top-k. A
+		// shard-side 4xx (bad query, over capacity) passes its status
+		// through; infrastructure failures map to 502.
+		rt.met.observeQuery(outcomeError, 0)
+		writeError(w, mapShardError(err))
+		return nil, nil, false
+	}
+	merged := mergeResults(results)
+	outcome := outcomeOK
+	if anyTruncated(results) {
+		outcome = outcomeTruncated
+	}
+	rt.met.observeQuery(outcome, time.Since(start))
+	return results, merged, true
+}
+
+func anyTruncated(results []*shardResult) bool {
+	for _, res := range results {
+		if res.trailer.Truncated {
+			return true
+		}
+	}
+	return false
+}
+
+// mapShardError converts a scatter failure to the client-facing error.
+// A shard's own 4xx (malformed query, over capacity) is the client's
+// fault on every shard equally — its status and code pass through; any
+// other failure is the deployment's and maps to 502.
+func mapShardError(err error) *httpError {
+	var she *shardHTTPError
+	if errors.As(err, &she) && she.status >= 400 && she.status < 500 {
+		code := she.code
+		if code == "" {
+			code = "shard_rejected"
+		}
+		return &httpError{status: she.status, code: code, message: err.Error()}
+	}
+	return &httpError{
+		status:  http.StatusBadGateway,
+		code:    "shard_error",
+		message: err.Error(),
+	}
+}
+
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	results, merged, ok := rt.gather(w, r)
+	if !ok {
+		return
+	}
+	agg := aggregate(results)
+	answers := make([]json.RawMessage, len(merged))
+	for i, wa := range merged {
+		answers[i] = wa.raw
+	}
+	resp := &searchResponse{
+		QueryID:   agg.queryID,
+		Algo:      agg.algo,
+		K:         agg.k,
+		Clamped:   agg.clamped,
+		Truncated: agg.truncated,
+		Answers:   answers,
+		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results)},
+	}
+	annotate(r, resp.QueryID, len(answers), resp.Truncated)
+	writeJSON(w, resp)
+}
+
+// handleSearchStream serves the routed query as NDJSON in the shard wire
+// format (docs/STREAMING.md). The router gathers before it emits — the
+// global rank of an answer is unknowable until every shard has reported
+// — so the stream offers format compatibility, not earlier first bytes;
+// clients wanting both should query shards directly.
+func (rt *Router) handleSearchStream(w http.ResponseWriter, r *http.Request) {
+	results, merged, ok := rt.gather(w, r)
+	if !ok {
+		return
+	}
+	agg := aggregate(results)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for i, wa := range merged {
+		if err := enc.Encode(streamAnswerLine{
+			Type:        "answer",
+			Rank:        i + 1,
+			GeneratedMS: wa.generatedMS,
+			OutputMS:    wa.outputMS,
+			Answer:      wa.raw,
+		}); err != nil {
+			return // client gone; nothing useful left to send
+		}
+	}
+	trailer := streamTrailerLine{
+		Type:      "trailer",
+		QueryID:   agg.queryID,
+		Algo:      agg.algo,
+		K:         agg.k,
+		Clamped:   agg.clamped,
+		Truncated: agg.truncated,
+		Cached:    agg.cached,
+		Degraded:  agg.degraded,
+		Answers:   len(merged),
+		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results)},
+	}
+	if len(merged) > 0 {
+		first := merged[0].outputMS
+		trailer.FirstAnswerMS = &first
+	}
+	_ = enc.Encode(trailer)
+	annotate(r, agg.queryID, len(merged), agg.truncated)
+}
+
+// handleUnsupported rejects an endpoint the router cannot serve
+// correctly, explaining why.
+func (rt *Router) handleUnsupported(reason string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &httpError{
+			status:  http.StatusNotImplemented,
+			code:    "not_routed",
+			message: reason,
+		})
+	}
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if rt.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+		return
+	}
+	w.Write([]byte("ok\n"))
+}
+
+// shardStatusJSON is one row of the /statusz routing table.
+type shardStatusJSON struct {
+	Index   int    `json:"index"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// LastError is the most recent probe or query failure; empty while
+	// healthy.
+	LastError string `json:"last_error,omitempty"`
+	// CheckedSecondsAgo is the age of the health verdict (-1 before the
+	// first probe or query).
+	CheckedSecondsAgo float64 `json:"checked_seconds_ago"`
+	// ClaimedShard/ClaimedNumShards mirror the backend's own /statusz
+	// shard disclosure (absent until probed, or when the backend serves
+	// an unsharded snapshot).
+	ClaimedShard     *uint32 `json:"claimed_shard,omitempty"`
+	ClaimedNumShards *uint32 `json:"claimed_num_shards,omitempty"`
+	Nodes            int     `json:"nodes,omitempty"`
+	// Misrouted flags a backend whose claim contradicts its position in
+	// the routing table (wrong shard index or wrong shard count).
+	Misrouted bool `json:"misrouted,omitempty"`
+	// Requests/Errors count fan-out calls to this shard.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
+}
+
+// statuszResponse is the router's /statusz introspection document.
+type statuszResponse struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	Draining      bool              `json:"draining"`
+	NumShards     int               `json:"num_shards"`
+	AllHealthy    bool              `json:"all_healthy"`
+	Shards        []shardStatusJSON `json:"shards"`
+	Runtime       struct {
+		GoVersion  string `json:"go_version"`
+		Goroutines int    `json:"goroutines"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+	} `json:"runtime"`
+}
+
+func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	resp := statuszResponse{
+		UptimeSeconds: time.Since(rt.start).Seconds(),
+		Draining:      rt.draining.Load(),
+		NumShards:     len(rt.shards),
+		AllHealthy:    true,
+		Shards:        make([]shardStatusJSON, len(rt.shards)),
+	}
+	now := time.Now()
+	for i, sh := range rt.shards {
+		reqs, errs := rt.met.shardCounts(i)
+		sh.mu.Lock()
+		row := shardStatusJSON{
+			Index:             i,
+			URL:               sh.url,
+			Healthy:           sh.healthy,
+			LastError:         sh.lastErr,
+			CheckedSecondsAgo: -1,
+			Nodes:             sh.claimedNodes,
+			Requests:          reqs,
+			Errors:            errs,
+		}
+		if !sh.lastCheck.IsZero() {
+			row.CheckedSecondsAgo = now.Sub(sh.lastCheck).Seconds()
+		}
+		if sh.claimedNumShards != 0 {
+			cs, cn := sh.claimedShard, sh.claimedNumShards
+			row.ClaimedShard, row.ClaimedNumShards = &cs, &cn
+			row.Misrouted = int(cs) != i || int(cn) != len(rt.shards)
+		}
+		sh.mu.Unlock()
+		if !row.Healthy {
+			resp.AllHealthy = false
+		}
+		resp.Shards[i] = row
+	}
+	resp.Runtime.GoVersion = runtime.Version()
+	resp.Runtime.Goroutines = runtime.NumGoroutine()
+	resp.Runtime.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	writeJSON(w, resp)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	healthy := make([]bool, len(rt.shards))
+	for i, sh := range rt.shards {
+		sh.mu.Lock()
+		healthy[i] = sh.healthy
+		sh.mu.Unlock()
+	}
+	rt.met.write(w, []gauge{
+		{"banksrouter_shards", "Configured fan-out width.", float64(len(rt.shards))},
+		{"banksrouter_draining", "1 once graceful drain has begun.", boolGauge(rt.draining.Load())},
+		{"banksrouter_uptime_seconds", "Seconds since the router started.", time.Since(rt.start).Seconds()},
+		{"go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine())},
+	}, healthy)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

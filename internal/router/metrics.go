@@ -1,0 +1,161 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics is the router's stdlib-only Prometheus-text exporter,
+// following the internal/server idiom: deterministic ordering (sorted
+// label keys, fixed shard indexes) so scrapes are testable by string
+// comparison. Per-shard series are arrays indexed by shard position —
+// the label space is fixed at construction, never minted per request.
+type metrics struct {
+	mu sync.Mutex
+	// requests["path|code"], queries[outcome].
+	requests map[string]uint64
+	queries  map[string]uint64
+	qSecSum  float64
+	qCount   uint64
+	// Per-shard fan-out outcomes and latency (successful fetches only:
+	// a failed fetch's duration measures the failure mode, not the
+	// shard's service time, and would skew the average).
+	shardOK     []uint64
+	shardErr    []uint64
+	shardSecSum []float64
+}
+
+func newMetrics(numShards int) *metrics {
+	return &metrics{
+		requests:    make(map[string]uint64),
+		queries:     make(map[string]uint64),
+		shardOK:     make([]uint64, numShards),
+		shardErr:    make([]uint64, numShards),
+		shardSecSum: make([]float64, numShards),
+	}
+}
+
+func (m *metrics) observeRequest(path string, code int) {
+	m.mu.Lock()
+	m.requests[path+"|"+strconv.Itoa(code)]++
+	m.mu.Unlock()
+}
+
+// Routed-query outcomes.
+const (
+	outcomeOK        = "ok"
+	outcomeTruncated = "truncated"
+	outcomeError     = "error"
+)
+
+// observeQuery counts one routed query; the latency pair covers the full
+// scatter-gather-merge wall time of queries that produced a result.
+func (m *metrics) observeQuery(outcome string, elapsed time.Duration) {
+	m.mu.Lock()
+	m.queries[outcome]++
+	if outcome != outcomeError {
+		m.qSecSum += elapsed.Seconds()
+		m.qCount++
+	}
+	m.mu.Unlock()
+}
+
+// observeShard records one fan-out call to a shard.
+func (m *metrics) observeShard(shard int, ok bool, elapsed time.Duration) {
+	m.mu.Lock()
+	if ok {
+		m.shardOK[shard]++
+		m.shardSecSum[shard] += elapsed.Seconds()
+	} else {
+		m.shardErr[shard]++
+	}
+	m.mu.Unlock()
+}
+
+// shardCounts returns one shard's request/error totals for /statusz.
+func (m *metrics) shardCounts(shard int) (requests, errors uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shardOK[shard] + m.shardErr[shard], m.shardErr[shard]
+}
+
+// gauge is one instantaneous value appended at scrape time.
+type gauge struct {
+	name, help string
+	value      float64
+}
+
+func (m *metrics) write(w io.Writer, gauges []gauge, shardHealthy []bool) {
+	m.mu.Lock()
+	requests := make(map[string]uint64, len(m.requests))
+	for k, v := range m.requests {
+		requests[k] = v
+	}
+	queries := make(map[string]uint64, len(m.queries))
+	for k, v := range m.queries {
+		queries[k] = v
+	}
+	qSecSum, qCount := m.qSecSum, m.qCount
+	shardOK := append([]uint64(nil), m.shardOK...)
+	shardErr := append([]uint64(nil), m.shardErr...)
+	shardSecSum := append([]float64(nil), m.shardSecSum...)
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP banksrouter_http_requests_total HTTP requests served, by path and status code.")
+	fmt.Fprintln(w, "# TYPE banksrouter_http_requests_total counter")
+	for _, k := range sortedKeys(requests) {
+		path, code, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "banksrouter_http_requests_total{path=%q,code=%q} %d\n", path, code, requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP banksrouter_queries_total Routed search queries, by outcome (ok, truncated, error).")
+	fmt.Fprintln(w, "# TYPE banksrouter_queries_total counter")
+	for _, k := range sortedKeys(queries) {
+		fmt.Fprintf(w, "banksrouter_queries_total{outcome=%q} %d\n", k, queries[k])
+	}
+
+	fmt.Fprintln(w, "# HELP banksrouter_query_duration_seconds Scatter-gather-merge wall time of routed queries that produced a result.")
+	fmt.Fprintln(w, "# TYPE banksrouter_query_duration_seconds summary")
+	fmt.Fprintf(w, "banksrouter_query_duration_seconds_sum %s\n", formatFloat(qSecSum))
+	fmt.Fprintf(w, "banksrouter_query_duration_seconds_count %d\n", qCount)
+
+	fmt.Fprintln(w, "# HELP banksrouter_shard_requests_total Fan-out calls per shard, by outcome (ok, error).")
+	fmt.Fprintln(w, "# TYPE banksrouter_shard_requests_total counter")
+	for i := range shardOK {
+		fmt.Fprintf(w, "banksrouter_shard_requests_total{shard=\"%d\",outcome=\"ok\"} %d\n", i, shardOK[i])
+		fmt.Fprintf(w, "banksrouter_shard_requests_total{shard=\"%d\",outcome=\"error\"} %d\n", i, shardErr[i])
+	}
+
+	fmt.Fprintln(w, "# HELP banksrouter_shard_latency_seconds Per-shard stream service time of successful fan-out calls.")
+	fmt.Fprintln(w, "# TYPE banksrouter_shard_latency_seconds summary")
+	for i := range shardOK {
+		fmt.Fprintf(w, "banksrouter_shard_latency_seconds_sum{shard=\"%d\"} %s\n", i, formatFloat(shardSecSum[i]))
+		fmt.Fprintf(w, "banksrouter_shard_latency_seconds_count{shard=\"%d\"} %d\n", i, shardOK[i])
+	}
+
+	fmt.Fprintln(w, "# HELP banksrouter_shard_healthy 1 when the shard's last probe or query succeeded.")
+	fmt.Fprintln(w, "# TYPE banksrouter_shard_healthy gauge")
+	for i, h := range shardHealthy {
+		fmt.Fprintf(w, "banksrouter_shard_healthy{shard=\"%d\"} %s\n", i, formatFloat(boolGauge(h)))
+	}
+
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, formatFloat(g.value))
+	}
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,143 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+)
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// reqInfo is the per-request record handlers annotate so the middleware
+// can emit one complete log line after the response is written.
+type reqInfo struct {
+	id        uint64
+	tenant    string
+	queryID   string
+	answers   int
+	truncated bool
+}
+
+type reqInfoKey struct{}
+
+func infoFrom(ctx context.Context) *reqInfo {
+	info, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return info
+}
+
+// annotate fills the request-log record for the middleware.
+func annotate(r *http.Request, queryID string, answers int, truncated bool) {
+	if info := infoFrom(r.Context()); info != nil {
+		info.queryID = queryID
+		info.answers = answers
+		info.truncated = truncated
+	}
+}
+
+// knownRoutes are the paths the request-counter metric labels verbatim;
+// anything else is bucketed as "other" so scanners cannot mint unbounded
+// metric series.
+var knownRoutes = map[string]bool{
+	"/v1/search": true, "/v1/search/stream": true, "/v1/batch": true,
+	"/v1/near": true, "/v1/explain": true,
+	"/healthz": true, "/statusz": true, "/metrics": true,
+}
+
+func metricsPath(path string) string {
+	if knownRoutes[path] {
+		return path
+	}
+	return "other"
+}
+
+// instrument wraps the route mux with panic containment, per-request
+// IDs, the request-counter metric, and (for /v1/ endpoints) one
+// structured log line per request.
+func (rt *Router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := &reqInfo{id: rt.reqSeq.Add(1), tenant: r.Header.Get("X-Tenant")}
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, info))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				if rt.logger != nil {
+					rt.logger.Printf("panic rid=%d %s %s: %v\n%s", info.id, r.Method, r.URL.Path, p, debug.Stack())
+				}
+				if sw.status == 0 {
+					writeError(sw, &httpError{status: http.StatusInternalServerError,
+						code: "internal", message: "internal server error"})
+				}
+			}
+			rt.met.observeRequest(metricsPath(r.URL.Path), sw.status)
+			if rt.logger != nil && strings.HasPrefix(r.URL.Path, "/v1/") {
+				tenant := info.tenant
+				if tenant == "" {
+					tenant = "-"
+				}
+				qid := info.queryID
+				if qid == "" {
+					qid = "-"
+				}
+				rt.logger.Printf("rid=%d tenant=%s qid=%s %s %s %d %s answers=%d truncated=%v",
+					info.id, tenant, qid, r.Method, r.URL.RequestURI(), sw.status,
+					time.Since(start).Round(time.Microsecond), info.answers, info.truncated)
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// httpError is one client-facing failure, rendered as the same JSON
+// error envelope the shard servers use.
+type httpError struct {
+	status  int
+	code    string
+	message string
+}
+
+type errorBody struct {
+	Error errorJSON `json:"error"`
+}
+
+type errorJSON struct {
+	Status  int    `json:"status"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	json.NewEncoder(w).Encode(errorBody{Error: errorJSON{
+		Status: e.status, Code: e.code, Message: e.message,
+	}})
+}
+
+// writeJSON encodes the response body; an encode failure here is a
+// broken client connection with nothing useful left to report.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

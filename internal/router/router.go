@@ -1,0 +1,295 @@
+// Package router is the scatter-gather serving tier over a sharded BANKS
+// deployment: one stateless front end that fans each keyword query out to
+// N banksd shard servers (each holding one component-closed partition of
+// the dataset, see internal/shard and cmd/datagen -shards), gathers the
+// per-shard top-k streams, and merges them into the global top-k with the
+// canonical output-heap recipe (banks.MergeTopK).
+//
+// Because the partition is component-closed, every answer tree lives on
+// exactly one shard and carries exactly the score the single-node search
+// would give it (prestige is computed once on the full graph before
+// partitioning); the merge is therefore a deterministic global ordering
+// of disjoint result sets, and the routed answer list is bit-identical —
+// order, scores, float bits — to the single-node answer list for the
+// same query. TestRouterDifferential proves this end to end across real
+// HTTP servers.
+//
+// Endpoints:
+//
+//	GET|POST /v1/search         scatter-gather search → merged top-k JSON
+//	GET|POST /v1/search/stream  the same, emitted as NDJSON (gather-then-emit)
+//	GET      /healthz           liveness; 503 once draining
+//	GET      /statusz           JSON: shard health and routing table
+//	GET      /metrics           Prometheus text: per-shard latency/errors
+//
+// /v1/near is rejected with 501: near-query activation divides prestige
+// by the shard-local keyword-set size (§4.3), so per-shard near results
+// are not mergeable into the single-node ranking. Query /v1/near on an
+// unsharded deployment instead.
+//
+// Error semantics: a merged answer is only correct if every shard
+// contributed, so any shard failure (connect error, non-200, in-band
+// trailer error) fails the whole query with 502 naming the shard.
+// Requests are forwarded verbatim — parameters and the X-Tenant header —
+// so tenant clamps are enforced by the shards, uniformly, not duplicated
+// here.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config assembles a Router. Shards is required; everything else has
+// serving-grade defaults.
+type Config struct {
+	// Shards lists the base URLs of the shard servers, e.g.
+	// ["http://127.0.0.1:8081", "http://127.0.0.1:8082"]. Position i is
+	// expected to serve shard i of len(Shards); the prober verifies the
+	// claim against each shard's /statusz and discloses mismatches.
+	Shards []string
+	// Client issues the fan-out and probe requests. Nil uses a client
+	// with sensible defaults (no global timeout: per-query deadlines come
+	// from the caller's context, and streams may legitimately run long).
+	Client *http.Client
+	// ProbeInterval is the health-probe period. 0 selects the default
+	// (5s); negative disables background probing (health then reflects
+	// only query traffic and the initial probe round).
+	ProbeInterval time.Duration
+	// Logger receives one line per /v1/* request and per shard-health
+	// transition. Nil disables logging.
+	Logger *log.Logger
+}
+
+const defaultProbeInterval = 5 * time.Second
+
+// shardState is the router's live view of one shard server.
+type shardState struct {
+	index int
+	url   string // base URL, no trailing slash
+
+	mu        sync.Mutex
+	healthy   bool
+	lastErr   string    // most recent probe/query failure, "" when healthy
+	lastCheck time.Time // when health was last updated
+	// claimed* mirror the shard's own /statusz disclosure (zero until the
+	// first successful probe; claimedNumShards 0 = shard meta not yet
+	// seen or the backend serves an unsharded snapshot).
+	claimedShard     uint32
+	claimedNumShards uint32
+	claimedNodes     int
+}
+
+func (s *shardState) setHealth(healthy bool, errMsg string, now time.Time) (changed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	changed = s.healthy != healthy || s.lastErr != errMsg
+	s.healthy = healthy
+	s.lastErr = errMsg
+	s.lastCheck = now
+	return changed
+}
+
+// Router fans queries out across shard servers and merges the results.
+type Router struct {
+	shards []*shardState
+	client *http.Client
+	met    *metrics
+	logger *log.Logger
+
+	start    time.Time
+	draining atomic.Bool
+	reqSeq   atomic.Uint64
+	mux      *http.ServeMux
+
+	probeEvery  time.Duration
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+}
+
+// New builds a Router and starts its health prober (unless disabled).
+// Call Close to stop the prober.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("router: no shards configured")
+	}
+	seen := make(map[string]bool, len(cfg.Shards))
+	shards := make([]*shardState, len(cfg.Shards))
+	for i, u := range cfg.Shards {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, fmt.Errorf("router: shard %d has an empty URL", i)
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("router: shard %d URL %q must start with http:// or https://", i, u)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("router: duplicate shard URL %q", u)
+		}
+		seen[u] = true
+		shards[i] = &shardState{index: i, url: u}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	probeEvery := cfg.ProbeInterval
+	if probeEvery == 0 {
+		probeEvery = defaultProbeInterval
+	}
+	rt := &Router{
+		shards:     shards,
+		client:     client,
+		met:        newMetrics(len(shards)),
+		logger:     cfg.Logger,
+		start:      time.Now(),
+		probeEvery: probeEvery,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/search", rt.handleSearch)
+	mux.HandleFunc("/v1/search/stream", rt.handleSearchStream)
+	mux.HandleFunc("/v1/near", rt.handleUnsupported(
+		"near-query activation depends on shard-local keyword-set sizes and cannot be merged exactly; query a shard or an unsharded deployment directly"))
+	mux.HandleFunc("/v1/batch", rt.handleUnsupported(
+		"batch fan-out is not routed; issue the queries individually"))
+	mux.HandleFunc("/v1/explain", rt.handleUnsupported(
+		"explain rendering is not routed; query a shard directly"))
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/statusz", rt.handleStatusz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux = mux
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.probeCancel = cancel
+	rt.probeDone = make(chan struct{})
+	go rt.probeLoop(ctx)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler: the route mux wrapped in the
+// instrumentation middleware (request IDs, logging, metrics, panic
+// containment).
+func (rt *Router) Handler() http.Handler { return rt.instrument(rt.mux) }
+
+// BeginDrain flips the router into draining mode: /healthz starts
+// answering 503 so load balancers stop routing here, while fan-outs in
+// flight run to completion. Idempotent.
+func (rt *Router) BeginDrain() { rt.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+// NumShards reports the configured fan-out width.
+func (rt *Router) NumShards() int { return len(rt.shards) }
+
+// Close stops the background health prober. It does not wait for
+// in-flight requests; drain the HTTP server first.
+func (rt *Router) Close() error {
+	rt.probeCancel()
+	<-rt.probeDone
+	return nil
+}
+
+// probeLoop probes every shard once at startup, then on the configured
+// period. A negative interval disables the periodic probing but still
+// runs the initial round, so /statusz is populated promptly.
+func (rt *Router) probeLoop(ctx context.Context) {
+	defer close(rt.probeDone)
+	rt.probeAll(ctx)
+	if rt.probeEvery < 0 {
+		<-ctx.Done()
+		return
+	}
+	t := time.NewTicker(rt.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.probeAll(ctx)
+		}
+	}
+}
+
+func (rt *Router) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, sh := range rt.shards {
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			rt.probe(ctx, sh)
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// probe checks one shard's /healthz and, on success, refreshes its
+// /statusz shard claim for the routing table.
+func (rt *Router) probe(ctx context.Context, sh *shardState) {
+	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
+	defer cancel()
+	err := rt.checkHealthz(ctx, sh)
+	now := time.Now()
+	if err != nil {
+		if sh.setHealth(false, err.Error(), now) && rt.logger != nil {
+			rt.logger.Printf("shard %d (%s) unhealthy: %v", sh.index, sh.url, err)
+		}
+		return
+	}
+	rt.refreshClaim(ctx, sh)
+	if sh.setHealth(true, "", now) && rt.logger != nil {
+		rt.logger.Printf("shard %d (%s) healthy", sh.index, sh.url)
+	}
+}
+
+func (rt *Router) checkHealthz(ctx context.Context, sh *shardState) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// refreshClaim reads the shard's /statusz dataset section so the routing
+// table can disclose which partition each backend claims to serve. A
+// failure here is not a health failure — /statusz is introspection, and
+// older or unsharded backends simply have no shard claim.
+func (rt *Router) refreshClaim(ctx context.Context, sh *shardState) {
+	var doc struct {
+		Dataset struct {
+			Nodes int `json:"nodes"`
+			Shard *struct {
+				Shard     uint32 `json:"shard"`
+				NumShards uint32 `json:"num_shards"`
+			} `json:"shard"`
+		} `json:"dataset"`
+	}
+	if err := rt.getJSON(ctx, sh.url+"/statusz", &doc); err != nil {
+		return
+	}
+	sh.mu.Lock()
+	sh.claimedNodes = doc.Dataset.Nodes
+	if doc.Dataset.Shard != nil {
+		sh.claimedShard = doc.Dataset.Shard.Shard
+		sh.claimedNumShards = doc.Dataset.Shard.NumShards
+	} else {
+		sh.claimedShard, sh.claimedNumShards = 0, 0
+	}
+	sh.mu.Unlock()
+}

@@ -1,0 +1,355 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"banks"
+)
+
+// statsJSON mirrors the shard server's wire stats (internal/server
+// statsJSON) so per-shard counters can be decoded and aggregated.
+type statsJSON struct {
+	NodesExplored    int     `json:"nodes_explored"`
+	NodesTouched     int     `json:"nodes_touched"`
+	EdgesRelaxed     int     `json:"edges_relaxed"`
+	AnswersGenerated int     `json:"answers_generated"`
+	WorkersUsed      int     `json:"workers_used"`
+	DurationMS       float64 `json:"duration_ms"`
+	BudgetExhausted  bool    `json:"budget_exhausted,omitempty"`
+}
+
+// shardLine is one NDJSON line of a shard's /v1/search/stream response —
+// the union of the answer-line and trailer-line fields, discriminated by
+// Type.
+type shardLine struct {
+	Type string `json:"type"`
+	// Answer-line fields.
+	Rank        int             `json:"rank"`
+	GeneratedMS float64         `json:"generated_ms"`
+	OutputMS    float64         `json:"output_ms"`
+	Answer      json.RawMessage `json:"answer"`
+	// Trailer-line fields.
+	QueryID   string    `json:"query_id"`
+	Algo      string    `json:"algo"`
+	K         int       `json:"k"`
+	Clamped   []string  `json:"clamped"`
+	Truncated bool      `json:"truncated"`
+	Cached    bool      `json:"cached"`
+	Degraded  bool      `json:"degraded"`
+	Answers   int       `json:"answers"`
+	Error     string    `json:"error"`
+	Stats     statsJSON `json:"stats"`
+}
+
+// answerKey is the subset of the wire answer object the merge recipe
+// needs. encoding/json formats float64 with the shortest representation
+// that round-trips, so Score/EdgeScore decode back to the exact bits the
+// shard computed.
+type answerKey struct {
+	Root      banks.NodeID `json:"root"`
+	Score     float64      `json:"score"`
+	EdgeScore float64      `json:"edge_score"`
+	Edges     []struct {
+		From banks.NodeID `json:"from"`
+		To   banks.NodeID `json:"to"`
+	} `json:"edges"`
+}
+
+// wireAnswer is one answer gathered from a shard: the raw JSON object
+// (passed through to the client byte-for-byte) plus the skeletal
+// banks.Answer the merge orders and dedupes by.
+type wireAnswer struct {
+	shard       int
+	generatedMS float64
+	outputMS    float64
+	raw         json.RawMessage
+	key         *banks.Answer
+}
+
+// shardResult is one shard's complete contribution to a query.
+type shardResult struct {
+	shard   int
+	answers []*wireAnswer
+	trailer *shardLine
+	elapsed time.Duration
+}
+
+// shardError identifies which shard failed a fan-out and why.
+type shardError struct {
+	shard int
+	url   string
+	err   error
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.shard, e.url, e.err)
+}
+
+func (e *shardError) Unwrap() error { return e.err }
+
+// maxLineBytes bounds one NDJSON line from a shard. Answer trees are
+// dmax-bounded and labels are short, so real lines are a few KB; the
+// limit only guards against a misbehaving backend.
+const maxLineBytes = 8 << 20
+
+// scatter fans the request out to every shard's /v1/search/stream and
+// gathers the complete per-shard results. The request is forwarded
+// verbatim: same method, same query parameters, same body, same X-Tenant
+// header. All shards must succeed; the first failure (by shard index)
+// aborts the query with a *shardError.
+func (rt *Router) scatter(r *http.Request, body []byte) ([]*shardResult, error) {
+	results := make([]*shardResult, len(rt.shards))
+	errs := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, sh := range rt.shards {
+		wg.Add(1)
+		go func(i int, sh *shardState) {
+			defer wg.Done()
+			results[i], errs[i] = rt.fetchShard(r.Context(), sh, r, body)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, &shardError{shard: i, url: rt.shards[i].url, err: err}
+		}
+	}
+	return results, nil
+}
+
+// fetchShard runs one shard's stream to completion and parses it. It
+// also feeds the shard's health state and per-shard metrics: a completed
+// stream marks the shard healthy, any failure marks it unhealthy.
+func (rt *Router) fetchShard(ctx context.Context, sh *shardState, orig *http.Request, body []byte) (*shardResult, error) {
+	start := time.Now()
+	res, err := rt.fetchStream(ctx, sh, orig, body)
+	elapsed := time.Since(start)
+	if err != nil {
+		rt.met.observeShard(sh.index, false, elapsed)
+		if sh.setHealth(false, err.Error(), time.Now()) && rt.logger != nil {
+			rt.logger.Printf("shard %d (%s) unhealthy: %v", sh.index, sh.url, err)
+		}
+		return nil, err
+	}
+	rt.met.observeShard(sh.index, true, elapsed)
+	if sh.setHealth(true, "", time.Now()) && rt.logger != nil {
+		rt.logger.Printf("shard %d (%s) healthy", sh.index, sh.url)
+	}
+	res.elapsed = elapsed
+	return res, nil
+}
+
+func (rt *Router) fetchStream(ctx context.Context, sh *shardState, orig *http.Request, body []byte) (*shardResult, error) {
+	u := sh.url + "/v1/search/stream"
+	if orig.URL.RawQuery != "" {
+		u += "?" + orig.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, orig.Method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := orig.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if tenant := orig.Header.Get("X-Tenant"); tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeShardHTTPError(resp)
+	}
+
+	res := &shardResult{shard: sh.index}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(bytes.TrimSpace(raw)) == 0 {
+			continue
+		}
+		var line shardLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("malformed stream line: %w", err)
+		}
+		switch line.Type {
+		case "answer":
+			var key answerKey
+			if err := json.Unmarshal(line.Answer, &key); err != nil {
+				return nil, fmt.Errorf("malformed answer object: %w", err)
+			}
+			skel := &banks.Answer{Root: key.Root, Score: key.Score, EdgeScore: key.EdgeScore}
+			if len(key.Edges) > 0 {
+				skel.Edges = make([]banks.TreeEdge, len(key.Edges))
+				for i, e := range key.Edges {
+					skel.Edges[i] = banks.TreeEdge{From: e.From, To: e.To}
+				}
+			}
+			res.answers = append(res.answers, &wireAnswer{
+				shard:       sh.index,
+				generatedMS: line.GeneratedMS,
+				outputMS:    line.OutputMS,
+				raw:         append(json.RawMessage(nil), line.Answer...),
+				key:         skel,
+			})
+		case "trailer":
+			if res.trailer != nil {
+				return nil, fmt.Errorf("stream carried more than one trailer")
+			}
+			t := line
+			res.trailer = &t
+		default:
+			return nil, fmt.Errorf("unknown stream line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading stream: %w", err)
+	}
+	if res.trailer == nil {
+		return nil, fmt.Errorf("stream ended without a trailer")
+	}
+	if res.trailer.Error != "" {
+		return nil, fmt.Errorf("in-band stream error: %s", res.trailer.Error)
+	}
+	return res, nil
+}
+
+// shardHTTPError is a shard's own HTTP rejection (as opposed to an
+// infrastructure failure reaching it): status and error code survive so
+// the router can pass client faults (4xx) through instead of relabeling
+// them 502.
+type shardHTTPError struct {
+	status  int
+	code    string
+	message string
+}
+
+func (e *shardHTTPError) Error() string {
+	if e.code != "" {
+		return fmt.Sprintf("HTTP %d (%s): %s", e.status, e.code, e.message)
+	}
+	return fmt.Sprintf("HTTP %d", e.status)
+}
+
+// decodeShardHTTPError turns a non-200 shard response into an error,
+// surfacing the shard's own JSON error envelope when it sent one.
+func decodeShardHTTPError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	herr := &shardHTTPError{status: resp.StatusCode}
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(raw, &body) == nil && body.Error.Message != "" {
+		herr.code = body.Error.Code
+		herr.message = body.Error.Message
+	}
+	return herr
+}
+
+// mergeResults runs the gathered per-shard answer lists through the
+// canonical top-k merge (banks.MergeTopK) and maps the surviving
+// skeletal answers back to their raw wire objects, preserving the
+// shards' bytes untouched. k comes from the first shard's trailer — the
+// post-clamp k every identically-configured shard normalized to.
+func mergeResults(results []*shardResult) []*wireAnswer {
+	k := results[0].trailer.K
+	lists := make([][]*banks.Answer, len(results))
+	byKey := make(map[*banks.Answer]*wireAnswer)
+	for i, res := range results {
+		lists[i] = make([]*banks.Answer, len(res.answers))
+		for j, wa := range res.answers {
+			lists[i][j] = wa.key
+			byKey[wa.key] = wa
+		}
+	}
+	merged := banks.MergeTopK(k, lists...)
+	out := make([]*wireAnswer, len(merged))
+	for i, a := range merged {
+		out[i] = byKey[a]
+	}
+	return out
+}
+
+// aggregate folds the per-shard trailers into the routed response's
+// summary fields. Work counters sum across shards (the fan-out really
+// did all of it); duration is the slowest shard (the critical path);
+// workers_used is the widest intra-query parallelism any shard applied
+// (shards run concurrently, so summing would overstate it). Truncated,
+// degraded and budget_exhausted are sticky ORs; cached only when every
+// shard answered from its cache. Identity fields (query_id, algo, k,
+// clamped) come from shard 0 — identical across identically-configured
+// shards, since the query ID is a content hash of the query itself.
+type aggregateTrailer struct {
+	queryID   string
+	algo      string
+	k         int
+	clamped   []string
+	truncated bool
+	cached    bool
+	degraded  bool
+	stats     statsJSON
+}
+
+func aggregate(results []*shardResult) aggregateTrailer {
+	t0 := results[0].trailer
+	agg := aggregateTrailer{
+		queryID: t0.QueryID,
+		algo:    t0.Algo,
+		k:       t0.K,
+		clamped: t0.Clamped,
+		cached:  true,
+	}
+	for _, res := range results {
+		t := res.trailer
+		agg.truncated = agg.truncated || t.Truncated
+		agg.cached = agg.cached && t.Cached
+		agg.degraded = agg.degraded || t.Degraded
+		agg.stats.NodesExplored += t.Stats.NodesExplored
+		agg.stats.NodesTouched += t.Stats.NodesTouched
+		agg.stats.EdgesRelaxed += t.Stats.EdgesRelaxed
+		agg.stats.AnswersGenerated += t.Stats.AnswersGenerated
+		agg.stats.BudgetExhausted = agg.stats.BudgetExhausted || t.Stats.BudgetExhausted
+		if t.Stats.WorkersUsed > agg.stats.WorkersUsed {
+			agg.stats.WorkersUsed = t.Stats.WorkersUsed
+		}
+		if t.Stats.DurationMS > agg.stats.DurationMS {
+			agg.stats.DurationMS = t.Stats.DurationMS
+		}
+	}
+	return agg
+}
+
+// getJSON fetches a URL and decodes its JSON body.
+func (rt *Router) getJSON(ctx context.Context, url string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -23,10 +23,21 @@ type admission struct {
 	// specifically (also included in rejected).
 	tenantRejected atomic.Uint64
 
+	// now is the clock, injectable by tests. Defaults to time.Now.
+	now func() time.Time
+
 	// ewmaNS tracks an exponentially-weighted moving average of admitted
-	// request durations, the basis of the Retry-After hint.
+	// request durations, the basis of the Retry-After hint. starts
+	// records when each currently admitted request entered the gate
+	// (keyed by the token tryAcquire returned): the age of the oldest
+	// in-flight request floors the hint, so a server whose slots are all
+	// pinned by long-lived streams that have never released — leaving
+	// ewmaNS at zero — does not advertise the 1-second minimum while
+	// callers would in truth wait minutes.
 	mu     sync.Mutex
 	ewmaNS float64
+	nextID uint64
+	starts map[uint64]time.Time
 
 	// tenants tracks per-tenant in-flight counts for tenants subject to a
 	// quota (TenantLimits.MaxInFlight), keyed by the raw X-Tenant header
@@ -58,7 +69,13 @@ type tenantGate struct {
 const ewmaAlpha = 0.125
 
 func newAdmission(limit int) *admission {
-	return &admission{limit: limit, slots: make(chan struct{}, limit), tenants: make(map[string]*tenantGate)}
+	return &admission{
+		limit:   limit,
+		slots:   make(chan struct{}, limit),
+		tenants: make(map[string]*tenantGate),
+		now:     time.Now,
+		starts:  make(map[uint64]time.Time),
+	}
 }
 
 // tryAcquire claims an in-flight slot for the tenant, applying first the
@@ -67,40 +84,46 @@ func newAdmission(limit int) *admission {
 // gates persist across idle periods (see the tenants field comment). It
 // never blocks: ok=false means the caller must reject the request, and
 // byTenant tells which gate refused (so the 429 can say whether the
-// server or the tenant is saturated).
-func (a *admission) tryAcquire(tenant string, quota int, keep bool) (ok, byTenant bool) {
+// server or the tenant is saturated). On admission the returned token
+// identifies the slot and must be handed back to release.
+func (a *admission) tryAcquire(tenant string, quota int, keep bool) (token uint64, ok, byTenant bool) {
 	select {
 	case a.slots <- struct{}{}:
 	default:
 		a.rejected.Add(1)
-		return false, false
+		return 0, false, false
 	}
-	if quota <= 0 {
-		return true, false
-	}
-	a.tmu.Lock()
-	g := a.tenants[tenant]
-	if g == nil {
-		g = &tenantGate{keep: keep}
-		a.tenants[tenant] = g
-	}
-	if g.inFlight >= quota {
-		g.rejected++
+	if quota > 0 {
+		a.tmu.Lock()
+		g := a.tenants[tenant]
+		if g == nil {
+			g = &tenantGate{keep: keep}
+			a.tenants[tenant] = g
+		}
+		if g.inFlight >= quota {
+			g.rejected++
+			a.tmu.Unlock()
+			<-a.slots // hand the global slot back
+			a.rejected.Add(1)
+			a.tenantRejected.Add(1)
+			return 0, false, true
+		}
+		g.inFlight++
 		a.tmu.Unlock()
-		<-a.slots // hand the global slot back
-		a.rejected.Add(1)
-		a.tenantRejected.Add(1)
-		return false, true
 	}
-	g.inFlight++
-	a.tmu.Unlock()
-	return true, false
+	a.mu.Lock()
+	a.nextID++
+	token = a.nextID
+	a.starts[token] = a.now()
+	a.mu.Unlock()
+	return token, true, false
 }
 
 // release returns a slot (and the tenant's quota share, mirroring the
 // tryAcquire that admitted the request) and feeds the request's duration
-// into the latency average.
-func (a *admission) release(tenant string, quota int, elapsed time.Duration) {
+// — measured from the admit time the token records — into the latency
+// average.
+func (a *admission) release(tenant string, quota int, token uint64) {
 	if quota > 0 {
 		a.tmu.Lock()
 		if g := a.tenants[tenant]; g != nil {
@@ -113,23 +136,42 @@ func (a *admission) release(tenant string, quota int, elapsed time.Duration) {
 	}
 	<-a.slots
 	a.mu.Lock()
+	elapsed := float64(0)
+	if start, found := a.starts[token]; found {
+		elapsed = float64(a.now().Sub(start))
+		delete(a.starts, token)
+	}
 	if a.ewmaNS == 0 {
-		a.ewmaNS = float64(elapsed)
+		a.ewmaNS = elapsed
 	} else {
-		a.ewmaNS += ewmaAlpha * (float64(elapsed) - a.ewmaNS)
+		a.ewmaNS += ewmaAlpha * (elapsed - a.ewmaNS)
 	}
 	a.mu.Unlock()
 }
 
 // retryAfterSeconds estimates how long a rejected caller should back off:
-// the average request duration rounded up to whole seconds, at least 1
+// the average request duration, floored by the age of the oldest
+// currently admitted request, rounded up to whole seconds, at least 1
 // (Retry-After is integral seconds and 0 would invite an immediate,
 // equally doomed retry).
+//
+// The oldest-age floor matters when the average is misleadingly small or
+// absent: a fresh server whose slots are all held by pinned-open streams
+// has ewmaNS == 0 — no request has ever released — yet a slot will not
+// free for at least as long as the current occupants have already run.
+// Hinting the 1-second minimum there invites doomed retries; the age of
+// the longest-held slot is the honest lower bound the gate can compute.
 func (a *admission) retryAfterSeconds() int {
 	a.mu.Lock()
-	ewma := a.ewmaNS
+	est := a.ewmaNS
+	now := a.now()
+	for _, start := range a.starts {
+		if age := float64(now.Sub(start)); age > est {
+			est = age
+		}
+	}
 	a.mu.Unlock()
-	s := int(math.Ceil(ewma / float64(time.Second)))
+	s := int(math.Ceil(est / float64(time.Second)))
 	if s < 1 {
 		s = 1
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -163,24 +164,136 @@ func TestAdmissionRecovers(t *testing.T) {
 	}
 }
 
+// fakeClock makes the admission gate's time observable to tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
 func TestRetryAfterEstimate(t *testing.T) {
+	clk := newFakeClock()
 	a := newAdmission(1)
+	a.now = clk.now
 	if got := a.retryAfterSeconds(); got != 1 {
 		t.Fatalf("cold estimate %d, want 1", got)
 	}
-	if ok, _ := a.tryAcquire("", 0, false); !ok {
+	tok, ok, _ := a.tryAcquire("", 0, false)
+	if !ok {
 		t.Fatal("empty gate refused")
 	}
-	a.release("", 0, 2500*time.Millisecond)
+	clk.advance(2500 * time.Millisecond)
+	a.release("", 0, tok)
 	if got := a.retryAfterSeconds(); got != 3 {
 		t.Fatalf("estimate after 2.5s request: %d, want 3 (ceil)", got)
 	}
-	if ok, _ := a.tryAcquire("", 0, false); !ok {
+	tok, ok, _ = a.tryAcquire("", 0, false)
+	if !ok {
 		t.Fatal("gate refused after release")
 	}
-	a.release("", 0, 10*time.Millisecond)
+	clk.advance(10 * time.Millisecond)
+	a.release("", 0, tok)
 	// EWMA moves toward the fast request but stays >= 1s floor.
 	if got := a.retryAfterSeconds(); got < 1 || got > 3 {
 		t.Fatalf("estimate drifted to %d", got)
+	}
+}
+
+// TestRetryAfterOldestInFlightFloor is the regression test for the hint
+// returning its 1-second floor while every slot was pinned by requests
+// that had never released (ewmaNS still zero): the age of the oldest
+// in-flight request must floor the estimate.
+func TestRetryAfterOldestInFlightFloor(t *testing.T) {
+	clk := newFakeClock()
+	a := newAdmission(2)
+	a.now = clk.now
+
+	// Occupy both slots; nothing has ever released, so the EWMA is zero.
+	tok1, ok, _ := a.tryAcquire("", 0, false)
+	if !ok {
+		t.Fatal("first acquire refused")
+	}
+	clk.advance(90 * time.Second)
+	tok2, ok, _ := a.tryAcquire("", 0, false)
+	if !ok {
+		t.Fatal("second acquire refused")
+	}
+	clk.advance(30 * time.Second)
+
+	// Oldest slot has been held 120s, newest 30s: the hint follows the
+	// oldest, not the 1s cold floor.
+	if got := a.retryAfterSeconds(); got != 120 {
+		t.Fatalf("estimate with pinned slots = %d, want 120 (oldest age)", got)
+	}
+
+	// Releasing the oldest leaves the 30s-old occupant as the floor
+	// (its age now beats the fresh EWMA).
+	a.release("", 0, tok1)
+	if got := a.retryAfterSeconds(); got != 120 {
+		t.Fatalf("estimate after first release = %d, want 120 (EWMA of the 120s request)", got)
+	}
+	a.release("", 0, tok2)
+	if got := a.retryAfterSeconds(); got < 1 {
+		t.Fatalf("estimate after drain = %d", got)
+	}
+}
+
+// TestRetryAfterPinnedStreamE2E pins the same scenario through the real
+// server: a pinned-open request holds the only slot, the admission
+// clock is advanced five minutes, and the resulting 429 must carry a
+// Retry-After reflecting the held slot's age — not the 1-second floor
+// the zeroed EWMA used to produce.
+func TestRetryAfterPinnedStreamE2E(t *testing.T) {
+	db := testDB(t)
+	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: 1, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Engine: eng, DB: db, MaxInFlight: 1})
+
+	p := startPinnedRequest(t, ts, "")
+	deadline := time.Now().Add(10 * time.Second)
+	for s.adm.inFlight() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("pinned request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Shift the gate's clock five minutes ahead of the recorded admit
+	// time: from the gate's point of view the stream has been holding
+	// its slot for five minutes without ever releasing. Every gate read
+	// of the clock happens under mu, so the swap synchronizes there too.
+	s.adm.mu.Lock()
+	s.adm.now = func() time.Time { return time.Now().Add(5 * time.Minute) }
+	s.adm.mu.Unlock()
+
+	code, body, hdr := get(t, ts, "/v1/search?q=database+query&k=1", "")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429\n%s", code, body)
+	}
+	secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("bad Retry-After %q", hdr.Get("Retry-After"))
+	}
+	if secs < 300 {
+		t.Fatalf("Retry-After %ds with a slot held 5 minutes, want >= 300", secs)
+	}
+
+	if out := p.finish(t); out.err != nil || out.code != http.StatusOK {
+		t.Fatalf("pinned request failed: %v %d\n%s", out.err, out.code, out.body)
 	}
 }

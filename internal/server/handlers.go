@@ -374,6 +374,10 @@ type statuszResponse struct {
 		Terms       int    `json:"terms"`
 		Snapshotted bool   `json:"snapshotted"`
 		ZeroCopy    bool   `json:"zero_copy"`
+		// Shard discloses that this server holds one partition of a
+		// sharded dataset (datagen -shards); the router's routing table
+		// verifies its configuration against this claim.
+		Shard *shardJSON `json:"shard,omitempty"`
 	} `json:"dataset"`
 	Engine struct {
 		PoolWorkers int    `json:"pool_workers"`
@@ -406,6 +410,15 @@ type statuszResponse struct {
 		GOMAXPROCS int    `json:"gomaxprocs"`
 		HeapBytes  uint64 `json:"heap_bytes"`
 	} `json:"runtime"`
+}
+
+// shardJSON is the /statusz disclosure of a shard snapshot's metadata.
+type shardJSON struct {
+	Shard           uint32 `json:"shard"`
+	NumShards       uint32 `json:"num_shards"`
+	OwnedNodes      uint64 `json:"owned_nodes"`
+	OwnedComponents uint64 `json:"owned_components"`
+	DuplicatedEdges uint64 `json:"duplicated_edges"`
 }
 
 // tenantAdmissionJSON is one tenant's admission disclosure in /statusz.
@@ -453,6 +466,15 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	resp.Dataset.Terms = s.db.Index.NumTerms()
 	resp.Dataset.Snapshotted = s.db.Snapshotted()
 	resp.Dataset.ZeroCopy = s.db.SnapshotZeroCopy()
+	if sm := s.db.ShardInfo(); sm != nil {
+		resp.Dataset.Shard = &shardJSON{
+			Shard:           sm.Shard,
+			NumShards:       sm.NumShards,
+			OwnedNodes:      sm.OwnedNodes,
+			OwnedComponents: sm.OwnedComponents,
+			DuplicatedEdges: sm.DuplicatedEdges,
+		}
+	}
 
 	es := s.eng.Stats()
 	resp.Engine.PoolWorkers = es.Workers

@@ -127,7 +127,7 @@ func (s *Server) admitted(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		tenant := r.Header.Get("X-Tenant")
 		quota := s.tenants.Resolve(tenant).MaxInFlight
-		ok, byTenant := s.adm.tryAcquire(tenant, quota, s.tenants.Configured(tenant))
+		token, ok, byTenant := s.adm.tryAcquire(tenant, quota, s.tenants.Configured(tenant))
 		if !ok {
 			herr := &httpError{
 				status:     http.StatusTooManyRequests,
@@ -142,8 +142,7 @@ func (s *Server) admitted(next http.HandlerFunc) http.HandlerFunc {
 			writeError(w, herr)
 			return
 		}
-		start := time.Now()
-		defer func() { s.adm.release(tenant, quota, time.Since(start)) }()
+		defer func() { s.adm.release(tenant, quota, token) }()
 		next(w, r)
 	}
 }

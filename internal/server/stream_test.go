@@ -294,13 +294,14 @@ func TestTenantGatePruning(t *testing.T) {
 	a := newAdmission(8)
 	// Spoofed name under an inherited quota: admitted, trips the quota
 	// once, then goes idle → pruned despite the recorded rejection.
-	if ok, _ := a.tryAcquire("spoofed-123", 1, false); !ok {
+	tok, ok, _ := a.tryAcquire("spoofed-123", 1, false)
+	if !ok {
 		t.Fatal("first spoofed request refused")
 	}
-	if ok, byTenant := a.tryAcquire("spoofed-123", 1, false); ok || !byTenant {
+	if _, ok, byTenant := a.tryAcquire("spoofed-123", 1, false); ok || !byTenant {
 		t.Fatalf("quota breach not rejected by tenant gate (ok=%v byTenant=%v)", ok, byTenant)
 	}
-	a.release("spoofed-123", 1, time.Millisecond)
+	a.release("spoofed-123", 1, tok)
 	if snap := a.tenantSnapshot(); snap != nil {
 		t.Fatalf("idle unconfigured gate survived: %+v", snap)
 	}
@@ -308,13 +309,14 @@ func TestTenantGatePruning(t *testing.T) {
 		t.Fatalf("aggregate tenant rejections = %d, want 1", a.tenantRejectedTotal())
 	}
 	// Configured name: the gate persists across idleness with its count.
-	if ok, _ := a.tryAcquire("limited", 1, true); !ok {
+	tok, ok, _ = a.tryAcquire("limited", 1, true)
+	if !ok {
 		t.Fatal("configured tenant refused")
 	}
-	if ok, _ := a.tryAcquire("limited", 1, true); ok {
+	if _, ok, _ := a.tryAcquire("limited", 1, true); ok {
 		t.Fatal("configured quota breach admitted")
 	}
-	a.release("limited", 1, time.Millisecond)
+	a.release("limited", 1, tok)
 	snap := a.tenantSnapshot()
 	if st, ok := snap["limited"]; !ok || st.Rejected != 1 || st.InFlight != 0 {
 		t.Fatalf("configured gate lost after idle: %+v", snap)

@@ -1,0 +1,254 @@
+// Package shard partitions a built BANKS database into N self-contained
+// snapshot shards for the scatter-gather serving tier (cmd/banksrouter).
+//
+// The partition is component-closed node hashing: every connected
+// component of the combined graph G′ is assigned wholesale to the shard
+// named by hashing the component's representative node (its smallest
+// NodeID). Because BANKS answers are connected trees (§2.2), an answer
+// can never span two components — so a component-closed partition
+// guarantees each answer is discoverable on exactly one shard, with zero
+// boundary edges duplicated (disclosed as ShardMeta.DuplicatedEdges).
+// A naive per-node hash would cut components apart and force either edge
+// duplication or cross-shard expansion, both of which break the
+// bit-identity contract the router's differential harness enforces.
+//
+// Each shard file keeps the source snapshot's full node-indexed arrays
+// (offsets, node table, prestige, row mapping) so global node IDs, row
+// labels and MaxPrestige are preserved bit-for-bit; non-owned nodes
+// simply have empty adjacency and are filtered out of every posting
+// list. Per-shard search therefore runs the exact same arithmetic as a
+// single-node search restricted to the owned components.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"banks/internal/convert"
+	"banks/internal/graph"
+	"banks/internal/index"
+	"banks/internal/store"
+)
+
+// Assignment maps every node to its shard.
+type Assignment struct {
+	// NumShards is the partition width.
+	NumShards int
+	// Shard[u] is the shard owning node u.
+	Shard []int
+	// Components is the number of connected components in the graph.
+	Components int
+	// ComponentsPerShard[s] counts components assigned to shard s.
+	ComponentsPerShard []int
+}
+
+// Partition computes the component-closed node-hash assignment of g's
+// nodes across n shards.
+func Partition(g *graph.Graph, n int) (*Assignment, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: invalid shard count %d", n)
+	}
+	numNodes := g.NumNodes()
+	rep := make([]graph.NodeID, numNodes)
+	for i := range rep {
+		rep[i] = graph.InvalidNode
+	}
+	a := &Assignment{
+		NumShards:          n,
+		Shard:              make([]int, numNodes),
+		ComponentsPerShard: make([]int, n),
+	}
+	// Iterative DFS labels each component with its smallest NodeID (the
+	// first unvisited node in ascending scan order is the minimum of its
+	// component).
+	var stack []graph.NodeID
+	for u := 0; u < numNodes; u++ {
+		if rep[u] != graph.InvalidNode {
+			continue
+		}
+		r := graph.NodeID(u)
+		s := shardOf(r, n)
+		a.Components++
+		a.ComponentsPerShard[s]++
+		rep[u] = r
+		a.Shard[u] = s
+		stack = append(stack[:0], r)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, h := range g.Neighbors(v) {
+				if rep[h.To] == graph.InvalidNode {
+					rep[h.To] = r
+					a.Shard[h.To] = s
+					stack = append(stack, h.To)
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// shardOf hashes a component representative to a shard (FNV-1a over the
+// little-endian node ID, mod n) — deterministic across runs and
+// platforms.
+func shardOf(rep graph.NodeID, n int) int {
+	h := fnv.New32a()
+	var b [4]byte
+	b[0] = byte(rep)
+	b[1] = byte(rep >> 8)
+	b[2] = byte(rep >> 16)
+	b[3] = byte(rep >> 24)
+	h.Write(b[:])
+	return int(h.Sum32() % uint32(n))
+}
+
+// Owned returns the ownership mask of one shard.
+func (a *Assignment) Owned(s int) []bool {
+	owned := make([]bool, len(a.Shard))
+	for u, sh := range a.Shard {
+		owned[u] = sh == s
+	}
+	return owned
+}
+
+// Build assembles the in-memory queryable state of shard s: a graph with
+// adjacency restricted to owned nodes (full node arrays otherwise) and an
+// index whose posting lists keep owned nodes only. The returned graph and
+// index share the source's node-indexed arrays and dictionaries.
+func Build(g *graph.Graph, ix *index.Index, a *Assignment, s int) (*graph.Graph, *index.Index, *store.ShardMeta, error) {
+	if s < 0 || s >= a.NumShards {
+		return nil, nil, nil, fmt.Errorf("shard: index %d outside [0,%d)", s, a.NumShards)
+	}
+	owned := a.Owned(s)
+	gs := g.Sections()
+	n := g.NumNodes()
+
+	offsets := make([]int32, n+1)
+	ownedNodes, ownedHalves := 0, 0
+	for u := 0; u < n; u++ {
+		if owned[u] {
+			ownedNodes++
+			ownedHalves += g.Degree(graph.NodeID(u))
+		}
+	}
+	halves := make([]graph.Half, 0, ownedHalves)
+	numOrig := 0
+	for u := 0; u < n; u++ {
+		offsets[u] = int32(len(halves))
+		if !owned[u] {
+			continue
+		}
+		for _, h := range g.Neighbors(graph.NodeID(u)) {
+			halves = append(halves, h)
+			if h.Forward {
+				numOrig++
+			}
+		}
+	}
+	offsets[n] = int32(len(halves))
+	// Component closure means both halves of every owned edge land here,
+	// so the graph invariant numOrig*2 == len(halves) holds per shard.
+	sg, err := graph.FromSections(graph.Sections{
+		Offsets:      offsets,
+		Halves:       halves,
+		NodeTable:    gs.NodeTable,
+		Prestige:     gs.Prestige,
+		Tables:       gs.Tables,
+		NumOrigEdges: numOrig,
+		MaxPrestige:  gs.MaxPrestige,
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+
+	flat, err := ix.Flatten()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+	// Dictionaries are kept whole (terms with no owned matches get empty
+	// posting lists) so the strictly-ascending dictionary invariant and
+	// term numbering survive filtering unchanged.
+	sf := &index.Flat{
+		TermOffsets: flat.TermOffsets,
+		TermBytes:   flat.TermBytes,
+		RelOffsets:  flat.RelOffsets,
+		RelBytes:    flat.RelBytes,
+	}
+	sf.PostOffsets, sf.Postings = filterPostings(flat.PostOffsets, flat.Postings, owned)
+	sf.RelPostOffsets, sf.RelPostings = filterPostings(flat.RelPostOffsets, flat.RelPostings, owned)
+	if err := sf.Validate(n); err != nil {
+		return nil, nil, nil, fmt.Errorf("shard %d: %w", s, err)
+	}
+
+	meta := &store.ShardMeta{
+		Shard:           uint32(s),
+		NumShards:       uint32(a.NumShards),
+		OwnedNodes:      uint64(ownedNodes),
+		OwnedComponents: uint64(a.ComponentsPerShard[s]),
+		DuplicatedEdges: 0, // component closure: no edge crosses shards
+	}
+	return sg, index.FromFlat(sf), meta, nil
+}
+
+// filterPostings keeps owned nodes in every posting list, preserving the
+// strictly-ascending order of the source lists.
+func filterPostings(postOff []uint32, postings []graph.NodeID, owned []bool) ([]uint32, []graph.NodeID) {
+	out := make([]uint32, 1, len(postOff))
+	kept := make([]graph.NodeID, 0, len(postings))
+	for i := 0; i+1 < len(postOff); i++ {
+		for _, u := range postings[postOff[i]:postOff[i+1]] {
+			if owned[u] {
+				kept = append(kept, u)
+			}
+		}
+		out = append(out, uint32(len(kept)))
+	}
+	return out, kept
+}
+
+// FilePath names shard s of n for a base snapshot path:
+// "<base>.shard<s>of<n>" (e.g. dblp.snap.shard0of3).
+func FilePath(base string, s, n int) string {
+	return fmt.Sprintf("%s.shard%dof%d", base, s, n)
+}
+
+// Stats summarizes one written shard file.
+type Stats struct {
+	Shard      int
+	Path       string
+	Nodes      int
+	Edges      int
+	Components int
+	Bytes      int64
+}
+
+// WriteFiles partitions the database into n shards and writes
+// FilePath(base, s, n) for every shard atomically. Mapping and edgeTypes
+// are carried whole into every shard (they are node-global metadata).
+func WriteFiles(base string, n int, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes) ([]Stats, error) {
+	a, err := Partition(g, n)
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]Stats, n)
+	for s := 0; s < n; s++ {
+		sg, six, meta, err := Build(g, ix, a, s)
+		if err != nil {
+			return nil, err
+		}
+		path := FilePath(base, s, n)
+		bytes, err := store.WriteShardedFile(path, sg, six, mapping, edgeTypes, meta)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		stats[s] = Stats{
+			Shard:      s,
+			Path:       path,
+			Nodes:      int(meta.OwnedNodes),
+			Edges:      sg.NumEdges(),
+			Components: int(meta.OwnedComponents),
+			Bytes:      bytes,
+		}
+	}
+	return stats, nil
+}

@@ -75,6 +75,7 @@ const (
 	secRelPostings    = uint32(13) // i32[]
 	secMapping        = uint32(14) // string blob + i32 bases
 	secEdgeTypes      = uint32(15) // string blob
+	secShardMeta      = uint32(16) // shardMetaSize bytes; optional (shard files only)
 )
 
 // castagnoli is the CRC32-C polynomial table (hardware-accelerated on

@@ -34,6 +34,9 @@ type Snapshot struct {
 	Index     *index.Index
 	Mapping   *convert.Mapping
 	EdgeTypes *convert.EdgeTypes
+	// ShardMeta is non-nil when the file is one shard of a partitioned
+	// dataset (optional section 16); nil for ordinary snapshots.
+	ShardMeta *ShardMeta
 
 	data     []byte
 	mapped   bool
@@ -296,12 +299,19 @@ func fromBytes(data []byte, opts Options) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edge types: %w", err)
 	}
+	var shardMeta *ShardMeta
+	if raw, ok := byID[secShardMeta]; ok {
+		if shardMeta, err = decodeShardMeta(raw, numNodes); err != nil {
+			return nil, err
+		}
+	}
 
 	return &Snapshot{
 		Graph:     g,
 		Index:     index.FromFlat(flat),
 		Mapping:   convert.NewMapping(bases),
 		EdgeTypes: convert.NewEdgeTypes(etNames),
+		ShardMeta: shardMeta,
 		data:      data,
 		zeroCopy:  halfZeroCopy,
 	}, nil

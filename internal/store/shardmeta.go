@@ -1,0 +1,70 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// shardMetaSize is the fixed on-disk size of the shard-meta section.
+const shardMetaSize = 40
+
+// ShardMeta describes one shard of a partitioned snapshot. It is written
+// as optional section 16, so shard files remain ordinary snapshots to
+// older readers (unknown section IDs are ignored) while shard-aware
+// tooling can discover the partition layout.
+//
+// A shard file keeps the full node-indexed arrays of the source snapshot
+// (offsets, node table, prestige, mapping) so global node IDs, labels and
+// MaxPrestige are preserved bit-for-bit; only adjacency halves and
+// posting lists are restricted to the nodes this shard owns.
+type ShardMeta struct {
+	// Shard is this file's index in [0, NumShards).
+	Shard uint32
+	// NumShards is the partition width the dataset was split into.
+	NumShards uint32
+	// OwnedNodes is the number of nodes whose adjacency and postings this
+	// shard serves.
+	OwnedNodes uint64
+	// OwnedComponents is the number of connected components assigned to
+	// this shard.
+	OwnedComponents uint64
+	// DuplicatedEdges counts boundary edges stored on more than one shard.
+	// The component-closed partition makes this 0 by construction (no edge
+	// ever crosses a shard boundary); the field discloses that invariant
+	// on disk and leaves room for overlap-based partitions later.
+	DuplicatedEdges uint64
+}
+
+// encode lays the meta out little-endian in field order.
+func (m *ShardMeta) encode() []byte {
+	out := make([]byte, shardMetaSize)
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], m.Shard)
+	le.PutUint32(out[4:], m.NumShards)
+	le.PutUint64(out[8:], m.OwnedNodes)
+	le.PutUint64(out[16:], m.OwnedComponents)
+	le.PutUint64(out[24:], m.DuplicatedEdges)
+	return out
+}
+
+// decodeShardMeta parses and validates a shard-meta section.
+func decodeShardMeta(b []byte, numNodes uint64) (*ShardMeta, error) {
+	if len(b) != shardMetaSize {
+		return nil, fmt.Errorf("shard meta has %d bytes, want %d", len(b), shardMetaSize)
+	}
+	le := binary.LittleEndian
+	m := &ShardMeta{
+		Shard:           le.Uint32(b[0:]),
+		NumShards:       le.Uint32(b[4:]),
+		OwnedNodes:      le.Uint64(b[8:]),
+		OwnedComponents: le.Uint64(b[16:]),
+		DuplicatedEdges: le.Uint64(b[24:]),
+	}
+	if m.NumShards == 0 || m.Shard >= m.NumShards {
+		return nil, fmt.Errorf("shard meta names shard %d of %d", m.Shard, m.NumShards)
+	}
+	if m.OwnedNodes > numNodes {
+		return nil, fmt.Errorf("shard meta owns %d of %d nodes", m.OwnedNodes, numNodes)
+	}
+	return m, nil
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestShardMetaRoundTrip(t *testing.T) {
+	res := testState(t)
+	meta := &ShardMeta{Shard: 2, NumShards: 5, OwnedNodes: 3, OwnedComponents: 1, DuplicatedEdges: 0}
+	var buf bytes.Buffer
+	if _, err := WriteSharded(&buf, res.Graph, res.Index, res.Mapping, res.EdgeTypes, meta); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Read(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.ShardMeta == nil {
+		t.Fatal("reopened snapshot carries no shard meta")
+	}
+	if *s.ShardMeta != *meta {
+		t.Fatalf("shard meta round-trip: got %+v, want %+v", *s.ShardMeta, *meta)
+	}
+	// The rest of the state must be unaffected by the extra section.
+	assertSameState(t, res, s)
+}
+
+// TestShardMetaAbsent: a plain snapshot decodes with a nil ShardMeta,
+// and Write/WriteSharded(nil) are byte-identical.
+func TestShardMetaAbsent(t *testing.T) {
+	res := testState(t)
+	plain := writeSnapshot(t, res)
+	var viaSharded bytes.Buffer
+	if _, err := WriteSharded(&viaSharded, res.Graph, res.Index, res.Mapping, res.EdgeTypes, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, viaSharded.Bytes()) {
+		t.Fatal("WriteSharded(nil) output differs from Write output")
+	}
+	s, err := Read(bytes.NewReader(plain), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.ShardMeta != nil {
+		t.Fatalf("plain snapshot decoded shard meta %+v", *s.ShardMeta)
+	}
+}
+
+func TestShardMetaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		meta ShardMeta
+		blob func([]byte) []byte // optional corruption of the encoding
+	}{
+		{name: "truncated", meta: ShardMeta{Shard: 0, NumShards: 2}, blob: func(b []byte) []byte { return b[:len(b)-1] }},
+		{name: "zero shards", meta: ShardMeta{Shard: 0, NumShards: 0}},
+		{name: "shard out of range", meta: ShardMeta{Shard: 3, NumShards: 3}},
+		{name: "owned exceeds nodes", meta: ShardMeta{Shard: 0, NumShards: 2, OwnedNodes: 1 << 40}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.meta.encode()
+			if tc.blob != nil {
+				b = tc.blob(b)
+			}
+			if _, err := decodeShardMeta(b, 100); err == nil {
+				t.Fatalf("decodeShardMeta accepted invalid %s", tc.name)
+			}
+		})
+	}
+	good := ShardMeta{Shard: 1, NumShards: 2, OwnedNodes: 100}
+	if _, err := decodeShardMeta(good.encode(), 100); err != nil {
+		t.Fatalf("decodeShardMeta rejected valid meta: %v", err)
+	}
+}

@@ -34,6 +34,13 @@ type section struct {
 // mapping and edgeTypes may be nil (their sections are written empty).
 // The index must be frozen. Returns the number of bytes written.
 func Write(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes) (int64, error) {
+	return WriteSharded(w, g, ix, mapping, edgeTypes, nil)
+}
+
+// WriteSharded is Write with an optional shard-meta section appended
+// (section 16). A nil meta writes a plain snapshot, byte-identical to
+// Write's output.
+func WriteSharded(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes, meta *ShardMeta) (int64, error) {
 	if g == nil || ix == nil {
 		return 0, fmt.Errorf("store: nil graph or index")
 	}
@@ -72,6 +79,9 @@ func Write(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mappin
 		{id: secMapping, enc: encBytes(mappingBlob)},
 		{id: secEdgeTypes, enc: encBytes(edgeTypeBlob)},
 	}
+	if meta != nil {
+		secs = append(secs, section{id: secShardMeta, enc: encBytes(meta.encode())})
+	}
 
 	// Pass 1: size and checksum every section.
 	for i := range secs {
@@ -92,19 +102,19 @@ func Write(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mappin
 	}
 
 	// Header + section table + meta CRC.
-	meta := make([]byte, headerSize+len(secs)*entrySize)
-	copy(meta, magic)
+	hdr := make([]byte, headerSize+len(secs)*entrySize)
+	copy(hdr, magic)
 	le := binary.LittleEndian
-	le.PutUint32(meta[8:], version)
-	le.PutUint32(meta[12:], uint32(len(secs)))
-	le.PutUint64(meta[16:], uint64(g.NumNodes()))
-	le.PutUint64(meta[24:], uint64(len(gs.Halves)))
-	le.PutUint64(meta[32:], uint64(gs.NumOrigEdges))
-	le.PutUint64(meta[40:], uint64(flat.NumTerms()))
-	le.PutUint64(meta[48:], uint64(len(flat.RelOffsets)-1))
-	le.PutUint64(meta[56:], math.Float64bits(gs.MaxPrestige))
+	le.PutUint32(hdr[8:], version)
+	le.PutUint32(hdr[12:], uint32(len(secs)))
+	le.PutUint64(hdr[16:], uint64(g.NumNodes()))
+	le.PutUint64(hdr[24:], uint64(len(gs.Halves)))
+	le.PutUint64(hdr[32:], uint64(gs.NumOrigEdges))
+	le.PutUint64(hdr[40:], uint64(flat.NumTerms()))
+	le.PutUint64(hdr[48:], uint64(len(flat.RelOffsets)-1))
+	le.PutUint64(hdr[56:], math.Float64bits(gs.MaxPrestige))
 	for i, s := range secs {
-		e := meta[headerSize+i*entrySize:]
+		e := hdr[headerSize+i*entrySize:]
 		le.PutUint32(e[0:], s.id)
 		le.PutUint32(e[4:], s.crc)
 		le.PutUint64(e[8:], s.offset)
@@ -112,11 +122,11 @@ func Write(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mappin
 	}
 
 	cw := &countWriter{w: w}
-	if _, err := cw.Write(meta); err != nil {
+	if _, err := cw.Write(hdr); err != nil {
 		return cw.n, err
 	}
 	var crcBuf [4]byte
-	le.PutUint32(crcBuf[:], crc32.Checksum(meta, castagnoli))
+	le.PutUint32(crcBuf[:], crc32.Checksum(hdr, castagnoli))
 	if _, err := cw.Write(crcBuf[:]); err != nil {
 		return cw.n, err
 	}
@@ -141,12 +151,17 @@ func Write(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mappin
 // result is world-readable (0644) like a plain os.Create, not
 // CreateTemp's 0600 — snapshot caches are commonly shared between users.
 func WriteFile(path string, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes) (int64, error) {
+	return WriteShardedFile(path, g, ix, mapping, edgeTypes, nil)
+}
+
+// WriteShardedFile is WriteFile with an optional shard-meta section.
+func WriteShardedFile(path string, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes, meta *ShardMeta) (int64, error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".banksnap-*")
 	if err != nil {
 		return 0, err
 	}
 	defer os.Remove(tmp.Name())
-	n, err := Write(tmp, g, ix, mapping, edgeTypes)
+	n, err := WriteSharded(tmp, g, ix, mapping, edgeTypes, meta)
 	if err != nil {
 		tmp.Close()
 		return n, err

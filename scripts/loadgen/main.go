@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"net/url"
 	"os"
@@ -73,12 +74,15 @@ type summary struct {
 
 // percentile returns the p-th percentile (0 < p ≤ 100) of a sorted
 // series using the nearest-rank definition: the smallest value with at
-// least p% of the mass at or below it. Zero-length series yield 0.
+// least p% of the mass at or below it, rank = ceil(p/100 · n).
+// Multiplying before dividing keeps exact boundary products exact
+// (95·20/100 is 19, not 19+ε), so the ceil cannot round an exact rank
+// up by one. Zero-length series yield 0.
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(p/100*float64(len(sorted)) + 0.9999999)
+	rank := int(math.Ceil(p * float64(len(sorted)) / 100))
 	if rank < 1 {
 		rank = 1
 	}
@@ -231,7 +235,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
 
-	baseURL := flag.String("url", "http://127.0.0.1:8080", "banksd base URL")
+	baseURL := flag.String("url", "http://127.0.0.1:8080", "banksd or banksrouter base URL")
 	stream := flag.Bool("stream", false, "use /v1/search/stream and record first-answer latency")
 	concurrency := flag.Int("c", 8, "concurrent workers")
 	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")

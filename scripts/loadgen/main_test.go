@@ -32,6 +32,41 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 }
 
+// TestPercentileBoundaries pins the ranks the old fudge-factor
+// implementation (rank = int(p/100·n + 0.9999999)) could get wrong:
+// exact boundary products must not be rounded up to the next rank.
+func TestPercentileBoundaries(t *testing.T) {
+	// n=1: every percentile is the single sample.
+	for _, p := range []float64{1, 50, 95, 99, 100} {
+		if got := percentile([]float64{42}, p); got != 42 {
+			t.Fatalf("p%g of n=1 = %g, want 42", p, got)
+		}
+	}
+	// p=100 is exactly the max, never past it.
+	for n := 1; n <= 25; n++ {
+		sorted := make([]float64, n)
+		for i := range sorted {
+			sorted[i] = float64(i + 1)
+		}
+		if got := percentile(sorted, 100); got != float64(n) {
+			t.Fatalf("p100 of 1..%d = %g, want %d", n, got, n)
+		}
+	}
+	// p=95, n=20: 0.95·20 is exactly rank 19, not 20 — the case where
+	// a naive ceil over p/100·n picks up float error and overshoots.
+	sorted := make([]float64, 20)
+	for i := range sorted {
+		sorted[i] = float64(i + 1)
+	}
+	if got := percentile(sorted, 95); got != 19 {
+		t.Fatalf("p95 of 1..20 = %g, want 19", got)
+	}
+	// Same shape at p=50: 0.50·20 is exactly rank 10.
+	if got := percentile(sorted, 50); got != 10 {
+		t.Fatalf("p50 of 1..20 = %g, want 10", got)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	// Input deliberately unsorted: summarize must not assume order.
 	s := summarize([]float64{30, 10, 20})

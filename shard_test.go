@@ -1,0 +1,314 @@
+// Differential proof of the sharded serving tier's correctness claim:
+// a component-closed partition (internal/shard), searched per shard and
+// merged with the canonical recipe (MergeTopK), reproduces the
+// single-node answer list bit-for-bit — order, scores, float bits.
+//
+// Scope of the claim, stated precisely:
+//
+//   - On a connected corpus (one component — the golden corpus here, and
+//     the giant component that dominates real datasets) the partition is
+//     trivially exact for every algorithm: all answers live on one shard
+//     and merge is the identity.
+//   - Across components, bidirectional search is exact in every case we
+//     test: its iterator frontier is score-ordered globally, so isolating
+//     components cannot reorder or change what it emits.
+//   - The backward variants (SIBackward, MIBackward) are NOT exactly
+//     shardable on multi-component data in general: their heap
+//     tie-breaking interleaves across components, which can flip rotation
+//     choices and (under truncation, k < total answers) admit different
+//     members into the top-k. The sharded tier therefore guarantees
+//     bit-identity per connected component, which on component-closed
+//     shards is the whole answer for connected data. docs/SERVING.md
+//     documents this envelope.
+package banks_test
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"banks"
+	"banks/internal/graph"
+	"banks/internal/relational"
+	"banks/internal/shard"
+)
+
+// islandsDB builds a deterministic bibliography database with three
+// disjoint islands (no FK crosses islands) sharing query keywords.
+func islandsDB(t testing.TB) *banks.DB {
+	t.Helper()
+	db := relational.NewDatabase()
+	author, _ := db.CreateTable("author", []string{"name"}, nil)
+	conf, _ := db.CreateTable("conference", []string{"name"}, nil)
+	paper, _ := db.CreateTable("paper", []string{"title"}, []relational.FK{{Name: "conf", RefTable: "conference"}})
+	writes, _ := db.CreateTable("writes", nil, []relational.FK{
+		{Name: "author", RefTable: "author"},
+		{Name: "paper", RefTable: "paper"},
+	})
+
+	// Island 1: the golden corpus verbatim.
+	author.Append([]string{"Jim Gray"}, nil)
+	author.Append([]string{"Pat Selinger"}, nil)
+	author.Append([]string{"Jeffrey Ullman"}, nil)
+	author.Append([]string{"Michael Stonebraker"}, nil)
+	conf.Append([]string{"VLDB"}, nil)
+	conf.Append([]string{"SIGMOD"}, nil)
+	paper.Append([]string{"Transaction Recovery Principles"}, []int32{0})
+	paper.Append([]string{"Access Path Selection"}, []int32{1})
+	paper.Append([]string{"Database System Concepts"}, []int32{0})
+	paper.Append([]string{"Query Optimization Survey"}, []int32{1})
+	paper.Append([]string{"Distributed Transaction Management"}, []int32{0})
+	writes.Append(nil, []int32{0, 0})
+	writes.Append(nil, []int32{1, 1})
+	writes.Append(nil, []int32{2, 2})
+	writes.Append(nil, []int32{3, 3})
+	writes.Append(nil, []int32{0, 4})
+	writes.Append(nil, []int32{1, 4})
+
+	// Island 2: different shape, shares "gray", "transaction", "database".
+	author.Append([]string{"Elaine Gray"}, nil)                         // author[4]
+	author.Append([]string{"Ada Codd"}, nil)                            // author[5]
+	conf.Append([]string{"ICDE"}, nil)                                  // conference[2]
+	paper.Append([]string{"Transaction Logs in Practice"}, []int32{2})  // paper[5]
+	paper.Append([]string{"Database Sharding Techniques"}, []int32{2})  // paper[6]
+	paper.Append([]string{"Gray Box Testing of Databases"}, []int32{2}) // paper[7]
+	writes.Append(nil, []int32{4, 5})
+	writes.Append(nil, []int32{4, 6})
+	writes.Append(nil, []int32{5, 6})
+	writes.Append(nil, []int32{5, 7})
+
+	// Island 3: small, shares "transaction" and "query".
+	author.Append([]string{"Hector Molina"}, nil)                            // author[6]
+	conf.Append([]string{"EDBT"}, nil)                                       // conference[3]
+	paper.Append([]string{"Sagas and Long Transaction Queries"}, []int32{3}) // paper[8]
+	writes.Append(nil, []int32{6, 8})
+
+	if err := db.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	bdb, err := banks.Build(db, banks.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bdb
+}
+
+// renderAnswer formats every bit that defines an answer: IDs, the exact
+// float64 bit patterns of all scores and path weights, and the tree
+// structure. Two answers render equal iff they are bit-identical.
+func renderAnswer(a *banks.Answer) string {
+	return fmt.Sprintf("root=%d score=%x edge=%x node=%x nodes=%v edges=%v kw=%v pw=%x",
+		a.Root, math.Float64bits(a.Score), math.Float64bits(a.EdgeScore), math.Float64bits(a.NodeScore),
+		a.Nodes, a.Edges, a.KeywordNodes, floatBits(a.PathWeights))
+}
+
+func floatBits(fs []float64) []uint64 {
+	out := make([]uint64, len(fs))
+	for i, f := range fs {
+		out[i] = math.Float64bits(f)
+	}
+	return out
+}
+
+// shardDBs partitions db into n component-closed shard DBs in memory.
+func shardDBs(t testing.TB, db *banks.DB, n int) []*banks.DB {
+	t.Helper()
+	a, err := shard.Partition(db.Graph, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*banks.DB, n)
+	for s := 0; s < n; s++ {
+		g, ix, _, err := shard.Build(db.Graph, db.Index, a, s)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		out[s] = &banks.DB{Graph: g, Index: ix, Mapping: db.Mapping, EdgeTypes: db.EdgeTypes}
+	}
+	return out
+}
+
+// assertShardedIdentical runs one query on the single-node DB and on
+// every shard, merges, and requires bit-identity.
+func assertShardedIdentical(t *testing.T, db *banks.DB, shards []*banks.DB, query string, algo banks.Algorithm, k int) {
+	t.Helper()
+	name := fmt.Sprintf("%s/%s/k=%d", query, algo, k)
+	opts := banks.Options{K: k}
+	single, err := db.Search(query, algo, opts)
+	if err != nil {
+		t.Fatalf("%s: single: %v", name, err)
+	}
+	lists := make([][]*banks.Answer, len(shards))
+	for s, sdb := range shards {
+		res, err := sdb.Search(query, algo, opts)
+		if err != nil {
+			t.Fatalf("%s: shard %d: %v", name, s, err)
+		}
+		lists[s] = res.Answers
+	}
+	merged := banks.MergeTopK(k, lists...)
+	if len(merged) != len(single.Answers) {
+		t.Errorf("%s: got %d merged answers, single-node %d", name, len(merged), len(single.Answers))
+		return
+	}
+	for i := range merged {
+		got, want := renderAnswer(merged[i]), renderAnswer(single.Answers[i])
+		if got != want {
+			t.Errorf("%s: answer %d differs:\n  merged: %s\n  single: %s", name, i, got, want)
+		}
+	}
+}
+
+// TestShardPartitionComponentClosed pins the partition invariant the
+// whole exactness argument rests on: every connected component lands on
+// exactly one shard, and every node is owned by exactly one shard.
+func TestShardPartitionComponentClosed(t *testing.T) {
+	db := islandsDB(t)
+	a, err := shard.Partition(db.Graph, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Components != 3 {
+		t.Fatalf("expected 3 components, got %d", a.Components)
+	}
+	perShard := 0
+	for _, c := range a.ComponentsPerShard {
+		perShard += c
+	}
+	if perShard != a.Components {
+		t.Errorf("components per shard sum to %d, want %d", perShard, a.Components)
+	}
+	// Connectivity never crosses shards: both endpoints of every edge
+	// must be assigned to the same shard.
+	g := db.Graph
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, h := range g.Neighbors(graph.NodeID(u)) {
+			if a.Shard[u] != a.Shard[h.To] {
+				t.Fatalf("edge %d-%d crosses shards %d and %d", u, h.To, a.Shard[u], a.Shard[h.To])
+			}
+		}
+	}
+}
+
+// TestShardBuildClosure pins the shard-DB construction invariants: full
+// node-indexed arrays (global IDs, global MaxPrestige), adjacency and
+// postings exactly restricted to owned nodes.
+func TestShardBuildClosure(t *testing.T) {
+	db := islandsDB(t)
+	a, err := shard.Partition(db.Graph, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalNodesWithEdges := 0
+	for s := 0; s < 3; s++ {
+		g, ix, meta, err := shard.Build(db.Graph, db.Index, a, s)
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if g.NumNodes() != db.Graph.NumNodes() {
+			t.Errorf("shard %d: %d nodes, want full array %d", s, g.NumNodes(), db.Graph.NumNodes())
+		}
+		if g.MaxPrestige() != db.Graph.MaxPrestige() {
+			t.Errorf("shard %d: max prestige %v, want global %v", s, g.MaxPrestige(), db.Graph.MaxPrestige())
+		}
+		if meta.Shard != uint32(s) || meta.NumShards != 3 {
+			t.Errorf("shard %d: meta says %d of %d", s, meta.Shard, meta.NumShards)
+		}
+		if meta.DuplicatedEdges != 0 {
+			t.Errorf("shard %d: %d duplicated edges, want 0 (component-closed)", s, meta.DuplicatedEdges)
+		}
+		owned := a.Owned(s)
+		for u := 0; u < g.NumNodes(); u++ {
+			deg := len(g.Neighbors(graph.NodeID(u)))
+			if owned[u] && deg != len(db.Graph.Neighbors(graph.NodeID(u))) {
+				t.Fatalf("shard %d: owned node %d degree %d, want %d", s, u, deg, len(db.Graph.Neighbors(graph.NodeID(u))))
+			}
+			if !owned[u] && deg != 0 {
+				t.Fatalf("shard %d: foreign node %d has %d edges", s, u, deg)
+			}
+			if deg > 0 {
+				totalNodesWithEdges++
+			}
+		}
+		// Postings only reference owned nodes; dictionaries stay whole.
+		if ix.NumTerms() != db.Index.NumTerms() {
+			t.Errorf("shard %d: %d terms, want full dictionary %d", s, ix.NumTerms(), db.Index.NumTerms())
+		}
+		flat, err := ix.Flatten()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range flat.Postings {
+			if !owned[u] {
+				t.Fatalf("shard %d: posting references foreign node %d", s, u)
+			}
+		}
+	}
+}
+
+// TestShardedGoldenDifferential is the acceptance differential: the
+// golden corpus is connected, so the sharded deployment must reproduce
+// the single-node answers bit-for-bit for every algorithm. It runs
+// through the real file path — shard files written by shard.WriteFiles,
+// reopened as snapshots — not an in-memory shortcut.
+func TestShardedGoldenDifferential(t *testing.T) {
+	db := goldenDB(t)
+	const nshards = 3
+	base := filepath.Join(t.TempDir(), "golden.snap")
+	stats, err := shard.WriteFiles(base, nshards, db.Graph, db.Index, db.Mapping, db.EdgeTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != nshards {
+		t.Fatalf("got %d shard stats, want %d", len(stats), nshards)
+	}
+	shards := make([]*banks.DB, nshards)
+	for s := 0; s < nshards; s++ {
+		sdb, err := banks.OpenSnapshot(shard.FilePath(base, s, nshards))
+		if err != nil {
+			t.Fatalf("open shard %d: %v", s, err)
+		}
+		defer sdb.Close()
+		if sdb.ShardInfo() == nil {
+			t.Fatalf("shard %d snapshot carries no shard meta", s)
+		}
+		shards[s] = sdb
+	}
+
+	queries := []string{"gray transaction", "database query", "selinger vldb", "transaction"}
+	for _, q := range queries {
+		for _, algo := range banks.Algorithms() {
+			for _, k := range []int{3, 10} {
+				assertShardedIdentical(t, db, shards, q, algo, k)
+			}
+		}
+	}
+}
+
+// TestShardedBidirectionalMultiComponent extends the exactness claim for
+// the paper's main algorithm across disjoint components: bidirectional
+// search merges bit-identically even when answers come from different
+// islands on different shards.
+func TestShardedBidirectionalMultiComponent(t *testing.T) {
+	db := islandsDB(t)
+	shards := shardDBs(t, db, 3)
+	queries := []string{"gray transaction", "database query", "transaction", "selinger vldb", "sharding gray"}
+	for _, q := range queries {
+		for _, k := range []int{3, 10} {
+			assertShardedIdentical(t, db, shards, q, banks.Bidirectional, k)
+		}
+	}
+}
+
+// TestShardSingleShardIdentity: with n=1 every algorithm is trivially
+// exact even on multi-component data — the "partition" is the whole
+// graph and the merge is a no-op reorder. This pins that MergeTopK never
+// perturbs a single complete result list.
+func TestShardSingleShardIdentity(t *testing.T) {
+	db := islandsDB(t)
+	shards := shardDBs(t, db, 1)
+	for _, algo := range banks.Algorithms() {
+		assertShardedIdentical(t, db, shards, "gray transaction", algo, 10)
+	}
+}

@@ -86,6 +86,20 @@ func (d *DB) Close() error {
 // (true) or was built in memory from relational source data (false).
 func (d *DB) Snapshotted() bool { return d.snap != nil }
 
+// ShardInfo describes one shard of a partitioned dataset (the snapshot's
+// optional shard-meta section, written by datagen -shards).
+type ShardInfo = store.ShardMeta
+
+// ShardInfo returns the shard metadata of a snapshot-backed DB, or nil
+// when the DB is not one shard of a partitioned dataset (built in memory,
+// or opened from an ordinary snapshot).
+func (d *DB) ShardInfo() *ShardInfo {
+	if d.snap == nil {
+		return nil
+	}
+	return d.snap.ShardMeta
+}
+
 // SnapshotZeroCopy reports whether a snapshot-backed DB reads its arrays
 // directly out of the file mapping. It returns false for built DBs.
 func (d *DB) SnapshotZeroCopy() bool { return d.snap != nil && d.snap.ZeroCopy() }
