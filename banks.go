@@ -264,6 +264,12 @@ func (d *DB) NodeLabel(u NodeID) string {
 // Explain renders an answer tree with source-row labels, one node per
 // line, children indented under parents.
 func (d *DB) Explain(a *Answer) string {
+	return explainTree(d.NodeLabel, a)
+}
+
+// explainTree renders an answer tree with the given label function (the
+// shared body of DB.Explain and Live.Explain).
+func explainTree(label func(NodeID) string, a *Answer) string {
 	children := map[NodeID][]NodeID{}
 	for _, e := range a.Edges {
 		children[e.From] = append(children[e.From], e.To)
@@ -276,7 +282,7 @@ func (d *DB) Explain(a *Answer) string {
 		if depth > 0 {
 			sb.WriteString("└─ ")
 		}
-		sb.WriteString(d.NodeLabel(u))
+		sb.WriteString(label(u))
 		sb.WriteByte('\n')
 		for _, c := range children[u] {
 			walk(c, depth+1)

@@ -55,6 +55,8 @@ func run() error {
 	cacheSize := flag.Int("cache", 0, "result-cache entries (0 = default 256, negative disables)")
 	maxInFlight := flag.Int("max-inflight", 0, "admission limit on concurrent query requests (0 = 4x pool width)")
 	tenantsPath := flag.String("tenants", "", "JSON file of per-tenant serving limits (see docs/SERVING.md)")
+	liveFlag := flag.Bool("live", false, "enable live mutations (POST /v1/mutate and /v1/compact; see docs/MUTATIONS.md)")
+	livePrestige := flag.String("live-prestige", "random-walk", "prestige mode the served data was built with (random-walk, indegree, uniform); the mutation overlay recomputes prestige in the same mode")
 	streamDropToBatch := flag.Bool("stream-drop-to-batch", false, "degrade slow /v1/search/stream consumers to batch delivery instead of blocking answer generation (see docs/STREAMING.md)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "window between /healthz turning 503 and the listener closing, so load balancers can observe unreadiness and stop routing (0 for tests)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
@@ -78,9 +80,29 @@ func run() error {
 		return err
 	}
 
+	var live *banks.Live
+	if *liveFlag {
+		mode, err := parsePrestigeMode(*livePrestige)
+		if err != nil {
+			return err
+		}
+		// Compaction needs somewhere to write generations; without
+		// -snapshot, mutations still work but /v1/compact reports the
+		// missing path.
+		live, err = banks.OpenLive(eng, banks.LiveOptions{
+			SnapshotPath: *snapshot,
+			Prestige:     mode,
+		})
+		if err != nil {
+			return err
+		}
+		log.Printf("live mutations enabled (generation %d, prestige %s)", live.Generation(), *livePrestige)
+	}
+
 	srv, err := server.New(server.Config{
 		Engine:            eng,
 		DB:                db,
+		Live:              live,
 		Tenants:           tenants,
 		MaxInFlight:       *maxInFlight,
 		Logger:            log.Default(),
@@ -131,6 +153,19 @@ func run() error {
 	}
 	log.Printf("drained cleanly")
 	return nil
+}
+
+// parsePrestigeMode maps the -live-prestige flag to a banks.PrestigeMode.
+func parsePrestigeMode(name string) (banks.PrestigeMode, error) {
+	switch name {
+	case "random-walk":
+		return banks.PrestigeRandomWalk, nil
+	case "indegree":
+		return banks.PrestigeIndegree, nil
+	case "uniform":
+		return banks.PrestigeUniform, nil
+	}
+	return 0, fmt.Errorf("unknown prestige mode %q (have random-walk, indegree, uniform)", name)
 }
 
 // openOrBuild serves the DB from a snapshot when one is requested and

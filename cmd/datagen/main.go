@@ -9,6 +9,7 @@
 //	datagen -dataset dblp -out dblp.snap -shards 3       # + 3 shard files
 //	datagen -in dblp.snap                                # load + stats
 //	datagen -dataset dblp -legacy-graph dblp.graph       # graph-only BNK2 file
+//	datagen -out x.snap -mutations 50 -mutations-out m.json  # + mutation trace
 //
 // -in accepts both the snapshot format ("BANKSNAP") and the legacy
 // graph-only "BNK2" format. At -factor 11 the DBLP-like dataset
@@ -24,9 +25,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"time"
 
@@ -45,6 +48,9 @@ func main() {
 	out := flag.String("out", "", "write the built graph+index snapshot to this file")
 	shards := flag.Int("shards", 1, "also partition into N component-closed shard snapshots named <out>.shard<i>of<N>")
 	legacyOut := flag.String("legacy-graph", "", "also write the graph (only) in the legacy BNK2 format")
+	mutations := flag.Int("mutations", 0, "also emit a mutation trace of N ops as a /v1/mutate request body (requires -mutations-out)")
+	mutationsOut := flag.String("mutations-out", "", "write the mutation trace here (JSON, curl-able against POST /v1/mutate)")
+	mutationsSeed := flag.Int64("mutations-seed", 1, "seed for the mutation trace generator")
 	in := flag.String("in", "", "load a snapshot or legacy graph file and print stats instead of generating")
 	flag.Parse()
 
@@ -53,6 +59,9 @@ func main() {
 	}
 	if *shards > 1 && *out == "" {
 		log.Fatal("-shards requires -out (shard files are named <out>.shard<i>of<N>)")
+	}
+	if (*mutations > 0) != (*mutationsOut != "") {
+		log.Fatal("-mutations and -mutations-out must be given together")
 	}
 
 	if *in != "" {
@@ -112,6 +121,12 @@ func main() {
 			fmt.Printf("partitioned into %d shards in %v\n", *shards, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if *mutations > 0 {
+		if err := writeMutationTrace(*mutationsOut, *mutations, *mutationsSeed, db); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote mutation trace %s (%d ops)\n", *mutationsOut, *mutations)
+	}
 	if *legacyOut != "" {
 		f, err := os.Create(*legacyOut)
 		if err != nil {
@@ -126,6 +141,54 @@ func main() {
 		}
 		fmt.Printf("wrote legacy graph %s (%d bytes)\n", *legacyOut, n)
 	}
+}
+
+// writeMutationTrace emits n valid mutation ops as one /v1/mutate request
+// body, for smoke tests that need live traffic against a served snapshot
+// (e.g. `curl -d @trace.json .../v1/mutate`). Inserted-node IDs are
+// predictable: the delta layer assigns them sequentially starting at the
+// base node count, so later ops in the trace can reference earlier
+// inserts before any server has applied them.
+func writeMutationTrace(path string, n int, seed int64, db *banks.DB) error {
+	rng := rand.New(rand.NewSource(seed))
+	tables := db.Graph.Tables()
+	base := int64(db.Graph.NumNodes())
+	words := []string{"livetrace", "overlay", "delta", "generation", "compaction", "proximity", "backward", "spreading"}
+
+	ops := make([]map[string]any, 0, n)
+	appended := int64(0)
+	for len(ops) < n {
+		switch {
+		case appended == 0 || rng.Intn(3) == 0:
+			// Every trace starts with an insert_node so edge/term ops
+			// always have an appended node to target.
+			text := fmt.Sprintf("livetrace%d %s %s", appended,
+				words[rng.Intn(len(words))], words[rng.Intn(len(words))])
+			ops = append(ops, map[string]any{
+				"op": "insert_node", "table": tables[rng.Intn(len(tables))], "text": text,
+			})
+			appended++
+		case rng.Intn(2) == 0 && base > 0:
+			// Appended → base edge: from >= base and to < base, so no
+			// self-loops regardless of the draws.
+			ops = append(ops, map[string]any{
+				"op":   "insert_edge",
+				"from": base + rng.Int63n(appended), "to": rng.Int63n(base),
+				"weight": 1 + rng.Float64(),
+			})
+		default:
+			ops = append(ops, map[string]any{
+				"op":   "insert_term",
+				"node": base + rng.Int63n(appended),
+				"term": fmt.Sprintf("%s%d", words[rng.Intn(len(words))], len(ops)),
+			})
+		}
+	}
+	body, err := json.MarshalIndent(map[string]any{"ops": ops}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o666)
 }
 
 // printStats sniffs the file's magic and prints stats for either format.

@@ -119,7 +119,7 @@ func (a *Answer) Signature() uint64 {
 //
 // kwBits maps nodes to the bitmask of keywords they match (used for the
 // minimality test); nk is the keyword count.
-func buildAnswer(g *graph.Graph, opts Options, root graph.NodeID, paths [][]graph.NodeID,
+func buildAnswer(g graph.View, opts Options, root graph.NodeID, paths [][]graph.NodeID,
 	kwBits func(graph.NodeID) uint32, nk int) *Answer {
 	lambda := opts.Lambda
 
@@ -224,7 +224,7 @@ func overallScore(edgeScore, nodeScore, lambda float64) float64 {
 // scoreUpperBound bounds the relevance of any answer whose aggregate edge
 // score is at least minEdgeScore (§4.5): the best node score is the
 // maximum prestige on the root plus each of the nk keyword leaves.
-func scoreUpperBound(g *graph.Graph, minEdgeScore float64, nk int, lambda float64) float64 {
+func scoreUpperBound(g graph.View, minEdgeScore float64, nk int, lambda float64) float64 {
 	n := g.MaxPrestige() * float64(nk+1)
 	if n <= 0 {
 		n = 1
@@ -234,7 +234,7 @@ func scoreUpperBound(g *graph.Graph, minEdgeScore float64, nk int, lambda float6
 
 // minEdge returns the cheapest combined edge u→v (over parallel edges)
 // that passes the filter, with its metadata.
-func minEdge(g *graph.Graph, u, v graph.NodeID, filter func(graph.EdgeType, bool) bool) (w float64, et graph.EdgeType, fwd bool, ok bool) {
+func minEdge(g graph.View, u, v graph.NodeID, filter func(graph.EdgeType, bool) bool) (w float64, et graph.EdgeType, fwd bool, ok bool) {
 	w = math.Inf(1)
 	for _, h := range g.Neighbors(u) {
 		if h.To != v || h.WOut >= w {

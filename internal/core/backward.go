@@ -30,7 +30,7 @@ import (
 //
 // ctx bounds the search: on expiry the answers buffered so far are flushed
 // as a partial top-k with Stats.Truncated set.
-func MIBackward(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+func MIBackward(ctx context.Context, g graph.View, keywords [][]graph.NodeID, opts Options) (*Result, error) {
 	ctx = orBackground(ctx)
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
@@ -114,7 +114,7 @@ type miEvent struct {
 // frontier across incoming combined edges. It fills ev with the step's
 // globally visible effects, which the coordinator applies in schedule
 // order (applyEvent). ok is false when the frontier is exhausted.
-func (it *miIterator) advance(g *graph.Graph, opts *Options, ev *miEvent) bool {
+func (it *miIterator) advance(g graph.View, opts *Options, ev *miEvent) bool {
 	v, d, ok := it.frontier.Pop()
 	if !ok {
 		return false
@@ -168,7 +168,7 @@ type miGlobal struct {
 type miSearch struct {
 	canceller
 
-	g    *graph.Graph
+	g    graph.View
 	opts Options
 	nk   int
 	kw   [][]graph.NodeID

@@ -20,7 +20,7 @@ import (
 // ctx bounds the search: on cancellation or deadline expiry the loop stops
 // at the next amortized check, flushes the answers generated so far as a
 // partial top-k, and returns them with Stats.Truncated set (no error).
-func Bidirectional(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+func Bidirectional(ctx context.Context, g graph.View, keywords [][]graph.NodeID, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err

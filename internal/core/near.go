@@ -37,7 +37,7 @@ type NearResult struct {
 // depends on the sums the previous pops accumulated, so the documented
 // fallback is serial execution with results identical to any requested
 // worker count.
-func Near(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) ([]NearResult, Stats, error) {
+func Near(ctx context.Context, g graph.View, keywords [][]graph.NodeID, opts Options) ([]NearResult, Stats, error) {
 	opts = opts.withDefaults()
 	opts.ActivationSum = true
 	if err := opts.validate(); err != nil {

@@ -179,8 +179,10 @@ func (o Options) validate() error {
 	return nil
 }
 
-func validateInput(g *graph.Graph, keywords [][]graph.NodeID) error {
-	if g == nil {
+func validateInput(g graph.View, keywords [][]graph.NodeID) error {
+	// The typed-nil check catches callers passing a nil *graph.Graph
+	// through the View interface (non-nil interface, nil concrete value).
+	if g == nil || g == (graph.View)((*graph.Graph)(nil)) {
 		return errors.New("core: nil graph")
 	}
 	if len(keywords) == 0 {

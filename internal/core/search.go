@@ -29,7 +29,7 @@ func Algos() []Algo {
 
 // Search dispatches to the named algorithm. A nil ctx is treated as
 // context.Background().
-func Search(ctx context.Context, g *graph.Graph, algo Algo, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+func Search(ctx context.Context, g graph.View, algo Algo, keywords [][]graph.NodeID, opts Options) (*Result, error) {
 	switch algo {
 	case AlgoBidirectional:
 		return Bidirectional(ctx, g, keywords, opts)

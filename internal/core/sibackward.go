@@ -22,7 +22,7 @@ import (
 // the single merged iterator is an inherently sequential fixpoint, so the
 // documented fallback is serial execution with results identical to any
 // requested worker count.
-func SIBackward(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) (*Result, error) {
+func SIBackward(ctx context.Context, g graph.View, keywords [][]graph.NodeID, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(); err != nil {
 		return nil, err

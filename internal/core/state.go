@@ -119,7 +119,7 @@ func (c *canceller) cancelled() bool {
 type searchContext struct {
 	canceller
 
-	g     *graph.Graph
+	g     graph.View
 	opts  Options
 	nk    int
 	kw    [][]graph.NodeID
@@ -162,7 +162,7 @@ type pendingEmit struct {
 	touched  int
 }
 
-func newSearchContext(ctx context.Context, g *graph.Graph, keywords [][]graph.NodeID, opts Options) *searchContext {
+func newSearchContext(ctx context.Context, g graph.View, keywords [][]graph.NodeID, opts Options) *searchContext {
 	start := time.Now()
 	stats := &Stats{}
 	sc := &searchContext{

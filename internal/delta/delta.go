@@ -1,0 +1,741 @@
+// Package delta implements the live-mutation layer of the serving tier:
+// an in-memory overlay of node/edge/term inserts and tombstones on top of
+// an immutable (typically mmap'd) base graph + index, presented to the
+// search algorithms through the graph.View seam so every algorithm sees
+// one logical graph.
+//
+// The overlay is built for bit-identical correctness, not write
+// throughput: applying a mutation batch produces a brand-new immutable
+// View whose per-node adjacency, derived backward-edge weights and node
+// prestige are exactly what a from-scratch Build of the mutated graph
+// would produce (the differential tests compare float bits). Readers
+// never lock — each query binds one View via the engine's atomic Source
+// swap, so every answer is consistent with some delta version.
+//
+// Semantics:
+//
+//   - Node IDs are stable. Deleting a node tombstones it in place: its
+//     adjacency empties, every incident edge disappears (and the derived
+//     weights of surviving edges around it are recomputed), and it stops
+//     matching any term or relation name. Inserted nodes get IDs appended
+//     after the base.
+//   - DeleteEdge(u,v) removes every parallel u→v edge, base and
+//     previously inserted alike. A later InsertEdge(u,v) re-adds one.
+//   - The logical edge order is: surviving base edges in base order,
+//     then live inserted edges in insertion order. Per-node adjacency
+//     order is all that search results depend on, and this rule keeps it
+//     identical to rebuilding the graph with the same edge sequence.
+//   - Backward-edge weights follow §2.3 of the paper against the mutated
+//     indegrees: w_vu = w_uv·log2(1+indeg(v)), clamped below by w_uv —
+//     the same expression the Builder evaluates, so recomputed weights
+//     are bit-equal whenever the indegree is unchanged.
+//   - Prestige is recomputed per Apply over the whole overlay view in
+//     the same mode the base was built with, preserving the float
+//     accumulation order of a fresh build. RandomWalk mode makes every
+//     Apply cost a full power iteration; high-mutation-rate deployments
+//     should build (and serve) with Indegree or Uniform prestige.
+package delta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"banks/internal/graph"
+	"banks/internal/index"
+	"banks/internal/prestige"
+)
+
+// PrestigeMode selects how node prestige is recomputed after a mutation
+// batch. It must match the mode the base snapshot was built with,
+// otherwise the very first Apply visibly re-ranks untouched nodes.
+type PrestigeMode int
+
+const (
+	// PrestigeRandomWalk is the paper's biased PageRank (build default).
+	PrestigeRandomWalk PrestigeMode = iota
+	// PrestigeIndegree is the BANKS-I log-indegree prestige.
+	PrestigeIndegree
+	// PrestigeUniform assigns every node prestige 1.
+	PrestigeUniform
+)
+
+// OpKind enumerates the mutation operations.
+type OpKind string
+
+const (
+	OpInsertNode OpKind = "insert_node"
+	OpInsertEdge OpKind = "insert_edge"
+	OpDeleteNode OpKind = "delete_node"
+	OpDeleteEdge OpKind = "delete_edge"
+	OpInsertTerm OpKind = "insert_term"
+	OpDeleteTerm OpKind = "delete_term"
+)
+
+// Op is one mutation. Which fields are meaningful depends on Kind:
+//
+//	insert_node: Table (required), Text (tokenized into term postings)
+//	insert_edge: From, To, Weight (>0, finite), EdgeType
+//	delete_node: Node
+//	delete_edge: From, To (removes all parallel From→To edges)
+//	insert_term: Node, Term
+//	delete_term: Node, Term
+type Op struct {
+	Kind     OpKind
+	Table    string
+	Text     string
+	Node     graph.NodeID
+	From, To graph.NodeID
+	Weight   float64
+	EdgeType graph.EdgeType
+	Term     string
+}
+
+// dEdge is one live inserted edge, kept in insertion order.
+type dEdge struct {
+	from, to graph.NodeID
+	weight   float64
+	etype    graph.EdgeType
+}
+
+// dNode is one appended node.
+type dNode struct {
+	table string
+}
+
+// edgeKey identifies a directed (from,to) pair for tombstoning.
+type edgeKey struct{ from, to graph.NodeID }
+
+// mutState is the cumulative mutation state since the base generation.
+// Views clone it on Apply; a View's copy is immutable.
+type mutState struct {
+	tomb     map[graph.NodeID]bool
+	delEdges map[edgeKey]bool
+	edges    []dEdge
+	nodes    []dNode
+	// addPost holds inserted (term → nodes) postings in insertion order;
+	// delPost holds deleted base (term, node) pairs. Term keys are in
+	// index.Normalize form.
+	addPost map[string][]graph.NodeID
+	delPost map[string]map[graph.NodeID]bool
+}
+
+func newMutState() *mutState {
+	return &mutState{
+		tomb:     make(map[graph.NodeID]bool),
+		delEdges: make(map[edgeKey]bool),
+		addPost:  make(map[string][]graph.NodeID),
+		delPost:  make(map[string]map[graph.NodeID]bool),
+	}
+}
+
+func (s *mutState) clone() *mutState {
+	c := &mutState{
+		tomb:     make(map[graph.NodeID]bool, len(s.tomb)),
+		delEdges: make(map[edgeKey]bool, len(s.delEdges)),
+		edges:    append([]dEdge(nil), s.edges...),
+		nodes:    append([]dNode(nil), s.nodes...),
+		addPost:  make(map[string][]graph.NodeID, len(s.addPost)),
+		delPost:  make(map[string]map[graph.NodeID]bool, len(s.delPost)),
+	}
+	for k, v := range s.tomb {
+		c.tomb[k] = v
+	}
+	for k, v := range s.delEdges {
+		c.delEdges[k] = v
+	}
+	for t, list := range s.addPost {
+		c.addPost[t] = append([]graph.NodeID(nil), list...)
+	}
+	for t, set := range s.delPost {
+		cs := make(map[graph.NodeID]bool, len(set))
+		for u := range set {
+			cs[u] = true
+		}
+		c.delPost[t] = cs
+	}
+	return c
+}
+
+// View is one immutable overlay state: the base graph + index with a
+// frozen mutation state merged in. It satisfies graph.View, so the core
+// algorithms (and prestige recomputation) run over it directly. Any
+// number of goroutines may read a View concurrently; Apply never touches
+// an existing View.
+type View struct {
+	base   *graph.Graph
+	baseIx *index.Index
+	st     *mutState
+
+	numNodes int
+	// tables is base tables plus any relations first seen in inserts;
+	// nodeTable holds, per appended node, its index into tables.
+	tables    []string
+	nodeTable []int32
+	// adj holds the merged adjacency of every node whose base adjacency
+	// is no longer literally correct (dirty nodes) and of every appended
+	// node (possibly nil). Clean base nodes serve their base slice with
+	// zero copies.
+	adj map[graph.NodeID][]graph.Half
+	// relAdd maps a normalized relation name to the live appended nodes
+	// of that relation (for relation-name pseudo-postings).
+	relAdd map[string][]graph.NodeID
+
+	// pres is the recomputed prestige (nil at version 0 — base
+	// passthrough — and in Uniform mode, where every node scores 1).
+	pres        []float64
+	maxPrestige float64
+	uniform     bool
+
+	generation uint64
+	version    uint64
+	mode       PrestigeMode
+	popts      prestige.Options
+}
+
+// NewView wraps a base graph + index as the pristine (version 0) overlay
+// of the given snapshot generation. mode and popts must match how the
+// base's prestige was computed.
+func NewView(base *graph.Graph, baseIx *index.Index, generation uint64, mode PrestigeMode, popts prestige.Options) *View {
+	return &View{
+		base:        base,
+		baseIx:      baseIx,
+		st:          newMutState(),
+		numNodes:    base.NumNodes(),
+		tables:      base.Tables(),
+		adj:         map[graph.NodeID][]graph.Half{},
+		relAdd:      map[string][]graph.NodeID{},
+		maxPrestige: base.MaxPrestige(),
+		generation:  generation,
+		version:     0,
+		mode:        mode,
+		popts:       popts,
+	}
+}
+
+// Generation returns the base snapshot generation the view overlays.
+func (v *View) Generation() uint64 { return v.generation }
+
+// Version returns the number of mutation batches applied since the base.
+func (v *View) Version() uint64 { return v.version }
+
+// Base returns the base graph the view overlays.
+func (v *View) Base() *graph.Graph { return v.base }
+
+// NumNodes implements graph.View.
+func (v *View) NumNodes() int { return v.numNodes }
+
+// Neighbors implements graph.View.
+func (v *View) Neighbors(u graph.NodeID) []graph.Half {
+	if a, ok := v.adj[u]; ok {
+		return a
+	}
+	return v.base.Neighbors(u)
+}
+
+// Degree implements graph.View.
+func (v *View) Degree(u graph.NodeID) int {
+	if a, ok := v.adj[u]; ok {
+		return len(a)
+	}
+	return v.base.Degree(u)
+}
+
+// Prestige implements graph.View.
+func (v *View) Prestige(u graph.NodeID) float64 {
+	switch {
+	case v.uniform:
+		return 1
+	case v.pres != nil:
+		return v.pres[u]
+	default:
+		return v.base.Prestige(u)
+	}
+}
+
+// MaxPrestige implements graph.View.
+func (v *View) MaxPrestige() float64 { return v.maxPrestige }
+
+// Table returns the relation name of node u (valid for appended nodes
+// too, where the base graph cannot answer).
+func (v *View) Table(u graph.NodeID) string {
+	if int(u) < v.base.NumNodes() {
+		return v.base.Table(u)
+	}
+	return v.tables[v.nodeTable[int(u)-v.base.NumNodes()]]
+}
+
+// Deleted reports whether node u is tombstoned.
+func (v *View) Deleted(u graph.NodeID) bool { return v.st.tomb[u] }
+
+// DeltaNodes returns how many live (non-tombstoned) nodes the overlay
+// has appended beyond the base.
+func (v *View) DeltaNodes() int {
+	n := 0
+	for i := range v.st.nodes {
+		if !v.st.tomb[graph.NodeID(v.base.NumNodes()+i)] {
+			n++
+		}
+	}
+	return n
+}
+
+// DeltaEdges returns how many live inserted edges the overlay holds.
+func (v *View) DeltaEdges() int { return len(v.st.edges) }
+
+// Tombstones returns how many nodes are tombstoned.
+func (v *View) Tombstones() int { return len(v.st.tomb) }
+
+// Lookup returns the nodes matching term under the overlay: base term
+// postings minus tombstones minus deleted (term,node) pairs, plus
+// inserted postings, plus relation-name pseudo-postings (base relations
+// minus tombstones, plus live appended nodes of a matching relation).
+// The result is sorted and deduplicated, exactly like index.Lookup.
+func (v *View) Lookup(term string) []graph.NodeID {
+	t := index.Normalize(term)
+	if t == "" {
+		return nil
+	}
+	if v.version == 0 {
+		return v.baseIx.Lookup(t)
+	}
+	del := v.st.delPost[t]
+	var out []graph.NodeID
+	for _, u := range v.baseIx.TermPostings(t) {
+		if !v.st.tomb[u] && !del[u] {
+			out = append(out, u)
+		}
+	}
+	for _, u := range v.baseIx.RelationPostings(t) {
+		if !v.st.tomb[u] {
+			out = append(out, u)
+		}
+	}
+	for _, u := range v.st.addPost[t] {
+		if !v.st.tomb[u] {
+			out = append(out, u)
+		}
+	}
+	out = append(out, v.relAdd[t]...)
+	return dedupeIDs(out)
+}
+
+func dedupeIDs(list []graph.NodeID) []graph.NodeID {
+	if len(list) < 2 {
+		return list
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	w := 1
+	for i := 1; i < len(list); i++ {
+		if list[i] != list[i-1] {
+			list[w] = list[i]
+			w++
+		}
+	}
+	return list[:w]
+}
+
+// Apply validates and applies one mutation batch on top of v, returning
+// a new immutable View (v itself is untouched) plus the NodeIDs assigned
+// to the batch's insert_node ops, in op order. On any invalid op the
+// whole batch is rejected.
+func (v *View) Apply(batch []Op) (*View, []graph.NodeID, error) {
+	if len(batch) == 0 {
+		return nil, nil, fmt.Errorf("delta: empty mutation batch")
+	}
+	st := v.st.clone()
+	baseN := v.base.NumNodes()
+	numNodes := baseN + len(st.nodes)
+	tables := append([]string(nil), v.tables...)
+	tableIdx := make(map[string]int, len(tables))
+	for i, t := range tables {
+		tableIdx[t] = i
+	}
+	nodeTable := append([]int32(nil), v.nodeTable...)
+
+	inRange := func(u graph.NodeID) bool { return u >= 0 && int(u) < numNodes }
+	var assigned []graph.NodeID
+
+	for i, op := range batch {
+		switch op.Kind {
+		case OpInsertNode:
+			if op.Table == "" {
+				return nil, nil, fmt.Errorf("delta: op %d: insert_node requires a table", i)
+			}
+			ti, ok := tableIdx[op.Table]
+			if !ok {
+				ti = len(tables)
+				tables = append(tables, op.Table)
+				tableIdx[op.Table] = ti
+			}
+			id := graph.NodeID(numNodes)
+			numNodes++
+			st.nodes = append(st.nodes, dNode{table: op.Table})
+			nodeTable = append(nodeTable, int32(ti))
+			for _, term := range index.Tokenize(op.Text) {
+				st.addPost[term] = append(st.addPost[term], id)
+			}
+			assigned = append(assigned, id)
+
+		case OpInsertEdge:
+			u, w := op.From, op.To
+			if !inRange(u) || !inRange(w) {
+				return nil, nil, fmt.Errorf("delta: op %d: edge (%d,%d) references node outside [0,%d)", i, u, w, numNodes)
+			}
+			if st.tomb[u] || st.tomb[w] {
+				return nil, nil, fmt.Errorf("delta: op %d: edge (%d,%d) references a deleted node", i, u, w)
+			}
+			if u == w {
+				return nil, nil, fmt.Errorf("delta: op %d: self-loop on node %d not allowed", i, u)
+			}
+			if op.Weight <= 0 || math.IsNaN(op.Weight) || math.IsInf(op.Weight, 0) {
+				return nil, nil, fmt.Errorf("delta: op %d: edge (%d,%d) has invalid weight %v", i, u, w, op.Weight)
+			}
+			st.edges = append(st.edges, dEdge{from: u, to: w, weight: op.Weight, etype: op.EdgeType})
+
+		case OpDeleteNode:
+			u := op.Node
+			if !inRange(u) {
+				return nil, nil, fmt.Errorf("delta: op %d: delete_node %d outside [0,%d)", i, u, numNodes)
+			}
+			st.tomb[u] = true
+			// Inserted edges incident to a tombstone are physically
+			// removed (base edges are filtered by the tombstone itself).
+			live := st.edges[:0:0]
+			for _, e := range st.edges {
+				if e.from != u && e.to != u {
+					live = append(live, e)
+				}
+			}
+			st.edges = live
+
+		case OpDeleteEdge:
+			u, w := op.From, op.To
+			if !inRange(u) || !inRange(w) {
+				return nil, nil, fmt.Errorf("delta: op %d: delete_edge (%d,%d) references node outside [0,%d)", i, u, w, numNodes)
+			}
+			st.delEdges[edgeKey{u, w}] = true
+			live := st.edges[:0:0]
+			for _, e := range st.edges {
+				if e.from != u || e.to != w {
+					live = append(live, e)
+				}
+			}
+			st.edges = live
+
+		case OpInsertTerm, OpDeleteTerm:
+			u := op.Node
+			if !inRange(u) {
+				return nil, nil, fmt.Errorf("delta: op %d: %s on node %d outside [0,%d)", i, op.Kind, u, numNodes)
+			}
+			t := index.Normalize(op.Term)
+			if t == "" {
+				return nil, nil, fmt.Errorf("delta: op %d: term %q normalizes to nothing", i, op.Term)
+			}
+			if op.Kind == OpInsertTerm {
+				if st.tomb[u] {
+					return nil, nil, fmt.Errorf("delta: op %d: insert_term on deleted node %d", i, u)
+				}
+				if del := st.delPost[t]; del[u] {
+					delete(del, u)
+				}
+				st.addPost[t] = append(st.addPost[t], u)
+			} else {
+				if list, ok := st.addPost[t]; ok {
+					live := list[:0:0]
+					for _, n := range list {
+						if n != u {
+							live = append(live, n)
+						}
+					}
+					if len(live) == 0 {
+						delete(st.addPost, t)
+					} else {
+						st.addPost[t] = live
+					}
+				}
+				if st.delPost[t] == nil {
+					st.delPost[t] = make(map[graph.NodeID]bool)
+				}
+				st.delPost[t][u] = true
+			}
+
+		default:
+			return nil, nil, fmt.Errorf("delta: op %d: unknown op kind %q", i, op.Kind)
+		}
+	}
+
+	nv := &View{
+		base:       v.base,
+		baseIx:     v.baseIx,
+		st:         st,
+		numNodes:   numNodes,
+		tables:     tables,
+		nodeTable:  nodeTable,
+		generation: v.generation,
+		version:    v.version + 1,
+		mode:       v.mode,
+		popts:      v.popts,
+	}
+	nv.rebuild()
+	return nv, assigned, nil
+}
+
+// rebuild derives the merged adjacencies, relation overlays and prestige
+// of a freshly applied view from its cumulative mutation state.
+func (nv *View) rebuild() {
+	base, st := nv.base, nv.st
+	baseN := base.NumNodes()
+
+	// Memoized mutated indegree. Only consulted for nodes that can still
+	// carry edges (never tombstones).
+	indegMemo := make(map[graph.NodeID]int)
+	indegP := func(w graph.NodeID) int {
+		if d, ok := indegMemo[w]; ok {
+			return d
+		}
+		d := 0
+		if int(w) < baseN {
+			for _, h := range base.Neighbors(w) {
+				if !h.Forward && !st.tomb[h.To] && !st.delEdges[edgeKey{h.To, w}] {
+					d++
+				}
+			}
+		}
+		for _, e := range st.edges {
+			if e.to == w {
+				d++
+			}
+		}
+		indegMemo[w] = d
+		return d
+	}
+	baseIndeg := func(w graph.NodeID) int {
+		d := 0
+		for _, h := range base.Neighbors(w) {
+			if !h.Forward {
+				d++
+			}
+		}
+		return d
+	}
+
+	// Dirty set: every node whose base adjacency slice is no longer
+	// literally the truth. Appended nodes are always dirty (the base has
+	// no slice for them at all).
+	dirty := make(map[graph.NodeID]bool)
+	for i := range st.nodes {
+		dirty[graph.NodeID(baseN+i)] = true
+	}
+	for u := range st.tomb {
+		dirty[u] = true
+		if int(u) < baseN {
+			for _, h := range base.Neighbors(u) {
+				dirty[h.To] = true
+			}
+		}
+	}
+	for k := range st.delEdges {
+		dirty[k.from] = true
+		dirty[k.to] = true
+	}
+	for _, e := range st.edges {
+		dirty[e.from] = true
+		dirty[e.to] = true
+	}
+	// Nodes whose indegree changed: their surviving in-edges get new
+	// backward weights, so they and all their base in-neighbors (the
+	// forward side of those edges) must be rebuilt.
+	candidates := make(map[graph.NodeID]bool)
+	for _, e := range st.edges {
+		candidates[e.to] = true
+	}
+	for k := range st.delEdges {
+		candidates[k.to] = true
+	}
+	for u := range st.tomb {
+		if int(u) < baseN {
+			for _, h := range base.Neighbors(u) {
+				if h.Forward {
+					candidates[h.To] = true
+				}
+			}
+		}
+	}
+	for w := range candidates {
+		if st.tomb[w] || int(w) >= baseN {
+			continue
+		}
+		if indegP(w) != baseIndeg(w) {
+			dirty[w] = true
+			for _, h := range base.Neighbors(w) {
+				if !h.Forward {
+					dirty[h.To] = true
+				}
+			}
+		}
+	}
+
+	// §2.3 backward weight against the mutated indegree — the identical
+	// float expression (and clamp) the Builder evaluates, so the result
+	// is bit-equal to a fresh Build.
+	backWeight := func(w float64, indeg int) float64 {
+		back := w * math.Log2(1+float64(indeg))
+		if back < w {
+			back = w
+		}
+		return back
+	}
+
+	nv.adj = make(map[graph.NodeID][]graph.Half, len(dirty))
+	for u := range dirty {
+		if st.tomb[u] {
+			nv.adj[u] = nil
+			continue
+		}
+		var out []graph.Half
+		if int(u) < baseN {
+			for _, h := range base.Neighbors(u) {
+				if h.Forward {
+					// Edge u→h.To with original weight h.WOut.
+					if st.tomb[h.To] || st.delEdges[edgeKey{u, h.To}] {
+						continue
+					}
+					out = append(out, graph.Half{To: h.To, WOut: h.WOut, WIn: backWeight(h.WOut, indegP(h.To)), Type: h.Type, Forward: true})
+				} else {
+					// Edge h.To→u with original weight h.WIn.
+					if st.tomb[h.To] || st.delEdges[edgeKey{h.To, u}] {
+						continue
+					}
+					out = append(out, graph.Half{To: h.To, WOut: backWeight(h.WIn, indegP(u)), WIn: h.WIn, Type: h.Type, Forward: false})
+				}
+			}
+		}
+		for _, e := range st.edges {
+			if e.from == u {
+				out = append(out, graph.Half{To: e.to, WOut: e.weight, WIn: backWeight(e.weight, indegP(e.to)), Type: e.etype, Forward: true})
+			} else if e.to == u {
+				out = append(out, graph.Half{To: e.from, WOut: backWeight(e.weight, indegP(u)), WIn: e.weight, Type: e.etype, Forward: false})
+			}
+		}
+		nv.adj[u] = out
+	}
+
+	// Relation pseudo-postings for appended nodes, keyed like Freeze.
+	nv.relAdd = make(map[string][]graph.NodeID)
+	for i := range st.nodes {
+		u := graph.NodeID(baseN + i)
+		if !st.tomb[u] {
+			key := index.Normalize(st.nodes[i].table)
+			nv.relAdd[key] = append(nv.relAdd[key], u)
+		}
+	}
+
+	// Prestige, recomputed in build order over the overlay view so the
+	// floats accumulate exactly as a fresh Build would.
+	switch nv.mode {
+	case PrestigeUniform:
+		nv.uniform = true
+		nv.maxPrestige = 1
+	case PrestigeIndegree:
+		nv.pres = prestige.Indegree(nv)
+		nv.maxPrestige = maxOf(nv.pres)
+	default:
+		p, err := prestige.Compute(nv, nv.popts)
+		if err != nil {
+			// Compute only fails on invalid options, which NewView's
+			// callers fixed at construction; an empty graph cannot occur
+			// (the base has nodes). Fall back to indifference.
+			nv.uniform = true
+			nv.maxPrestige = 1
+			return
+		}
+		nv.pres = p
+		nv.maxPrestige = maxOf(p)
+	}
+}
+
+func maxOf(p []float64) float64 {
+	m := 0.0
+	for _, v := range p {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Materialize builds the compacted form of the view: a standalone graph
+// (no base aliasing beyond the slices FromSections validates) and a
+// frozen index whose relation postings contain only live nodes —
+// tombstoned placeholders keep their ID (so references stay stable) but
+// are unreachable and unseedable. The result feeds the snapshot writer
+// for generation N+1.
+func (v *View) Materialize() (*graph.Graph, *index.Index, error) {
+	n := v.numNodes
+	offsets := make([]int32, n+1)
+	total := 0
+	for u := 0; u < n; u++ {
+		total += v.Degree(graph.NodeID(u))
+		offsets[u+1] = int32(total)
+	}
+	if total%2 != 0 {
+		return nil, nil, fmt.Errorf("delta: unpaired half-edges (%d)", total)
+	}
+	halves := make([]graph.Half, 0, total)
+	for u := 0; u < n; u++ {
+		halves = append(halves, v.Neighbors(graph.NodeID(u))...)
+	}
+
+	baseN := v.base.NumNodes()
+	nodeTable := make([]int32, n)
+	copy(nodeTable, v.base.Sections().NodeTable)
+	copy(nodeTable[baseN:], v.nodeTable)
+
+	pres := make([]float64, n)
+	for u := range pres {
+		pres[u] = v.Prestige(graph.NodeID(u))
+	}
+
+	g, err := graph.FromSections(graph.Sections{
+		Offsets:      offsets,
+		Halves:       halves,
+		NodeTable:    nodeTable,
+		Prestige:     pres,
+		Tables:       append([]string(nil), v.tables...),
+		NumOrigEdges: total / 2,
+		MaxPrestige:  v.maxPrestige,
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("delta: materialize: %w", err)
+	}
+
+	postings := make(map[string][]graph.NodeID)
+	v.baseIx.ForEachTermPosting(func(term string, nodes []graph.NodeID) {
+		del := v.st.delPost[term]
+		var keep []graph.NodeID
+		for _, u := range nodes {
+			if !v.st.tomb[u] && !del[u] {
+				keep = append(keep, u)
+			}
+		}
+		if len(keep) > 0 {
+			postings[term] = keep
+		}
+	})
+	for term, nodes := range v.st.addPost {
+		for _, u := range nodes {
+			if !v.st.tomb[u] {
+				postings[term] = append(postings[term], u)
+			}
+		}
+	}
+	relations := make(map[string][]graph.NodeID)
+	for u := 0; u < n; u++ {
+		if !v.st.tomb[graph.NodeID(u)] {
+			key := index.Normalize(v.Table(graph.NodeID(u)))
+			relations[key] = append(relations[key], graph.NodeID(u))
+		}
+	}
+	return g, index.FromMaps(postings, relations), nil
+}

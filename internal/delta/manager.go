@@ -1,0 +1,234 @@
+package delta
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"banks/internal/convert"
+	"banks/internal/engine"
+	"banks/internal/graph"
+	"banks/internal/index"
+	"banks/internal/prestige"
+	"banks/internal/store"
+)
+
+// Config wires a Manager to the data it mutates and the engine it swaps.
+type Config struct {
+	// Engine is the query engine whose Source the manager swaps on every
+	// mutation batch and compaction.
+	Engine *engine.Engine
+	// Graph and Index are the current base (typically aliasing an open
+	// snapshot's mapping).
+	Graph *graph.Graph
+	Index *index.Index
+	// Mapping and EdgeTypes are carried through to compacted snapshots
+	// verbatim (node IDs are stable, so the base mapping stays valid for
+	// base nodes; appended nodes fall outside it and get synthetic
+	// labels from the serving layer).
+	Mapping   *convert.Mapping
+	EdgeTypes *convert.EdgeTypes
+	// Generation is the base snapshot's generation (0 for a fresh build
+	// or a pre-generation snapshot file).
+	Generation uint64
+	// SnapshotPath, when non-empty, enables compaction to disk: the
+	// compactor writes generation N to SnapshotPath + ".genN" via the
+	// snapshot writer's temp+rename path and re-opens it as the new
+	// base. Empty disables Compact.
+	SnapshotPath string
+	// Mode and PrestigeOptions must match how the base's prestige was
+	// computed.
+	Mode            PrestigeMode
+	PrestigeOptions prestige.Options
+}
+
+// Stats is a point-in-time snapshot of the manager's state and activity.
+type Stats struct {
+	// Generation is the current base snapshot generation.
+	Generation uint64
+	// DeltaVersion counts mutation batches applied since the base.
+	DeltaVersion uint64
+	// DeltaNodes / DeltaEdges are live overlay inserts; Tombstones
+	// counts deleted nodes.
+	DeltaNodes, DeltaEdges, Tombstones int
+	// MutationsTotal counts ops ever applied (cumulative, survives
+	// compaction). MutationBatches counts accepted batches.
+	MutationsTotal, MutationBatches uint64
+	// CompactionsTotal counts completed compactions;
+	// LastCompactionSeconds is the duration of the latest one and
+	// CompactionSecondsSum accumulates all of them (for a Prometheus
+	// summary pair with CompactionsTotal).
+	CompactionsTotal      uint64
+	LastCompactionSeconds float64
+	CompactionSecondsSum  float64
+}
+
+// Manager owns the live-mutation state of one serving process: the
+// current overlay View, the engine Source derived from it, and the
+// compaction lifecycle. All mutating entry points serialize on one
+// mutex; queries never take it (they read the engine's atomic Source).
+type Manager struct {
+	cfg Config
+
+	mu   sync.Mutex
+	view *View
+	// owned is the snapshot backing the current base iff the manager
+	// opened it (a compacted generation). The process-initial snapshot
+	// is never owned — closing it would unmap memory the rest of the
+	// process (DB handles, explain paths) may still reference.
+	owned *store.Snapshot
+
+	mutationsTotal   atomic.Uint64
+	mutationBatches  atomic.Uint64
+	compactionsTotal atomic.Uint64
+	lastCompactBits  atomic.Uint64 // float64 bits of the last duration
+	compactSumBits   atomic.Uint64 // float64 bits of the duration sum
+}
+
+// NewManager builds a Manager over the engine's initial base state and
+// installs the version-0 source (generation stamping begins immediately).
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Engine == nil || cfg.Graph == nil || cfg.Index == nil {
+		return nil, fmt.Errorf("delta: manager requires engine, graph and index")
+	}
+	m := &Manager{
+		cfg:  cfg,
+		view: NewView(cfg.Graph, cfg.Index, cfg.Generation, cfg.Mode, cfg.PrestigeOptions),
+	}
+	src, err := engine.NewSource(m.view, m.view.Lookup, cfg.Generation, 0)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Engine.Swap(src)
+	return m, nil
+}
+
+// View returns the current overlay view (for tests and label lookups).
+func (m *Manager) View() *View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.view
+}
+
+// Apply validates and applies one mutation batch, swaps the resulting
+// view into the engine, and returns the NodeIDs assigned to the batch's
+// insert_node ops. Queries in flight keep their pre-batch view; queries
+// arriving after Apply returns see the mutations.
+func (m *Manager) Apply(batch []Op) ([]graph.NodeID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nv, assigned, err := m.view.Apply(batch)
+	if err != nil {
+		return nil, err
+	}
+	src, err := engine.NewSource(nv, nv.Lookup, nv.generation, nv.version)
+	if err != nil {
+		return nil, err
+	}
+	m.cfg.Engine.Swap(src)
+	m.view = nv
+	m.mutationsTotal.Add(uint64(len(batch)))
+	m.mutationBatches.Add(1)
+	return assigned, nil
+}
+
+// CompactPath returns the snapshot path compaction would write for the
+// given generation ("" when compaction is disabled).
+func (m *Manager) CompactPath(generation uint64) string {
+	if m.cfg.SnapshotPath == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s.gen%d", m.cfg.SnapshotPath, generation)
+}
+
+// Compact materializes the current overlay into a generation-N+1
+// snapshot file, re-opens it, and hot-swaps it in as the new base with
+// zero dropped queries: the engine source swap is atomic (new queries
+// bind the new base immediately), then Quiesce waits for every query
+// bound to the old state to finish before the previous manager-owned
+// mapping is released. Mutations are blocked for the duration; queries
+// are not. Returns the new generation and the snapshot path.
+func (m *Manager) Compact(ctx context.Context) (uint64, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.SnapshotPath == "" {
+		return 0, "", fmt.Errorf("delta: compaction disabled (no snapshot path)")
+	}
+	start := time.Now()
+
+	g, ix, err := m.view.Materialize()
+	if err != nil {
+		return 0, "", err
+	}
+	newGen := m.view.generation + 1
+	path := m.CompactPath(newGen)
+	if _, err := store.WriteExtrasFile(path, g, ix, m.cfg.Mapping, m.cfg.EdgeTypes, store.Extras{Generation: newGen}); err != nil {
+		return 0, "", fmt.Errorf("delta: write generation %d: %w", newGen, err)
+	}
+	snap, err := store.Open(path, store.Options{})
+	if err != nil {
+		return 0, "", fmt.Errorf("delta: reopen generation %d: %w", newGen, err)
+	}
+	if snap.Generation != newGen {
+		snap.Close()
+		return 0, "", fmt.Errorf("delta: generation %d snapshot reads back as %d", newGen, snap.Generation)
+	}
+
+	nv := NewView(snap.Graph, snap.Index, newGen, m.cfg.Mode, m.cfg.PrestigeOptions)
+	src, err := engine.NewSource(nv, nv.Lookup, newGen, 0)
+	if err != nil {
+		snap.Close()
+		return 0, "", err
+	}
+	m.cfg.Engine.Swap(src)
+
+	// In-flight protection: a query binds its source while holding a
+	// pool slot, so one observed moment of full idleness means no query
+	// can still be reading the replaced state. Only then is the previous
+	// manager-owned mapping released. The process-initial snapshot is
+	// left mapped for the life of the process (other components hold
+	// references into it).
+	if err := m.cfg.Engine.Quiesce(ctx); err != nil {
+		// The swap already happened and is valid; the old mapping just
+		// cannot be released yet. Leak it rather than risk a read fault.
+		m.owned = nil
+	} else if m.owned != nil {
+		m.owned.Close()
+	}
+	m.owned = snap
+	m.view = nv
+
+	dur := time.Since(start).Seconds()
+	m.compactionsTotal.Add(1)
+	m.lastCompactBits.Store(math.Float64bits(dur))
+	for {
+		old := m.compactSumBits.Load()
+		if m.compactSumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+dur)) {
+			break
+		}
+	}
+	return newGen, path, nil
+}
+
+// Stats samples the manager's state. The overlay gauges reflect the
+// current view; counters are cumulative across compactions.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	v := m.view
+	m.mu.Unlock()
+	return Stats{
+		Generation:            v.generation,
+		DeltaVersion:          v.version,
+		DeltaNodes:            v.DeltaNodes(),
+		DeltaEdges:            v.DeltaEdges(),
+		Tombstones:            v.Tombstones(),
+		MutationsTotal:        m.mutationsTotal.Load(),
+		MutationBatches:       m.mutationBatches.Load(),
+		CompactionsTotal:      m.compactionsTotal.Load(),
+		LastCompactionSeconds: math.Float64frombits(m.lastCompactBits.Load()),
+		CompactionSecondsSum:  math.Float64frombits(m.compactSumBits.Load()),
+	}
+}

@@ -19,6 +19,12 @@ type cacheKey struct {
 	terms string
 	algo  core.Algo
 	opts  optsKey
+	// generation and deltaVersion pin the entry to the exact logical
+	// graph (Source) that produced it: a mutation batch or compaction
+	// swap changes the pair, so stale entries become unaddressable
+	// immediately — exact invalidation, not a cache flush.
+	generation   uint64
+	deltaVersion uint64
 }
 
 // optsKey is the comparable subset of core.Options that can change what a
@@ -34,14 +40,16 @@ type optsKey struct {
 
 // newCacheKey builds the key for a query, or ok=false when the query is not
 // cacheable.
-func newCacheKey(terms []string, algo core.Algo, opts core.Options) (cacheKey, bool) {
+func newCacheKey(src *Source, terms []string, algo core.Algo, opts core.Options) (cacheKey, bool) {
 	if opts.EdgeFilter != nil || opts.EdgePriority != nil || opts.Emit != nil || opts.EmitNear != nil {
 		return cacheKey{}, false
 	}
 	n := opts.Normalized()
 	return cacheKey{
-		terms: strings.Join(terms, "\x00"),
-		algo:  algo,
+		terms:        strings.Join(terms, "\x00"),
+		algo:         algo,
+		generation:   src.generation,
+		deltaVersion: src.deltaVersion,
 		opts: optsKey{
 			k: n.K, dmax: n.DMax, maxNodes: n.MaxNodes,
 			mu: n.Mu, lambda: n.Lambda,

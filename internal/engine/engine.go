@@ -55,16 +55,23 @@ type Query struct {
 	Opts  core.Options
 }
 
-// Engine executes keyword searches against one immutable graph+index pair
-// with bounded concurrency, deadlines and result caching.
-type Engine struct {
-	g  *graph.Graph
-	ix *index.Index
-
-	workers int
-	timeout time.Duration
-	sem     chan struct{}
-	// maxDegree caches the graph's maximum combined degree, computed
+// Source is one immutable logical graph the engine serves: a graph view,
+// a keyword-lookup function, and the identity of that state (snapshot
+// generation plus delta version) used for exact cache keying. Sources are
+// swapped in atomically — each query binds to exactly one Source, so a
+// mutation or compaction landing mid-stream of queries gives every query
+// a view consistent with some generation, never a torn mix.
+type Source struct {
+	graph  graph.View
+	lookup func(string) []graph.NodeID
+	// generation is the base snapshot's compaction generation;
+	// deltaVersion counts mutation batches applied on top of it (0 for a
+	// pristine snapshot). Together they identify the logical graph
+	// exactly, which is what makes cache invalidation across swaps exact
+	// rather than a flush.
+	generation   uint64
+	deltaVersion uint64
+	// maxDegree caches the view's maximum combined degree, computed
 	// lazily on the first query that needs it: Bidirectional queries on
 	// hub-free graphs skip the intra-query worker grab entirely. Lazy
 	// because the scan touches every offsets entry — on a zero-copy
@@ -73,6 +80,55 @@ type Engine struct {
 	// that never request Workers.
 	maxDegOnce sync.Once
 	maxDegree  int
+}
+
+// NewSource builds a swappable engine source from a graph view and a
+// keyword-lookup function (typically index.Lookup or a delta overlay's).
+func NewSource(g graph.View, lookup func(string) []graph.NodeID, generation, deltaVersion uint64) (*Source, error) {
+	if g == nil {
+		return nil, errors.New("engine: nil graph")
+	}
+	if lookup == nil {
+		return nil, errors.New("engine: nil lookup")
+	}
+	return &Source{graph: g, lookup: lookup, generation: generation, deltaVersion: deltaVersion}, nil
+}
+
+// Graph returns the source's graph view.
+func (s *Source) Graph() graph.View { return s.graph }
+
+// Generation returns the base snapshot generation of the source.
+func (s *Source) Generation() uint64 { return s.generation }
+
+// DeltaVersion returns the count of mutation batches layered on the base.
+func (s *Source) DeltaVersion() uint64 { return s.deltaVersion }
+
+// maxDeg returns the view's maximum combined degree, scanning once on
+// first use.
+func (s *Source) maxDeg() int {
+	s.maxDegOnce.Do(func() {
+		for u := 0; u < s.graph.NumNodes(); u++ {
+			if d := s.graph.Degree(graph.NodeID(u)); d > s.maxDegree {
+				s.maxDegree = d
+			}
+		}
+	})
+	return s.maxDegree
+}
+
+// Engine executes keyword searches against one immutable graph+index pair
+// with bounded concurrency, deadlines and result caching. The pair is
+// held behind an atomic Source pointer so a serving layer can hot-swap in
+// a mutated overlay or a freshly compacted snapshot without stopping
+// queries: each query binds to the Source current when it starts
+// executing, and Swap + Quiesce gives the swapper a moment when no query
+// can still be reading the old state.
+type Engine struct {
+	src atomic.Pointer[Source]
+
+	workers int
+	timeout time.Duration
+	sem     chan struct{}
 
 	cache        *lruCache // nil when caching is disabled
 	hits, misses atomic.Uint64
@@ -163,13 +219,16 @@ func New(g *graph.Graph, ix *index.Index, opts Options) (*Engine, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("engine: invalid worker count %d", opts.Workers)
 	}
+	src, err := NewSource(g, ix.Lookup, 0, 0)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
-		g:       g,
-		ix:      ix,
 		workers: w,
 		timeout: opts.DefaultTimeout,
 		sem:     make(chan struct{}, w),
 	}
+	e.src.Store(src)
 	switch {
 	case opts.CacheSize == 0:
 		e.cache = newLRUCache(DefaultCacheSize)
@@ -182,17 +241,22 @@ func New(g *graph.Graph, ix *index.Index, opts Options) (*Engine, error) {
 // Workers returns the concurrency bound of the pool.
 func (e *Engine) Workers() int { return e.workers }
 
-// maxDeg returns the graph's maximum combined degree, scanning once on
-// first use.
-func (e *Engine) maxDeg() int {
-	e.maxDegOnce.Do(func() {
-		for u := 0; u < e.g.NumNodes(); u++ {
-			if d := e.g.Degree(graph.NodeID(u)); d > e.maxDegree {
-				e.maxDegree = d
-			}
-		}
-	})
-	return e.maxDegree
+// Source returns the engine's current source. Queries already executing
+// may still be bound to an earlier one until Quiesce observes idleness.
+func (e *Engine) Source() *Source { return e.src.Load() }
+
+// Swap atomically replaces the engine's source; queries that start (or
+// re-resolve) after the swap run against the new source. The old source's
+// backing memory must outlive every in-flight query — callers that want
+// to release it (e.g. unmapping a replaced snapshot) call Quiesce after
+// Swap: once every pool slot has been simultaneously free, no query can
+// still be reading the old state, because each query binds its source
+// while holding a slot.
+func (e *Engine) Swap(src *Source) {
+	if src == nil {
+		panic("engine: Swap with nil source")
+	}
+	e.src.Store(src)
 }
 
 // workersUsable caps an intra-query worker request at what the algorithm
@@ -260,9 +324,14 @@ func (e *Engine) Search(ctx context.Context, q Query) (*core.Result, error) {
 	}
 	e.searches.Add(1)
 
+	// The pre-slot cache probe uses whatever source is current now; a hit
+	// costs no pool slot. The key carries the source's generation + delta
+	// version, so a swap can never serve a stale entry — old entries
+	// simply stop being addressable and age out of the LRU.
+	src := e.src.Load()
 	key, cacheable := cacheKey{}, false
 	if e.cache != nil {
-		if key, cacheable = newCacheKey(terms, q.Algo, q.Opts); cacheable {
+		if key, cacheable = newCacheKey(src, terms, q.Algo, q.Opts); cacheable {
 			if res, ok := e.cache.get(key); ok {
 				e.hits.Add(1)
 				return res, nil
@@ -287,9 +356,21 @@ func (e *Engine) Search(ctx context.Context, q Query) (*core.Result, error) {
 		return nil, ctx.Err()
 	}
 
+	// Re-resolve the source now that a slot is held: binding the source
+	// under a slot is what makes Swap + Quiesce a safe unmap barrier (a
+	// quiesced engine has no slot held, hence no query bound to the old
+	// source). A swap between the cache probe and here just re-keys the
+	// result to the source that actually executes.
+	if cur := e.src.Load(); cur != src {
+		src = cur
+		if cacheable {
+			key, cacheable = newCacheKey(src, terms, q.Algo, q.Opts)
+		}
+	}
+
 	kw := make([][]graph.NodeID, len(terms))
 	for i, t := range terms {
-		kw[i] = e.ix.Lookup(t)
+		kw[i] = src.lookup(t)
 	}
 
 	// Intra-query parallelism draws on the same pool budget: a query
@@ -307,7 +388,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*core.Result, error) {
 	// core.MaxWorkers. The bound is graph/query-shaped, not exact — a
 	// Bidirectional search on a hub-capable graph whose frontier never
 	// reaches a hub still holds its granted slots to completion.
-	if want := workersUsable(q.Algo, q.Opts.Workers, kw, e.maxDeg); want > 0 {
+	if want := workersUsable(q.Algo, q.Opts.Workers, kw, src.maxDeg); want > 0 {
 		granted := 0
 		for granted < want {
 			select {
@@ -326,7 +407,7 @@ func (e *Engine) Search(ctx context.Context, q Query) (*core.Result, error) {
 		}()
 	}
 
-	res, err := core.Search(ctx, e.g, q.Algo, kw, q.Opts)
+	res, err := core.Search(ctx, src.graph, q.Algo, kw, q.Opts)
 	if err != nil {
 		e.errored.Add(1)
 		return nil, err
@@ -366,11 +447,12 @@ func (e *Engine) Near(ctx context.Context, terms []string, opts core.Options) ([
 		e.errored.Add(1)
 		return nil, core.Stats{}, ctx.Err()
 	}
+	src := e.src.Load()
 	kw := make([][]graph.NodeID, len(nt))
 	for i, t := range nt {
-		kw[i] = e.ix.Lookup(t)
+		kw[i] = src.lookup(t)
 	}
-	res, stats, err := core.Near(ctx, e.g, kw, opts)
+	res, stats, err := core.Near(ctx, src.graph, kw, opts)
 	switch {
 	case err != nil:
 		e.errored.Add(1)

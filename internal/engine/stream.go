@@ -145,9 +145,12 @@ func (e *Engine) SearchStream(ctx context.Context, q Query, so StreamOptions) (*
 	}
 	st := &Stream{ch: make(chan core.EmittedAnswer, buf), done: make(chan struct{})}
 
+	// Pre-slot cache probe against the current source; same generation +
+	// delta-version keying discipline as Search.
+	src := e.src.Load()
 	key, cacheable := cacheKey{}, false
 	if e.cache != nil {
-		if key, cacheable = newCacheKey(terms, q.Algo, q.Opts); cacheable {
+		if key, cacheable = newCacheKey(src, terms, q.Algo, q.Opts); cacheable {
 			if res, ok := e.cache.get(key); ok {
 				e.hits.Add(1)
 				go st.replay(ctx, res)
@@ -172,13 +175,22 @@ func (e *Engine) SearchStream(ctx context.Context, q Query, so StreamOptions) (*
 		return nil, err
 	}
 
+	// Re-resolve the source under the slot, as Search does: the slot is
+	// what Swap + Quiesce synchronizes on.
+	if cur := e.src.Load(); cur != src {
+		src = cur
+		if cacheable {
+			key, cacheable = newCacheKey(src, terms, q.Algo, q.Opts)
+		}
+	}
+
 	kw := make([][]graph.NodeID, len(terms))
 	for i, t := range terms {
-		kw[i] = e.ix.Lookup(t)
+		kw[i] = src.lookup(t)
 	}
 	// Opportunistic intra-query worker grant, identical to Search.
 	granted := 0
-	if want := workersUsable(q.Algo, q.Opts.Workers, kw, e.maxDeg); want > 0 {
+	if want := workersUsable(q.Algo, q.Opts.Workers, kw, src.maxDeg); want > 0 {
 		for granted < want {
 			select {
 			case e.sem <- struct{}{}:
@@ -191,7 +203,7 @@ func (e *Engine) SearchStream(ctx context.Context, q Query, so StreamOptions) (*
 	}
 	q.Opts.Workers = granted
 
-	go e.runStream(runCtx, cancel, st, q, kw, so, key, cacheable, granted)
+	go e.runStream(runCtx, cancel, st, src, q, kw, so, key, cacheable, granted)
 	return st, nil
 }
 
@@ -209,7 +221,7 @@ func knownAlgo(a core.Algo) bool {
 // runStream executes the search on its own goroutine, feeding the stream
 // through the core Emit seam.
 func (e *Engine) runStream(ctx context.Context, cancel context.CancelFunc, st *Stream,
-	q Query, kw [][]graph.NodeID, so StreamOptions, key cacheKey, cacheable bool, granted int) {
+	src *Source, q Query, kw [][]graph.NodeID, so StreamOptions, key cacheKey, cacheable bool, granted int) {
 	defer cancel()
 
 	// sent and degraded are touched only by the Emit callback and the
@@ -241,7 +253,7 @@ func (e *Engine) runStream(ctx context.Context, cancel context.CancelFunc, st *S
 		}
 	}
 
-	res, err := core.Search(ctx, e.g, q.Algo, kw, opts)
+	res, err := core.Search(ctx, src.graph, q.Algo, kw, opts)
 
 	// The search is over: return the pool slots before tail delivery,
 	// which runs at the consumer's pace and must not hold pool capacity.

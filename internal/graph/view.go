@@ -1,0 +1,30 @@
+package graph
+
+// View is the read-only graph abstraction the search algorithms run
+// over. *Graph satisfies it directly; internal/delta layers a mutation
+// overlay behind the same five methods so frontier expansion, prestige
+// recomputation and answer construction see one logical graph without
+// knowing whether a node's adjacency lives in the mmap'd base snapshot
+// or in an in-memory delta.
+//
+// Implementations must be safe for concurrent readers and must keep the
+// slice returned by Neighbors immutable for the lifetime of the view
+// (callers iterate it without copying, exactly as they do over a
+// *Graph's backing array).
+type View interface {
+	// NumNodes reports the number of nodes; valid NodeIDs are
+	// [0, NumNodes).
+	NumNodes() int
+	// Neighbors returns the combined-graph half-edge adjacency of u in
+	// its canonical per-node order. The slice is read-only.
+	Neighbors(u NodeID) []Half
+	// Degree returns len(Neighbors(u)) without materializing the slice.
+	Degree(u NodeID) int
+	// Prestige returns the node-prestige score of u.
+	Prestige(u NodeID) float64
+	// MaxPrestige returns the maximum prestige over all nodes.
+	MaxPrestige() float64
+}
+
+// *Graph is the canonical View implementation.
+var _ View = (*Graph)(nil)

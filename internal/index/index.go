@@ -39,6 +39,27 @@ func New() *Index {
 	}
 }
 
+// FromMaps builds a frozen index directly from explicit posting and
+// relation maps, taking ownership of both (the caller must not modify
+// them afterwards). Posting lists are sorted and deduplicated here;
+// relation lists are trusted as given, which is what the compaction path
+// needs: unlike Freeze, which derives relation pseudo-postings from
+// every node of the graph, FromMaps lets the caller exclude tombstoned
+// placeholder nodes so deleted tuples stay unfindable by relation-name
+// terms. Keys must already be in Normalize form.
+func FromMaps(postings, relations map[string][]graph.NodeID) *Index {
+	if postings == nil {
+		postings = make(map[string][]graph.NodeID)
+	}
+	if relations == nil {
+		relations = make(map[string][]graph.NodeID)
+	}
+	for term, list := range postings {
+		postings[term] = dedupe(list)
+	}
+	return &Index{postings: postings, relations: relations, frozen: true}
+}
+
 // AddText tokenizes text and adds a posting for each distinct term to node
 // u. Safe to call repeatedly for the same node (e.g. one call per string
 // attribute).
@@ -109,6 +130,30 @@ func (ix *Index) Lookup(term string) []graph.NodeID {
 	}
 }
 
+// TermPostings returns the raw posting list of term — no relation-name
+// merge — sorted ascending (nil if the term is unindexed). The slice is
+// shared and must not be modified. The delta overlay uses the split
+// accessors so deleting a (term,node) pair cannot hide a node that still
+// matches via its relation name.
+func (ix *Index) TermPostings(term string) []graph.NodeID {
+	t := Normalize(term)
+	if ix.flat != nil {
+		return ix.flat.termPostings([]byte(t))
+	}
+	return ix.postings[t]
+}
+
+// RelationPostings returns the relation pseudo-postings of term: every
+// node of the relation the term names, or nil when it names none. The
+// slice is shared and must not be modified.
+func (ix *Index) RelationPostings(term string) []graph.NodeID {
+	t := Normalize(term)
+	if ix.flat != nil {
+		return ix.flat.relPostings([]byte(t))
+	}
+	return ix.relations[t]
+}
+
 // Count returns the number of nodes matching term without materializing a
 // merged list (used for workload selectivity classification).
 func (ix *Index) Count(term string) int {
@@ -130,6 +175,24 @@ func (ix *Index) Terms() []string {
 		out = append(out, t)
 	}
 	return out
+}
+
+// ForEachTermPosting calls fn once per indexed term with the term's raw
+// posting list — no relation-name merge — in unspecified order. The slice
+// must not be modified (on a flat-backed index it may alias mapped
+// memory). The compaction path uses this to rebuild a filtered index
+// without going through per-term Lookup, which would fold relation
+// pseudo-postings into every term that happens to name a relation.
+func (ix *Index) ForEachTermPosting(fn func(term string, nodes []graph.NodeID)) {
+	if ix.flat != nil {
+		for i := 0; i < ix.flat.NumTerms(); i++ {
+			fn(ix.flat.Term(i), ix.flat.Postings[ix.flat.PostOffsets[i]:ix.flat.PostOffsets[i+1]])
+		}
+		return
+	}
+	for t, list := range ix.postings {
+		fn(t, list)
+	}
 }
 
 // NumTerms returns the number of distinct indexed terms.

@@ -49,7 +49,7 @@ func (o Options) withDefaults() Options {
 // on a scale independent of graph size). The paper reports prestige
 // computation "takes about a minute" on 2M-node graphs and is precomputed;
 // callers should compute once per dataset and attach via Graph.SetPrestige.
-func Compute(g *graph.Graph, opts Options) ([]float64, error) {
+func Compute(g graph.View, opts Options) ([]float64, error) {
 	opts = opts.withDefaults()
 	if opts.Damping < 0 || opts.Damping >= 1 {
 		return nil, errors.New("prestige: damping must be in [0,1)")
@@ -124,7 +124,7 @@ func Compute(g *graph.Graph, opts Options) ([]float64, error) {
 // Indegree returns the BANKS-I style prestige: log2(1+indegree) over the
 // original directed graph, normalized to average 1. It is a cheap
 // substitute for the random-walk prestige on very large graphs.
-func Indegree(g *graph.Graph) []float64 {
+func Indegree(g graph.View) []float64 {
 	n := g.NumNodes()
 	p := make([]float64, n)
 	for u := 0; u < n; u++ {

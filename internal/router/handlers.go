@@ -1,12 +1,14 @@
 package router
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -217,6 +219,164 @@ func (rt *Router) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 	}
 	_ = enc.Encode(trailer)
 	annotate(r, agg.queryID, len(merged), agg.truncated)
+}
+
+// maxRoutedBatch bounds a routed batch's fan-out amplification: each
+// element scatters to every shard, so a batch of B costs B×N upstream
+// streams. Shard-side tenant batch caps apply to /v1/batch bodies only
+// — the router forwards elements as individual queries — so the router
+// enforces its own structural cap here.
+const maxRoutedBatch = 64
+
+// routedBatchParallel bounds how many batch elements scatter at once, so
+// one large batch cannot monopolize every shard's admission slots.
+const routedBatchParallel = 4
+
+// routedBatchParams mirrors the shard /v1/batch wire form
+// (internal/server batchParams), with the elements kept raw: the router
+// forwards them to the shards, which do the real validation.
+type routedBatchParams struct {
+	TimeoutMS int64             `json:"timeout_ms"`
+	Queries   []json.RawMessage `json:"queries"`
+}
+
+// routedBatchResponse is the routed /v1/batch body: results[i] and
+// errors[i] mirror queries[i], exactly one of the pair non-null — the
+// same contract the shards serve. Element-level clamps (k, workers,
+// timeout) are disclosed on each element, as resolved by the shards.
+type routedBatchResponse struct {
+	Results []*searchResponse `json:"results"`
+	Errors  []*errorJSON      `json:"errors"`
+}
+
+// handleBatch serves a routed batch by fanning each element through the
+// same scatter-gather-merge path as /v1/search: every element is
+// forwarded to every shard as an individual query and its per-shard
+// top-k streams merge with the canonical recipe, so results[i] is
+// bit-identical to routing queries[i] through /v1/search alone. The
+// batch-level deadline is pushed down by injecting timeout_ms into each
+// forwarded element. Per-element failures (a shard rejection or outage
+// during that element's fan-out) land in errors[i] without failing the
+// siblings.
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", message: "batch requests are POST with a JSON body"})
+		return
+	}
+	body, herr := readBody(r)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var p routedBatchParams
+	if err := dec.Decode(&p); err != nil {
+		writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_body",
+			message: fmt.Sprintf("decoding batch body: %v", err)})
+		return
+	}
+	if len(p.Queries) == 0 {
+		writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+			message: "batch contains no queries"})
+		return
+	}
+	if len(p.Queries) > maxRoutedBatch {
+		writeError(w, &httpError{status: http.StatusBadRequest, code: "batch_too_large",
+			message: fmt.Sprintf("batch of %d queries exceeds the router limit %d", len(p.Queries), maxRoutedBatch)})
+		return
+	}
+	if p.TimeoutMS < 0 {
+		writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+			message: fmt.Sprintf("timeout must be non-negative, got %d", p.TimeoutMS)})
+		return
+	}
+	bodies := make([][]byte, len(p.Queries))
+	for i, raw := range p.Queries {
+		edec := json.NewDecoder(bytes.NewReader(raw))
+		edec.UseNumber() // preserve numeric literals bit-for-bit through the rewrite
+		var m map[string]any
+		if err := edec.Decode(&m); err != nil {
+			writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+				message: fmt.Sprintf("queries[%d]: %v", i, err)})
+			return
+		}
+		if _, ok := m["timeout_ms"]; ok {
+			writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+				message: fmt.Sprintf("queries[%d].timeout_ms: timeout_ms is per batch: set it at the top level", i)})
+			return
+		}
+		if p.TimeoutMS > 0 {
+			m["timeout_ms"] = p.TimeoutMS
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+				message: fmt.Sprintf("queries[%d]: %v", i, err)})
+			return
+		}
+		bodies[i] = b
+	}
+
+	resp := routedBatchResponse{
+		Results: make([]*searchResponse, len(bodies)),
+		Errors:  make([]*errorJSON, len(bodies)),
+	}
+	sem := make(chan struct{}, routedBatchParallel)
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			elem := r.Clone(r.Context())
+			elem.Method = http.MethodPost
+			elem.URL.RawQuery = ""
+			elem.Header.Set("Content-Type", "application/json")
+			results, err := rt.scatter(elem, bodies[i])
+			if err != nil {
+				rt.met.observeQuery(outcomeError, 0)
+				he := mapShardError(err)
+				resp.Errors[i] = &errorJSON{Status: he.status, Code: he.code, Message: he.message}
+				return
+			}
+			merged := mergeResults(results)
+			agg := aggregate(results)
+			outcome := outcomeOK
+			if agg.truncated {
+				outcome = outcomeTruncated
+			}
+			rt.met.observeQuery(outcome, time.Since(start))
+			answers := make([]json.RawMessage, len(merged))
+			for j, wa := range merged {
+				answers[j] = wa.raw
+			}
+			resp.Results[i] = &searchResponse{
+				QueryID:   agg.queryID,
+				Algo:      agg.algo,
+				K:         agg.k,
+				Clamped:   agg.clamped,
+				Truncated: agg.truncated,
+				Answers:   answers,
+				Stats:     routedStats{statsJSON: agg.stats, Shards: len(results)},
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	answers, truncated := 0, false
+	for _, res := range resp.Results {
+		if res != nil {
+			answers += len(res.Answers)
+			truncated = truncated || res.Truncated
+		}
+	}
+	annotate(r, "batch", answers, truncated)
+	writeJSON(w, &resp)
 }
 
 // handleUnsupported rejects an endpoint the router cannot serve

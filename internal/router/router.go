@@ -18,6 +18,7 @@
 //
 //	GET|POST /v1/search         scatter-gather search → merged top-k JSON
 //	GET|POST /v1/search/stream  the same, emitted as NDJSON (gather-then-emit)
+//	POST     /v1/batch          each element routed through the search scatter path
 //	GET      /healthz           liveness; 503 once draining
 //	GET      /statusz           JSON: shard health and routing table
 //	GET      /metrics           Prometheus text: per-shard latency/errors
@@ -157,8 +158,7 @@ func New(cfg Config) (*Router, error) {
 	mux.HandleFunc("/v1/search/stream", rt.handleSearchStream)
 	mux.HandleFunc("/v1/near", rt.handleUnsupported(
 		"near-query activation depends on shard-local keyword-set sizes and cannot be merged exactly; query a shard or an unsharded deployment directly"))
-	mux.HandleFunc("/v1/batch", rt.handleUnsupported(
-		"batch fan-out is not routed; issue the queries individually"))
+	mux.HandleFunc("/v1/batch", rt.handleBatch)
 	mux.HandleFunc("/v1/explain", rt.handleUnsupported(
 		"explain rendering is not routed; query a shard directly"))
 	mux.HandleFunc("/healthz", rt.handleHealthz)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -490,5 +491,116 @@ func TestRouterPOSTBody(t *testing.T) {
 		if string(got.Answers[i]) != string(want.Answers[i]) {
 			t.Errorf("answer %d differs between POST and GET", i)
 		}
+	}
+}
+
+// batchBody is the routed /v1/batch response shape under test.
+type batchBody struct {
+	Results []*searchBody `json:"results"`
+	Errors  []*struct {
+		Status int    `json:"status"`
+		Code   string `json:"code"`
+	} `json:"errors"`
+}
+
+func postBatch(t *testing.T, baseURL, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(baseURL+"/v1/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, []byte(buf.String())
+}
+
+// TestRouterBatchDifferential: each routed batch element carries exactly
+// the answers the routed single-query endpoint serves for the same
+// query, and a failing element lands in errors[i] without failing its
+// siblings.
+func TestRouterBatchDifferential(t *testing.T) {
+	d := deploy(t)
+	code, raw := postBatch(t, d.router.URL, `{"queries":[
+		{"query":"gray transaction","algo":"bidirectional","k":5},
+		{"query":"database query","algo":"si-backward","k":3},
+		{"query":"","algo":"bidirectional"}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", code, raw)
+	}
+	var body batchBody
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Results) != 3 || len(body.Errors) != 3 {
+		t.Fatalf("results/errors arrays: %d/%d, want 3/3", len(body.Results), len(body.Errors))
+	}
+	singles := []string{
+		"/v1/search?q=" + url.QueryEscape("gray transaction") + "&algo=bidirectional&k=5",
+		"/v1/search?q=" + url.QueryEscape("database query") + "&algo=si-backward&k=3",
+	}
+	for i, path := range singles {
+		if body.Errors[i] != nil {
+			t.Fatalf("element %d errored: %+v", i, body.Errors[i])
+		}
+		got := body.Results[i]
+		want := fetchSearch(t, d.router.URL+path)
+		if got == nil {
+			t.Fatalf("element %d has no result", i)
+		}
+		if got.QueryID != want.QueryID || len(got.Answers) != len(want.Answers) {
+			t.Fatalf("element %d: (%s, %d answers), want (%s, %d answers)",
+				i, got.QueryID, len(got.Answers), want.QueryID, len(want.Answers))
+		}
+		for j := range got.Answers {
+			if string(got.Answers[j]) != string(want.Answers[j]) {
+				t.Errorf("element %d answer %d differs:\n  batch:  %s\n  single: %s",
+					i, j, got.Answers[j], want.Answers[j])
+			}
+		}
+	}
+	if body.Results[2] != nil {
+		t.Error("invalid element produced a result")
+	}
+	if body.Errors[2] == nil || body.Errors[2].Status != http.StatusBadRequest {
+		t.Errorf("invalid element error: %+v, want status 400", body.Errors[2])
+	}
+}
+
+// TestRouterBatchValidation: structural rejects fail the whole batch
+// with 400, mirroring the shard batch decoder's contract.
+func TestRouterBatchValidation(t *testing.T) {
+	d := deploy(t)
+	big := `{"queries":[` + strings.Repeat(`{"query":"x"},`, 64) + `{"query":"x"}]}`
+	cases := []struct {
+		name, body, code string
+	}{
+		{"empty", `{"queries":[]}`, "bad_request"},
+		{"unknown top-level field", `{"queries":[{"query":"x"}],"deadline":5}`, "bad_body"},
+		{"element timeout", `{"queries":[{"query":"x","timeout_ms":50}]}`, "bad_request"},
+		{"negative timeout", `{"timeout_ms":-1,"queries":[{"query":"x"}]}`, "bad_request"},
+		{"oversized", big, "batch_too_large"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, raw := postBatch(t, d.router.URL, tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("HTTP %d: %s", code, raw)
+			}
+			var e struct {
+				Error struct {
+					Code string `json:"code"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(raw, &e); err != nil {
+				t.Fatal(err)
+			}
+			if e.Error.Code != tc.code {
+				t.Errorf("error code %q, want %q", e.Error.Code, tc.code)
+			}
+		})
 	}
 }

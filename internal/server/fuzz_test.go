@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"banks"
 	"banks/internal/core"
 )
 
@@ -198,6 +199,89 @@ func FuzzDecodeBatchRequest(f *testing.F) {
 			}
 			if effK := req.Opts.Normalized().K; effK > lim.MaxK || req.Opts.Workers > lim.MaxWorkers {
 				t.Fatalf("element %d escaped caps: %+v", i, req.Opts)
+			}
+		}
+	})
+}
+
+// FuzzDecodeMutateRequest throws arbitrary bytes at the /v1/mutate
+// decoder: it never panics, and nothing it accepts can smuggle a value
+// past the wire caps — batches stay within the tenant op limit, node IDs
+// within the int32 NodeID domain, edge types within uint16, and every op
+// carries the fields its kind requires. Weights are finite by JSON
+// construction. Semantic validity (node exists, not tombstoned) is the
+// delta layer's job and out of scope here.
+func FuzzDecodeMutateRequest(f *testing.F) {
+	seeds := []string{
+		`{"ops":[{"op":"insert_node","table":"paper","text":"keyword search"}]}`,
+		`{"ops":[{"op":"insert_edge","from":1,"to":2,"weight":1.5,"edge_type":3}]}`,
+		`{"ops":[{"op":"delete_node","node":0}]}`,
+		`{"ops":[{"op":"delete_edge","from":0,"to":0}]}`,
+		`{"ops":[{"op":"insert_term","node":5,"term":"banks"}]}`,
+		`{"ops":[{"op":"delete_term","node":5,"term":"banks"}]}`,
+		`{"ops":[{"op":"insert_edge","from":-1,"to":99999999999,"weight":1}]}`,
+		`{"ops":[{"op":"insert_edge","from":1,"to":2,"weight":1,"edge_type":65536}]}`,
+		`{"ops":[{"op":"insert_edge","from":1,"to":2}]}`,
+		`{"ops":[{"op":"nonsense"}]}`,
+		`{"ops":[{"op":"insert_node"}]}`,
+		`{"ops":[{"op":"insert_term","node":1}]}`,
+		`{"ops":[]}`,
+		`{"ops":[{"op":"delete_node","node":1},{"op":"delete_node","node":2},{"op":"delete_node","node":3}]}`,
+		`{"oops":[]}`,
+		`{"ops":[{"op":"delete_node","node":1}]} trailing`,
+		`not json`,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	const maxOps = 2
+
+	f.Fuzz(func(t *testing.T, data string) {
+		ops, herr := decodeMutateOps(strings.NewReader(data), maxOps)
+		if herr != nil {
+			if ops != nil {
+				t.Fatal("decoder returned both ops and an error")
+			}
+			if herr.status < 400 || herr.status > 499 {
+				t.Fatalf("decode failure with non-4xx status %d (%s)", herr.status, herr.message)
+			}
+			if herr.message == "" || herr.code == "" {
+				t.Fatalf("error without message/code: %+v", herr)
+			}
+			return
+		}
+		if len(ops) == 0 || len(ops) > maxOps {
+			t.Fatalf("accepted batch of %d outside (0, %d]", len(ops), maxOps)
+		}
+		for i, op := range ops {
+			switch op.Kind {
+			case banks.OpInsertNode:
+				if op.Table == "" {
+					t.Fatalf("op %d: insert_node without table", i)
+				}
+			case banks.OpInsertEdge:
+				if op.From < 0 || op.To < 0 {
+					t.Fatalf("op %d: negative node ID escaped: %+v", i, op)
+				}
+				if op.Weight != op.Weight || op.Weight > 1e308 || op.Weight < -1e308 {
+					t.Fatalf("op %d: non-finite weight escaped: %v", i, op.Weight)
+				}
+			case banks.OpDeleteNode:
+				if op.Node < 0 {
+					t.Fatalf("op %d: negative node ID escaped", i)
+				}
+			case banks.OpDeleteEdge:
+				if op.From < 0 || op.To < 0 {
+					t.Fatalf("op %d: negative node ID escaped", i)
+				}
+			case banks.OpInsertTerm, banks.OpDeleteTerm:
+				if op.Node < 0 || op.Term == "" {
+					t.Fatalf("op %d: term op missing fields: %+v", i, op)
+				}
+			default:
+				t.Fatalf("op %d: unknown kind %q escaped the decoder", i, op.Kind)
 			}
 		}
 	})

@@ -76,10 +76,27 @@ func (s *Server) statsJSON(st banks.Stats) statsJSON {
 	}
 }
 
+// nodeLabel routes node rendering through the mutation overlay when live
+// mutations are enabled: runtime-inserted nodes have no source row, and
+// the base row mapping would fault on their IDs.
+func (s *Server) nodeLabel(u banks.NodeID) string {
+	if s.live != nil {
+		return s.live.NodeLabel(u)
+	}
+	return s.db.NodeLabel(u)
+}
+
+func (s *Server) explain(a *banks.Answer) string {
+	if s.live != nil {
+		return s.live.Explain(a)
+	}
+	return s.db.Explain(a)
+}
+
 func (s *Server) answerJSON(a *banks.Answer) answerJSON {
 	nodes := make([]nodeJSON, len(a.Nodes))
 	for i, u := range a.Nodes {
-		nodes[i] = nodeJSON{ID: u, Label: s.db.NodeLabel(u)}
+		nodes[i] = nodeJSON{ID: u, Label: s.nodeLabel(u)}
 	}
 	edges := make([]edgeJSON, len(a.Edges))
 	for i, e := range a.Edges {
@@ -92,7 +109,7 @@ func (s *Server) answerJSON(a *banks.Answer) answerJSON {
 	}
 	return answerJSON{
 		Root:         a.Root,
-		RootLabel:    s.db.NodeLabel(a.Root),
+		RootLabel:    s.nodeLabel(a.Root),
 		Score:        a.Score,
 		EdgeScore:    a.EdgeScore,
 		NodeScore:    a.NodeScore,
@@ -205,7 +222,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	explains := make([]string, len(res.Answers))
 	for i, a := range res.Answers {
-		explains[i] = s.db.Explain(a)
+		explains[i] = s.explain(a)
 	}
 	annotate(r, req.queryID(), len(explains), res.Stats.Truncated)
 	writeJSON(w, explainResponse{
@@ -279,7 +296,7 @@ func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 	s.met.observeQuery("near", outcome, stats.Duration)
 	nodes := make([]nearNodeJSON, len(res))
 	for i, n := range res {
-		nodes[i] = nearNodeJSON{ID: n.Node, Label: s.db.NodeLabel(n.Node), Activation: n.Activation}
+		nodes[i] = nearNodeJSON{ID: n.Node, Label: s.nodeLabel(n.Node), Activation: n.Activation}
 	}
 	annotate(r, req.queryID(), len(nodes), stats.Truncated)
 	writeJSON(w, nearResponse{
@@ -403,7 +420,11 @@ type statuszResponse struct {
 		// holding or recently refused slots.
 		Tenants map[string]tenantAdmissionJSON `json:"tenants,omitempty"`
 	} `json:"admission"`
-	Tenants []string `json:"tenants,omitempty"`
+	// Live discloses the mutation-overlay state when live mutations are
+	// enabled: the current generation, how much delta has accumulated
+	// since it, and cumulative mutation/compaction activity.
+	Live    *liveJSON `json:"live,omitempty"`
+	Tenants []string  `json:"tenants,omitempty"`
 	Runtime struct {
 		GoVersion  string `json:"go_version"`
 		Goroutines int    `json:"goroutines"`
@@ -419,6 +440,19 @@ type shardJSON struct {
 	OwnedNodes      uint64 `json:"owned_nodes"`
 	OwnedComponents uint64 `json:"owned_components"`
 	DuplicatedEdges uint64 `json:"duplicated_edges"`
+}
+
+// liveJSON is the /statusz disclosure of the live-mutation state.
+type liveJSON struct {
+	Generation            uint64  `json:"generation"`
+	DeltaVersion          uint64  `json:"delta_version"`
+	DeltaNodes            int     `json:"delta_nodes"`
+	DeltaEdges            int     `json:"delta_edges"`
+	Tombstones            int     `json:"tombstones"`
+	MutationsTotal        uint64  `json:"mutations_total"`
+	MutationBatches       uint64  `json:"mutation_batches"`
+	CompactionsTotal      uint64  `json:"compactions_total"`
+	LastCompactionSeconds float64 `json:"last_compaction_seconds,omitempty"`
 }
 
 // tenantAdmissionJSON is one tenant's admission disclosure in /statusz.
@@ -493,6 +527,21 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	resp.Admission.TenantRejected = s.adm.tenantRejectedTotal()
 	resp.Admission.Tenants = s.tenantAdmission()
 
+	if s.live != nil {
+		st := s.live.Stats()
+		resp.Live = &liveJSON{
+			Generation:            st.Generation,
+			DeltaVersion:          st.DeltaVersion,
+			DeltaNodes:            st.DeltaNodes,
+			DeltaEdges:            st.DeltaEdges,
+			Tombstones:            st.Tombstones,
+			MutationsTotal:        st.MutationsTotal,
+			MutationBatches:       st.MutationBatches,
+			CompactionsTotal:      st.CompactionsTotal,
+			LastCompactionSeconds: st.LastCompactionSeconds,
+		}
+	}
+
 	resp.Tenants = s.tenants.Names()
 
 	var mem runtime.MemStats
@@ -507,24 +556,41 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	es := s.eng.Stats()
+	counters := []counterExtra{
+		{"banksd_admission_rejected_total", "Requests rejected by the admission gate (HTTP 429).", s.adm.rejectedTotal()},
+		{"banksd_admission_tenant_rejected_total", "Requests rejected by a per-tenant in-flight quota (subset of rejected).", s.adm.tenantRejectedTotal()},
+		{"banksd_cache_hits_total", "Engine result-cache hits.", es.CacheHits},
+		{"banksd_cache_misses_total", "Engine result-cache misses.", es.CacheMisses},
+	}
+	gauges := []gauge{
+		{"banksd_admission_in_flight", "Requests currently admitted.", float64(s.adm.inFlight())},
+		{"banksd_admission_limit", "Admission in-flight limit.", float64(s.adm.limit)},
+		{"banksd_engine_in_flight", "Engine pool slots currently held.", float64(es.InFlight)},
+		{"banksd_engine_pool_workers", "Engine pool width.", float64(es.Workers)},
+		{"banksd_cache_entries", "Entries in the engine result cache.", float64(es.CacheLen)},
+		{"banksd_draining", "1 once graceful drain has begun.", boolGauge(s.draining.Load())},
+		{"banksd_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds()},
+		{"go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine())},
+	}
+	if s.live != nil {
+		st := s.live.Stats()
+		counters = append(counters,
+			counterExtra{"banksd_mutations_total", "Mutation ops applied (cumulative across compactions).", st.MutationsTotal},
+			counterExtra{"banksd_mutation_batches_total", "Mutation batches accepted.", st.MutationBatches},
+			counterExtra{"banksd_compactions_total", "Completed snapshot compactions.", st.CompactionsTotal},
+		)
+		gauges = append(gauges,
+			gauge{"banksd_generation", "Current base snapshot generation.", float64(st.Generation)},
+			gauge{"banksd_delta_version", "Mutation batches applied since the current base.", float64(st.DeltaVersion)},
+			gauge{"banksd_delta_nodes", "Live nodes inserted since the current base.", float64(st.DeltaNodes)},
+			gauge{"banksd_delta_edges", "Live edges inserted since the current base.", float64(st.DeltaEdges)},
+			gauge{"banksd_delta_tombstones", "Nodes deleted since the current base.", float64(st.Tombstones)},
+			gauge{"banksd_compaction_seconds_sum", "Total seconds spent in compactions (pair with banksd_compactions_total for averages).", st.CompactionSecondsSum},
+			gauge{"banksd_last_compaction_seconds", "Duration of the most recent compaction.", st.LastCompactionSeconds},
+		)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w,
-		[]counterExtra{
-			{"banksd_admission_rejected_total", "Requests rejected by the admission gate (HTTP 429).", s.adm.rejectedTotal()},
-			{"banksd_admission_tenant_rejected_total", "Requests rejected by a per-tenant in-flight quota (subset of rejected).", s.adm.tenantRejectedTotal()},
-			{"banksd_cache_hits_total", "Engine result-cache hits.", es.CacheHits},
-			{"banksd_cache_misses_total", "Engine result-cache misses.", es.CacheMisses},
-		},
-		[]gauge{
-			{"banksd_admission_in_flight", "Requests currently admitted.", float64(s.adm.inFlight())},
-			{"banksd_admission_limit", "Admission in-flight limit.", float64(s.adm.limit)},
-			{"banksd_engine_in_flight", "Engine pool slots currently held.", float64(es.InFlight)},
-			{"banksd_engine_pool_workers", "Engine pool width.", float64(es.Workers)},
-			{"banksd_cache_entries", "Entries in the engine result cache.", float64(es.CacheLen)},
-			{"banksd_draining", "1 once graceful drain has begun.", boolGauge(s.draining.Load())},
-			{"banksd_uptime_seconds", "Seconds since the server started.", time.Since(s.start).Seconds()},
-			{"go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine())},
-		})
+	s.met.write(w, counters, gauges)
 }
 
 func boolGauge(b bool) float64 {

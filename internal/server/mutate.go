@@ -1,0 +1,204 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"banks"
+	"banks/internal/graph"
+)
+
+// maxWireEdgeType bounds the edge_type wire field to what graph.EdgeType
+// (uint16) can hold; anything above would silently truncate.
+const maxWireEdgeType = int64(^uint16(0))
+
+// mutateOpJSON is the wire form of one mutation op. Node references use
+// pointers so "absent" and "node 0" are distinguishable — op kinds that
+// require a node must name one explicitly.
+type mutateOpJSON struct {
+	Op       string   `json:"op"`
+	Table    string   `json:"table,omitempty"`
+	Text     string   `json:"text,omitempty"`
+	Node     *int64   `json:"node,omitempty"`
+	From     *int64   `json:"from,omitempty"`
+	To       *int64   `json:"to,omitempty"`
+	Weight   *float64 `json:"weight,omitempty"`
+	EdgeType int64    `json:"edge_type,omitempty"`
+	Term     string   `json:"term,omitempty"`
+}
+
+// mutateParams is the POST /v1/mutate body.
+type mutateParams struct {
+	Ops []mutateOpJSON `json:"ops"`
+}
+
+// mutateResponse reports an applied batch: the IDs assigned to its
+// insert_node ops (in op order) and the resulting logical state identity.
+type mutateResponse struct {
+	Applied      int            `json:"applied"`
+	Assigned     []banks.NodeID `json:"assigned,omitempty"`
+	Generation   uint64         `json:"generation"`
+	DeltaVersion uint64         `json:"delta_version"`
+}
+
+// compactResponse reports a completed compaction.
+type compactResponse struct {
+	Generation uint64  `json:"generation"`
+	Path       string  `json:"path"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// nodeField converts one wire node reference, enforcing presence and the
+// NodeID (int32) range so an out-of-range value cannot wrap into a valid
+// ID.
+func nodeField(v *int64, opIdx int, name string) (graph.NodeID, *httpError) {
+	if v == nil {
+		return 0, badRequest(fmt.Sprintf("ops[%d].%s", opIdx, name), "%s is required for this op", name)
+	}
+	if *v < 0 || *v > math.MaxInt32 {
+		return 0, badRequest(fmt.Sprintf("ops[%d].%s", opIdx, name), "node ID %d out of range", *v)
+	}
+	return graph.NodeID(*v), nil
+}
+
+// decodeMutateOps decodes and validates a /v1/mutate body into mutation
+// ops. maxOps is the tenant batch cap (0 = uncapped). Structural
+// validation only — semantic checks (unknown nodes, tombstoned endpoints,
+// bad weights in context) belong to the delta layer, which reports them
+// per op.
+func decodeMutateOps(body io.Reader, maxOps int) ([]banks.MutationOp, *httpError) {
+	var p mutateParams
+	if herr := decodeStrictJSON(body, &p); herr != nil {
+		return nil, herr
+	}
+	if len(p.Ops) == 0 {
+		return nil, badRequest("ops", "mutation batch contains no ops")
+	}
+	if maxOps > 0 && len(p.Ops) > maxOps {
+		return nil, &httpError{status: http.StatusBadRequest, code: "mutate_too_large", field: "ops",
+			message: fmt.Sprintf("batch of %d ops exceeds the tenant limit %d", len(p.Ops), maxOps)}
+	}
+	ops := make([]banks.MutationOp, len(p.Ops))
+	for i, w := range p.Ops {
+		field := func(name string) string { return fmt.Sprintf("ops[%d].%s", i, name) }
+		op := banks.MutationOp{Kind: banks.MutationKind(w.Op)}
+		var herr *httpError
+		switch op.Kind {
+		case banks.OpInsertNode:
+			if w.Table == "" {
+				return nil, badRequest(field("table"), "insert_node requires a table")
+			}
+			op.Table, op.Text = w.Table, w.Text
+		case banks.OpInsertEdge:
+			if op.From, herr = nodeField(w.From, i, "from"); herr != nil {
+				return nil, herr
+			}
+			if op.To, herr = nodeField(w.To, i, "to"); herr != nil {
+				return nil, herr
+			}
+			if w.Weight == nil {
+				return nil, badRequest(field("weight"), "insert_edge requires a weight")
+			}
+			// JSON cannot express NaN/Inf, so finiteness holds by
+			// construction; positivity is the delta layer's check.
+			op.Weight = *w.Weight
+			if w.EdgeType < 0 || w.EdgeType > maxWireEdgeType {
+				return nil, badRequest(field("edge_type"), "edge type %d out of range", w.EdgeType)
+			}
+			op.EdgeType = graph.EdgeType(w.EdgeType)
+		case banks.OpDeleteNode:
+			if op.Node, herr = nodeField(w.Node, i, "node"); herr != nil {
+				return nil, herr
+			}
+		case banks.OpDeleteEdge:
+			if op.From, herr = nodeField(w.From, i, "from"); herr != nil {
+				return nil, herr
+			}
+			if op.To, herr = nodeField(w.To, i, "to"); herr != nil {
+				return nil, herr
+			}
+		case banks.OpInsertTerm, banks.OpDeleteTerm:
+			if op.Node, herr = nodeField(w.Node, i, "node"); herr != nil {
+				return nil, herr
+			}
+			if w.Term == "" {
+				return nil, badRequest(field("term"), "%s requires a term", w.Op)
+			}
+			op.Term = w.Term
+		default:
+			return nil, badRequest(field("op"), "unknown op kind %q", w.Op)
+		}
+		ops[i] = op
+	}
+	return ops, nil
+}
+
+// requireLive gates the mutation endpoints: 501 when the server was built
+// without live mutations, 403 when the tenant's limits deny them.
+func (s *Server) requireLive(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, &httpError{status: http.StatusMethodNotAllowed,
+			code: "method_not_allowed", message: "mutations are POST with a JSON body"})
+		return false
+	}
+	if s.live == nil {
+		writeError(w, &httpError{status: http.StatusNotImplemented, code: "not_mutable",
+			message: "this server was started without live mutations (banksd -live)"})
+		return false
+	}
+	if !s.limits(r).MutateAllowed() {
+		writeError(w, &httpError{status: http.StatusForbidden, code: "mutate_denied",
+			message: "this tenant is not allowed to mutate"})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w, r) {
+		return
+	}
+	ops, herr := decodeMutateOps(http.MaxBytesReader(nil, r.Body, maxBodyBytes), s.limits(r).MaxMutateOps)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	assigned, err := s.live.Apply(ops)
+	if err != nil {
+		// Semantic rejections from the delta layer are the caller's to
+		// fix; the batch was not applied.
+		writeError(w, badRequest("ops", "%v", err))
+		return
+	}
+	st := s.live.Stats()
+	annotate(r, "mutate", len(ops), false)
+	writeJSON(w, mutateResponse{
+		Applied:      len(ops),
+		Assigned:     assigned,
+		Generation:   st.Generation,
+		DeltaVersion: st.DeltaVersion,
+	})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if !s.requireLive(w, r) {
+		return
+	}
+	start := time.Now()
+	gen, path, err := s.live.Compact(r.Context())
+	if err != nil {
+		writeError(w, &httpError{status: http.StatusInternalServerError, code: "compact_failed",
+			message: err.Error()})
+		return
+	}
+	annotate(r, "compact", 0, false)
+	writeJSON(w, compactResponse{
+		Generation: gen,
+		Path:       path,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}

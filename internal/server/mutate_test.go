@@ -1,0 +1,210 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"banks"
+)
+
+// newLiveServer builds a mutable server: its own engine over the shared
+// DB, live mutations enabled, compaction writing under a test dir.
+func newLiveServer(t *testing.T, tenants *TenantConfig) (*Server, *httptest.Server, *banks.Live) {
+	t.Helper()
+	db := testDB(t)
+	eng, err := banks.NewEngine(db, banks.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := banks.OpenLive(eng, banks.LiveOptions{
+		SnapshotPath: filepath.Join(t.TempDir(), "live.banksnap"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenants == nil {
+		tenants = generousTenants()
+	}
+	s, err := New(Config{Engine: eng, DB: db, Live: live, Tenants: tenants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, live
+}
+
+// TestMutateEndToEnd: a mutation applied over HTTP is visible to the next
+// search, the inserted node renders with a synthetic label, compaction
+// over HTTP advances the generation, and the mutations survive it.
+func TestMutateEndToEnd(t *testing.T) {
+	_, ts, _ := newLiveServer(t, nil)
+
+	code, body := post(t, ts, "/v1/mutate", "", `{"ops":[
+		{"op":"insert_node","table":"paper","text":"zephyrqux overlay search"},
+		{"op":"insert_node","table":"paper","text":"zephyrqux generation test"}
+	]}`)
+	if code != 200 {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+	var mr mutateResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Applied != 2 || len(mr.Assigned) != 2 || mr.DeltaVersion != 1 {
+		t.Fatalf("mutate response: %+v", mr)
+	}
+
+	// Link the two new nodes so a two-keyword search can connect them.
+	code, body = post(t, ts, "/v1/mutate", "", fmt.Sprintf(
+		`{"ops":[{"op":"insert_edge","from":%d,"to":%d,"weight":1}]}`, mr.Assigned[0], mr.Assigned[1]))
+	if code != 200 {
+		t.Fatalf("mutate edge: %d %s", code, body)
+	}
+
+	code, body, _ = get(t, ts, "/v1/search?q=zephyrqux+generation", "")
+	if code != 200 {
+		t.Fatalf("search: %d %s", code, body)
+	}
+	sr := decodeSearchResponse(t, body)
+	if len(sr.Answers) == 0 {
+		t.Fatalf("search does not see the mutation: %s", body)
+	}
+	if !strings.Contains(sr.Answers[0].RootLabel, "paper[+") {
+		t.Fatalf("inserted node lacks synthetic label: %q", sr.Answers[0].RootLabel)
+	}
+
+	code, body = post(t, ts, "/v1/compact", "", "")
+	if code != 200 {
+		t.Fatalf("compact: %d %s", code, body)
+	}
+	var cr compactResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Generation != 1 || cr.Path == "" {
+		t.Fatalf("compact response: %+v", cr)
+	}
+
+	// The compacted base must still answer the query identically.
+	code, body, _ = get(t, ts, "/v1/search?q=zephyrqux+generation", "")
+	if code != 200 {
+		t.Fatalf("post-compact search: %d %s", code, body)
+	}
+	sr2 := decodeSearchResponse(t, body)
+	if len(sr2.Answers) != len(sr.Answers) || sr2.Answers[0].Score != sr.Answers[0].Score {
+		t.Fatalf("compaction changed the answer: %+v vs %+v", sr2.Answers, sr.Answers)
+	}
+
+	// /statusz discloses the new generation and the reset delta.
+	code, body, _ = get(t, ts, "/statusz", "")
+	if code != 200 {
+		t.Fatalf("statusz: %d", code)
+	}
+	var st struct {
+		Live *liveJSON `json:"live"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Live == nil {
+		t.Fatal("statusz carries no live block")
+	}
+	if st.Live.Generation != 1 || st.Live.DeltaVersion != 0 || st.Live.MutationsTotal != 3 || st.Live.CompactionsTotal != 1 {
+		t.Fatalf("statusz live block: %+v", st.Live)
+	}
+
+	// /metrics exposes the mutation counters and delta gauges.
+	code, body, _ = get(t, ts, "/metrics", "")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, want := range []string{
+		"banksd_mutations_total 3",
+		"banksd_compactions_total 1",
+		"banksd_generation 1",
+		"banksd_delta_nodes 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestMutateValidation: structural rejects (400) and semantic rejects
+// from the delta layer (400 with the op index) both leave state
+// untouched.
+func TestMutateValidation(t *testing.T) {
+	_, ts, live := newLiveServer(t, nil)
+	cases := []struct {
+		name, body string
+	}{
+		{"empty batch", `{"ops":[]}`},
+		{"unknown kind", `{"ops":[{"op":"upsert_node","table":"x"}]}`},
+		{"unknown field", `{"ops":[{"op":"insert_node","table":"x","weight_x":1}]}`},
+		{"missing weight", `{"ops":[{"op":"insert_edge","from":0,"to":1}]}`},
+		{"negative node", `{"ops":[{"op":"delete_node","node":-1}]}`},
+		{"edge type overflow", `{"ops":[{"op":"insert_edge","from":0,"to":1,"weight":1,"edge_type":70000}]}`},
+		{"semantic: self loop", `{"ops":[{"op":"insert_edge","from":3,"to":3,"weight":1}]}`},
+		{"semantic: node out of range", `{"ops":[{"op":"delete_node","node":99999999}]}`},
+		{"semantic: bad weight", `{"ops":[{"op":"insert_edge","from":0,"to":1,"weight":0}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := post(t, ts, "/v1/mutate", "", tc.body)
+			if code != 400 {
+				t.Fatalf("%s: got %d %s, want 400", tc.name, code, body)
+			}
+		})
+	}
+	if st := live.Stats(); st.DeltaVersion != 0 || st.MutationsTotal != 0 {
+		t.Fatalf("rejected batches mutated state: %+v", st)
+	}
+}
+
+// TestMutateTenantGate: a tenant with allow_mutate=false gets 403 from
+// both mutation endpoints; an allowed tenant's op cap binds.
+func TestMutateTenantGate(t *testing.T) {
+	deny := false
+	tenants := generousTenants()
+	tenants.Tenants = map[string]TenantLimits{
+		"reader": {AllowMutate: &deny},
+		"writer": {MaxMutateOps: 1},
+	}
+	_, ts, _ := newLiveServer(t, tenants)
+
+	body := `{"ops":[{"op":"insert_node","table":"paper","text":"x"}]}`
+	if code, b := post(t, ts, "/v1/mutate", "reader", body); code != 403 {
+		t.Fatalf("denied tenant mutate: %d %s", code, b)
+	}
+	if code, b := post(t, ts, "/v1/compact", "reader", ""); code != 403 {
+		t.Fatalf("denied tenant compact: %d %s", code, b)
+	}
+	two := `{"ops":[{"op":"insert_node","table":"p","text":"a"},{"op":"insert_node","table":"p","text":"b"}]}`
+	if code, b := post(t, ts, "/v1/mutate", "writer", two); code != 400 || !strings.Contains(string(b), "mutate_too_large") {
+		t.Fatalf("op cap: %d %s", code, b)
+	}
+	if code, _ := post(t, ts, "/v1/mutate", "writer", body); code != 200 {
+		t.Fatalf("allowed tenant: %d", code)
+	}
+}
+
+// TestMutateReadOnly: a server without Live answers 501 on both mutation
+// endpoints and carries no live disclosure.
+func TestMutateReadOnly(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code, b := post(t, ts, "/v1/mutate", "", `{"ops":[{"op":"delete_node","node":0}]}`); code != 501 {
+		t.Fatalf("mutate on read-only server: %d %s", code, b)
+	}
+	if code, _ := post(t, ts, "/v1/compact", "", ""); code != 501 {
+		t.Fatal("compact on read-only server should 501")
+	}
+	_, body, _ := get(t, ts, "/statusz", "")
+	if strings.Contains(string(body), `"live"`) {
+		t.Fatal("read-only statusz discloses a live block")
+	}
+}

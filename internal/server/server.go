@@ -10,6 +10,8 @@
 //	POST     /v1/batch          many queries fanned out across the engine pool
 //	GET|POST /v1/near           activation-ranked nodes ("near queries", §4.3)
 //	GET|POST /v1/explain        a query's answers rendered as indented trees
+//	POST     /v1/mutate         apply one batch of live mutations (tenant-gated)
+//	POST     /v1/compact        fold the mutation overlay into a new snapshot generation
 //	GET      /healthz           liveness; 503 once draining
 //	GET      /statusz           JSON introspection: engine, cache, admission, runtime
 //	GET      /metrics           Prometheus text format (stdlib-only exporter)
@@ -45,6 +47,11 @@ type Config struct {
 	// DB is the database the engine serves, used for node labels,
 	// explain rendering and /statusz. Required.
 	DB *banks.DB
+	// Live enables the mutation endpoints (POST /v1/mutate and
+	// /v1/compact) and routes node labels through the mutation overlay so
+	// runtime-inserted nodes render without source rows. Nil serves a
+	// read-only instance: the mutation endpoints answer 501.
+	Live *banks.Live
 	// Tenants maps X-Tenant header values to serving limits.
 	// Nil means every tenant gets the built-in limits.
 	Tenants *TenantConfig
@@ -73,6 +80,7 @@ type Config struct {
 type Server struct {
 	eng     *banks.Engine
 	db      *banks.DB
+	live    *banks.Live
 	tenants *TenantConfig
 	adm     *admission
 	met     *metrics
@@ -112,6 +120,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		eng:               cfg.Engine,
 		db:                cfg.DB,
+		live:              cfg.Live,
 		tenants:           tenants,
 		adm:               newAdmission(maxInFlight),
 		met:               newMetrics(),
@@ -126,6 +135,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/batch", s.admitted(s.handleBatch))
 	mux.HandleFunc("/v1/near", s.admitted(s.handleNear))
 	mux.HandleFunc("/v1/explain", s.admitted(s.handleExplain))
+	mux.HandleFunc("/v1/mutate", s.admitted(s.handleMutate))
+	mux.HandleFunc("/v1/compact", s.admitted(s.handleCompact))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metrics", s.handleMetrics)

@@ -18,6 +18,7 @@ const (
 	BuiltinMaxTimeout     = 5 * time.Second
 	BuiltinDefaultTimeout = 2 * time.Second
 	BuiltinMaxBatch       = 16
+	BuiltinMaxMutateOps   = 1000
 )
 
 // TenantLimits caps what one tenant's requests may ask for. The zero
@@ -46,6 +47,23 @@ type TenantLimits struct {
 	// quota — the global admission limit alone applies). Disclosed in
 	// /statusz under admission.tenants.
 	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// AllowMutate gates POST /v1/mutate and /v1/compact for this tenant.
+	// Mutations change state for every tenant, so the gate exists even
+	// though read limits never refuse service. nil inherits (default
+	// entry, then the built-in: allowed — single-tenant deployments work
+	// out of the box; multi-tenant configs deny in the default entry and
+	// allow the writer tenant explicitly).
+	AllowMutate *bool `json:"allow_mutate,omitempty"`
+	// MaxMutateOps caps the number of ops in one /v1/mutate batch; larger
+	// batches are rejected (400), not clamped — applying a silently
+	// truncated batch would desynchronize the caller's view of what was
+	// written.
+	MaxMutateOps int `json:"max_mutate_ops,omitempty"`
+}
+
+// MutateAllowed reports the effective mutation gate (nil means allowed).
+func (l TenantLimits) MutateAllowed() bool {
+	return l.AllowMutate == nil || *l.AllowMutate
 }
 
 // MaxTimeout returns the cap as a duration.
@@ -78,6 +96,12 @@ func (l TenantLimits) overlay(base TenantLimits) TenantLimits {
 	if l.MaxInFlight == 0 {
 		l.MaxInFlight = base.MaxInFlight
 	}
+	if l.AllowMutate == nil {
+		l.AllowMutate = base.AllowMutate
+	}
+	if l.MaxMutateOps == 0 {
+		l.MaxMutateOps = base.MaxMutateOps
+	}
 	return l
 }
 
@@ -98,6 +122,7 @@ func (l TenantLimits) validate(who string) error {
 		{"default_timeout_ms", l.DefaultTimeoutMS},
 		{"max_batch", int64(l.MaxBatch)},
 		{"max_in_flight", int64(l.MaxInFlight)},
+		{"max_mutate_ops", int64(l.MaxMutateOps)},
 	} {
 		if err := check(f.name, f.v); err != nil {
 			return err
@@ -114,6 +139,7 @@ func builtinLimits() TenantLimits {
 		MaxTimeoutMS:     BuiltinMaxTimeout.Milliseconds(),
 		DefaultTimeoutMS: BuiltinDefaultTimeout.Milliseconds(),
 		MaxBatch:         BuiltinMaxBatch,
+		MaxMutateOps:     BuiltinMaxMutateOps,
 	}
 }
 

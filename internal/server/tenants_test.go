@@ -33,25 +33,25 @@ func TestTenantResolve(t *testing.T) {
 			name:   "no header gets config default over builtins",
 			tenant: "",
 			want: TenantLimits{MaxK: 50, MaxWorkers: BuiltinMaxWorkers,
-				MaxTimeoutMS: BuiltinMaxTimeout.Milliseconds(), DefaultTimeoutMS: 1000, MaxBatch: BuiltinMaxBatch},
+				MaxTimeoutMS: BuiltinMaxTimeout.Milliseconds(), DefaultTimeoutMS: 1000, MaxBatch: BuiltinMaxBatch, MaxMutateOps: BuiltinMaxMutateOps},
 		},
 		{
 			name:   "unknown tenant falls back to default chain",
 			tenant: "nobody",
 			want: TenantLimits{MaxK: 50, MaxWorkers: BuiltinMaxWorkers,
-				MaxTimeoutMS: BuiltinMaxTimeout.Milliseconds(), DefaultTimeoutMS: 1000, MaxBatch: BuiltinMaxBatch},
+				MaxTimeoutMS: BuiltinMaxTimeout.Milliseconds(), DefaultTimeoutMS: 1000, MaxBatch: BuiltinMaxBatch, MaxMutateOps: BuiltinMaxMutateOps},
 		},
 		{
 			name:   "tight tenant overrides, inherits the rest",
 			tenant: "autocomplete",
 			want: TenantLimits{MaxK: 5, MaxWorkers: BuiltinMaxWorkers,
-				MaxTimeoutMS: 100, DefaultTimeoutMS: 50, MaxBatch: BuiltinMaxBatch},
+				MaxTimeoutMS: 100, DefaultTimeoutMS: 50, MaxBatch: BuiltinMaxBatch, MaxMutateOps: BuiltinMaxMutateOps},
 		},
 		{
 			name:   "generous tenant may raise caps above builtins",
 			tenant: "analytics",
 			want: TenantLimits{MaxK: 1000, MaxWorkers: 16,
-				MaxTimeoutMS: 30000, DefaultTimeoutMS: 1000, MaxBatch: 64},
+				MaxTimeoutMS: 30000, DefaultTimeoutMS: 1000, MaxBatch: 64, MaxMutateOps: BuiltinMaxMutateOps},
 		},
 		{
 			// Tightening the cap without restating the default must pull
@@ -60,7 +60,7 @@ func TestTenantResolve(t *testing.T) {
 			name:   "inherited default deadline is bounded by the tenant cap",
 			tenant: "tight",
 			want: TenantLimits{MaxK: 50, MaxWorkers: BuiltinMaxWorkers,
-				MaxTimeoutMS: 100, DefaultTimeoutMS: 100, MaxBatch: BuiltinMaxBatch},
+				MaxTimeoutMS: 100, DefaultTimeoutMS: 100, MaxBatch: BuiltinMaxBatch, MaxMutateOps: BuiltinMaxMutateOps},
 		},
 	}
 	for _, tc := range cases {

@@ -76,6 +76,7 @@ const (
 	secMapping        = uint32(14) // string blob + i32 bases
 	secEdgeTypes      = uint32(15) // string blob
 	secShardMeta      = uint32(16) // shardMetaSize bytes; optional (shard files only)
+	secGeneration     = uint32(17) // u64 LE; optional (absent means generation 0)
 )
 
 // castagnoli is the CRC32-C polynomial table (hardware-accelerated on

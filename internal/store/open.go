@@ -37,6 +37,10 @@ type Snapshot struct {
 	// ShardMeta is non-nil when the file is one shard of a partitioned
 	// dataset (optional section 16); nil for ordinary snapshots.
 	ShardMeta *ShardMeta
+	// Generation is the snapshot's compaction generation (optional
+	// section 17). Files written before generations existed — and every
+	// build-time snapshot — have no section and read as generation 0.
+	Generation uint64
 
 	data     []byte
 	mapped   bool
@@ -305,15 +309,26 @@ func fromBytes(data []byte, opts Options) (*Snapshot, error) {
 			return nil, err
 		}
 	}
+	var generation uint64
+	if raw, ok := byID[secGeneration]; ok {
+		if len(raw) != 8 {
+			return nil, fmt.Errorf("store: generation section is %d bytes, want 8", len(raw))
+		}
+		generation = binary.LittleEndian.Uint64(raw)
+		if generation == 0 {
+			return nil, fmt.Errorf("store: generation section present but zero (writers omit it at generation 0)")
+		}
+	}
 
 	return &Snapshot{
-		Graph:     g,
-		Index:     index.FromFlat(flat),
-		Mapping:   convert.NewMapping(bases),
-		EdgeTypes: convert.NewEdgeTypes(etNames),
-		ShardMeta: shardMeta,
-		data:      data,
-		zeroCopy:  halfZeroCopy,
+		Graph:      g,
+		Index:      index.FromFlat(flat),
+		Mapping:    convert.NewMapping(bases),
+		EdgeTypes:  convert.NewEdgeTypes(etNames),
+		ShardMeta:  shardMeta,
+		Generation: generation,
+		data:       data,
+		zeroCopy:   halfZeroCopy,
 	}, nil
 }
 

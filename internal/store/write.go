@@ -41,6 +41,24 @@ func Write(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mappin
 // (section 16). A nil meta writes a plain snapshot, byte-identical to
 // Write's output.
 func WriteSharded(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes, meta *ShardMeta) (int64, error) {
+	return WriteExtras(w, g, ix, mapping, edgeTypes, Extras{Meta: meta})
+}
+
+// Extras bundles the optional trailing sections of a snapshot write. The
+// zero value writes a plain snapshot byte-identical to Write's output:
+// generation 0 omits the generation section entirely (old readers and
+// byte-level golden tests see no difference), matching the open path's
+// "missing section means generation 0" rule.
+type Extras struct {
+	// Meta, when non-nil, appends the shard-meta section (16).
+	Meta *ShardMeta
+	// Generation, when non-zero, appends the generation section (17).
+	// Compacted snapshots carry the generation that produced them.
+	Generation uint64
+}
+
+// WriteExtras is Write with optional trailing sections.
+func WriteExtras(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes, ex Extras) (int64, error) {
 	if g == nil || ix == nil {
 		return 0, fmt.Errorf("store: nil graph or index")
 	}
@@ -79,8 +97,13 @@ func WriteSharded(w io.Writer, g *graph.Graph, ix *index.Index, mapping *convert
 		{id: secMapping, enc: encBytes(mappingBlob)},
 		{id: secEdgeTypes, enc: encBytes(edgeTypeBlob)},
 	}
-	if meta != nil {
-		secs = append(secs, section{id: secShardMeta, enc: encBytes(meta.encode())})
+	if ex.Meta != nil {
+		secs = append(secs, section{id: secShardMeta, enc: encBytes(ex.Meta.encode())})
+	}
+	if ex.Generation != 0 {
+		var genBuf [8]byte
+		binary.LittleEndian.PutUint64(genBuf[:], ex.Generation)
+		secs = append(secs, section{id: secGeneration, enc: encBytes(genBuf[:])})
 	}
 
 	// Pass 1: size and checksum every section.
@@ -156,12 +179,17 @@ func WriteFile(path string, g *graph.Graph, ix *index.Index, mapping *convert.Ma
 
 // WriteShardedFile is WriteFile with an optional shard-meta section.
 func WriteShardedFile(path string, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes, meta *ShardMeta) (int64, error) {
+	return WriteExtrasFile(path, g, ix, mapping, edgeTypes, Extras{Meta: meta})
+}
+
+// WriteExtrasFile is WriteFile with optional trailing sections.
+func WriteExtrasFile(path string, g *graph.Graph, ix *index.Index, mapping *convert.Mapping, edgeTypes *convert.EdgeTypes, ex Extras) (int64, error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".banksnap-*")
 	if err != nil {
 		return 0, err
 	}
 	defer os.Remove(tmp.Name())
-	n, err := WriteSharded(tmp, g, ix, mapping, edgeTypes, meta)
+	n, err := WriteExtras(tmp, g, ix, mapping, edgeTypes, ex)
 	if err != nil {
 		tmp.Close()
 		return n, err

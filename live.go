@@ -1,0 +1,175 @@
+package banks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"banks/internal/delta"
+	"banks/internal/graph"
+	"banks/internal/prestige"
+)
+
+// Live-mutation types, aliased from internal/delta so callers only import
+// this package.
+type (
+	// MutationOp is one mutation operation: a node/edge/term insert or
+	// delete. See docs/MUTATIONS.md for per-kind field requirements and
+	// semantics.
+	MutationOp = delta.Op
+	// MutationKind discriminates MutationOp.
+	MutationKind = delta.OpKind
+	// LiveStats is a point-in-time snapshot of live-mutation state:
+	// generation, delta sizes, and mutation/compaction counters.
+	LiveStats = delta.Stats
+)
+
+// Mutation operation kinds.
+const (
+	OpInsertNode = delta.OpInsertNode
+	OpInsertEdge = delta.OpInsertEdge
+	OpDeleteNode = delta.OpDeleteNode
+	OpDeleteEdge = delta.OpDeleteEdge
+	OpInsertTerm = delta.OpInsertTerm
+	OpDeleteTerm = delta.OpDeleteTerm
+)
+
+// LiveOptions configures OpenLive.
+type LiveOptions struct {
+	// SnapshotPath, when non-empty, enables compaction: generation N is
+	// written to SnapshotPath + ".genN" (temp file + atomic rename) and
+	// hot-swapped in as the new base. Empty disables Compact.
+	SnapshotPath string
+	// Prestige must match how the base DB's prestige was computed; the
+	// overlay recomputes prestige over the mutated graph in the same mode
+	// so scores stay consistent with a from-scratch build.
+	Prestige PrestigeMode
+	// PrestigeOptions tunes the random-walk mode (ignored otherwise).
+	PrestigeOptions PrestigeOptions
+}
+
+// PrestigeOptions re-exports the random-walk tuning knobs (the same type
+// BuildOptions.PrestigeOptions takes).
+type PrestigeOptions = prestige.Options
+
+// Live turns an Engine into a mutable serving instance: mutation batches
+// apply to an in-memory delta overlay on the immutable base and become
+// visible to queries atomically (each in-flight query keeps the exact
+// state it started with), and Compact folds the overlay into a new
+// snapshot generation on disk, hot-swapping it in with zero dropped
+// queries.
+//
+// All mutating entry points serialize internally; queries never block on
+// them. The Engine's result cache is keyed by (generation, delta version),
+// so mutations invalidate exactly the stale entries.
+type Live struct {
+	e *Engine
+	m *delta.Manager
+	// baseNodes is the node count of the process-initial base. The DB's
+	// row mapping covers exactly those nodes; nodes appended later get
+	// synthetic labels even after a compaction folds them into the base.
+	baseNodes int
+}
+
+// OpenLive enables live mutations on an Engine. The engine's queries are
+// redirected through the mutation overlay from this point on (at zero
+// overlay cost until the first mutation). The DB backing the engine must
+// not be Closed while Live is in use; compacted generations are managed
+// internally.
+func OpenLive(e *Engine, opts LiveOptions) (*Live, error) {
+	if e == nil {
+		return nil, errors.New("banks: OpenLive requires an engine")
+	}
+	d := e.db
+	var generation uint64
+	if d.snap != nil {
+		generation = d.snap.Generation
+	}
+	mode := delta.PrestigeRandomWalk
+	switch opts.Prestige {
+	case PrestigeIndegree:
+		mode = delta.PrestigeIndegree
+	case PrestigeUniform:
+		mode = delta.PrestigeUniform
+	}
+	m, err := delta.NewManager(delta.Config{
+		Engine:          e.e,
+		Graph:           d.Graph,
+		Index:           d.Index,
+		Mapping:         d.Mapping,
+		EdgeTypes:       d.EdgeTypes,
+		Generation:      generation,
+		SnapshotPath:    opts.SnapshotPath,
+		Mode:            mode,
+		PrestigeOptions: opts.PrestigeOptions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Live{e: e, m: m, baseNodes: d.Graph.NumNodes()}, nil
+}
+
+// Apply validates and applies one mutation batch atomically: either every
+// op is applied and visible to all queries arriving afterwards, or none
+// is and the error names the offending op. It returns the NodeIDs
+// assigned to the batch's insert_node ops, in op order.
+func (l *Live) Apply(ops []MutationOp) ([]NodeID, error) {
+	return l.m.Apply(ops)
+}
+
+// Compact folds the current overlay into a snapshot file of the next
+// generation and hot-swaps it in as the new base without dropping
+// in-flight queries. Returns the new generation and the file path.
+func (l *Live) Compact(ctx context.Context) (uint64, string, error) {
+	return l.m.Compact(ctx)
+}
+
+// Stats samples the live-mutation state.
+func (l *Live) Stats() LiveStats { return l.m.Stats() }
+
+// Generation returns the current base snapshot generation.
+func (l *Live) Generation() uint64 { return l.m.Stats().Generation }
+
+// NodeLabel renders a node for display, replacing DB.NodeLabel for
+// mutable instances: nodes of the process-initial base keep their
+// "table[row]" labels from the row mapping, nodes inserted at runtime —
+// which have no source row — are labeled "table[+k]" by insertion order.
+// Tombstoned nodes are labeled as deleted.
+func (l *Live) NodeLabel(u NodeID) string {
+	v := l.m.View()
+	if int(u) >= v.NumNodes() {
+		return fmt.Sprintf("node[%d]", u)
+	}
+	if v.Deleted(u) {
+		return fmt.Sprintf("%s[deleted %d]", v.Table(u), u)
+	}
+	if int(u) < l.baseNodes {
+		return l.e.db.NodeLabel(u)
+	}
+	return fmt.Sprintf("%s[+%d]", v.Table(u), int(u)-l.baseNodes)
+}
+
+// Explain renders an answer tree like DB.Explain, routing labels through
+// the overlay so answers containing runtime-inserted nodes render instead
+// of faulting on the row mapping.
+func (l *Live) Explain(a *Answer) string {
+	return explainTree(l.NodeLabel, a)
+}
+
+// EdgeTypeName resolves an edge-type ID to its schema name ("" for the
+// generic type 0 and for IDs the base schema does not define).
+func (l *Live) EdgeTypeName(t graph.EdgeType) string {
+	if l.e.db.EdgeTypes == nil {
+		return ""
+	}
+	return l.e.db.EdgeTypes.Name(t)
+}
+
+// Generation returns the snapshot generation of a snapshot-backed DB
+// (0 for built DBs and for snapshot files that predate generations).
+func (d *DB) Generation() uint64 {
+	if d.snap == nil {
+		return 0
+	}
+	return d.snap.Generation
+}
