@@ -1,21 +1,33 @@
 // Command banksrouter is the scatter-gather front end over a sharded
-// BANKS deployment: it fans each query out to N banksd shard servers
-// (one per shard file written by cmd/datagen -shards) and merges their
-// top-k streams into the global top-k, bit-identical to a single-node
-// server over the unsharded snapshot. See docs/SERVING.md, "Sharded
-// deployment".
+// BANKS deployment: it fans each query out to N shard replica groups
+// (banksd processes serving the shard files written by cmd/datagen
+// -shards) and merges their top-k streams into the global top-k,
+// bit-identical to a single-node server over the unsharded snapshot.
+// Each shard may be served by several interchangeable replicas: the
+// router picks one per query by health- and load-driven selection and
+// fails over to the others when it dies, so 502 means "every replica of
+// some shard is down", not "a process crashed". See docs/SERVING.md,
+// "Sharded deployment".
 //
-// Usage:
+// Usage (pick exactly one topology source):
 //
-//	banksrouter -shards http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 \
-//	            [-addr :8080] [-probe-interval 5s] [-drain-timeout 15s]
+//	banksrouter -shards http://127.0.0.1:8081,http://127.0.0.1:8082 ...
+//	banksrouter -shard 0=http://10.0.0.1:8081,http://10.0.0.2:8081 \
+//	            -shard 1=http://10.0.0.1:8082,http://10.0.0.2:8082 ...
+//	banksrouter -topology topology.json ...
 //
-// -shards lists the shard base URLs in shard order: position i must
-// serve shard i of N (the router's /statusz flags backends whose own
-// shard claim contradicts their position). On SIGTERM or SIGINT the
-// router drains gracefully, mirroring banksd: /healthz flips to 503,
-// listeners close, in-flight fan-outs run to completion (bounded by
-// -drain-timeout), and the process exits 0.
+// plus [-addr :8080] [-probe-interval 5s] [-hedge-after 0]
+// [-drain-grace 1s] [-drain-timeout 15s].
+//
+// -shards lists one replica per shard in shard order (the pre-replica
+// style); -shard is repeatable with an explicit shard index and
+// comma-separated replica URLs; -topology names a JSON file of the form
+// {"shards": [["urlA","urlB"], ["urlC"]]}. Position/index i must serve
+// shard i of N (the router's /statusz flags backends whose own shard
+// claim contradicts their slot). On SIGTERM or SIGINT the router drains
+// gracefully, mirroring banksd: /healthz flips to 503, listeners close,
+// in-flight fan-outs run to completion (bounded by -drain-timeout), and
+// the process exits 0.
 package main
 
 import (
@@ -43,25 +55,28 @@ func main() {
 
 func run() error {
 	addr := flag.String("addr", ":8080", "listen address")
-	shards := flag.String("shards", "", "comma-separated shard base URLs, in shard order (required)")
-	probeInterval := flag.Duration("probe-interval", 5*time.Second, "shard health-probe period (negative disables probing)")
+	shards := flag.String("shards", "", "comma-separated shard base URLs, one replica per shard, in shard order")
+	var shardSpecs []string
+	flag.Func("shard", "repeatable shard spec <index>=<url>[,<url>...] listing one shard's replicas", func(v string) error {
+		shardSpecs = append(shardSpecs, v)
+		return nil
+	})
+	topologyPath := flag.String("topology", "", "JSON topology file: {\"shards\": [[\"urlA\",\"urlB\"], ...]}")
+	probeInterval := flag.Duration("probe-interval", 5*time.Second, "replica health-probe period (negative disables probing)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge a slow replica by also querying its runner-up after this delay (0 disables hedging)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "window between /healthz turning 503 and the listener closing, so load balancers can observe unreadiness and stop routing (0 for tests)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
 	flag.Parse()
 
-	if *shards == "" {
-		return errors.New("-shards is required (comma-separated shard base URLs)")
-	}
-	var urls []string
-	for _, u := range strings.Split(*shards, ",") {
-		if u = strings.TrimSpace(u); u != "" {
-			urls = append(urls, u)
-		}
+	topology, err := resolveTopology(*shards, shardSpecs, *topologyPath)
+	if err != nil {
+		return err
 	}
 
 	rt, err := router.New(router.Config{
-		Shards:        urls,
+		Shards:        topology,
 		ProbeInterval: *probeInterval,
+		HedgeAfter:    *hedgeAfter,
 		Logger:        log.Default(),
 	})
 	if err != nil {
@@ -80,7 +95,7 @@ func run() error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("routing %d shards on %s", rt.NumShards(), *addr)
+		log.Printf("routing %d shards (%d replicas) on %s", rt.NumShards(), rt.NumReplicas(), *addr)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -102,4 +117,38 @@ func run() error {
 	}
 	log.Printf("drained cleanly")
 	return nil
+}
+
+// resolveTopology builds the shard→replicas table from exactly one of
+// the three topology flags.
+func resolveTopology(shards string, shardSpecs []string, topologyPath string) ([][]string, error) {
+	sources := 0
+	if shards != "" {
+		sources++
+	}
+	if len(shardSpecs) > 0 {
+		sources++
+	}
+	if topologyPath != "" {
+		sources++
+	}
+	switch {
+	case sources == 0:
+		return nil, errors.New("a topology is required: -shards, repeated -shard, or -topology")
+	case sources > 1:
+		return nil, errors.New("-shards, -shard and -topology are mutually exclusive; pick one")
+	}
+	if topologyPath != "" {
+		return router.LoadTopologyFile(topologyPath)
+	}
+	if len(shardSpecs) > 0 {
+		return router.ParseShardSpecs(shardSpecs)
+	}
+	var urls []string
+	for _, u := range strings.Split(shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	return router.SingleReplicaTopology(urls), nil
 }

@@ -74,6 +74,49 @@ func TestMergeTopKEvictionConsistency(t *testing.T) {
 	}
 }
 
+// TestMergeTopKDuplicateShardArrival pins the router failover case: the
+// same shard's answer list arrives twice (a retry succeeded AND the
+// original attempt's gather was also folded in). Replicas are
+// deterministic, so the second arrival is a content-equal copy under
+// fresh pointers — dedupe must keep exactly one instance of each answer
+// (the first arrival, since a challenger must strictly beat), and the
+// tie order against other shards' answers must be unchanged from the
+// single-arrival merge.
+func TestMergeTopKDuplicateShardArrival(t *testing.T) {
+	// Shard A's list, decoded twice: equal content, distinct objects.
+	mkShardA := func() []*Answer {
+		return []*Answer{
+			mkAnswer(1, 0.9, TreeEdge{From: 1, To: 2}),
+			mkAnswer(3, 0.5, TreeEdge{From: 3, To: 4}),
+		}
+	}
+	first := mkShardA()
+	late := mkShardA()
+	// Shard B carries a bit-equal 0.5 tie with shard A's second answer.
+	b := []*Answer{mkAnswer(5, 0.5, TreeEdge{From: 5, To: 6})}
+
+	want := MergeTopK(10, first, b)
+	if len(want) != 3 || want[0] != first[0] || want[1] != first[1] || want[2] != b[0] {
+		t.Fatalf("baseline merge wrong: %v", want)
+	}
+	got := MergeTopK(10, first, b, late)
+	if len(got) != len(want) {
+		t.Fatalf("duplicate arrival changed the answer count: %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: duplicate arrival changed the merge: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The late copies themselves must not appear — first arrival wins
+	// the exact tie.
+	for _, a := range got {
+		if a == late[0] || a == late[1] {
+			t.Fatal("a late duplicate displaced the original answer object")
+		}
+	}
+}
+
 func TestMergeTopKEdgeCases(t *testing.T) {
 	if got := MergeTopK(0, []*Answer{mkAnswer(1, 0.5)}); got != nil {
 		t.Fatalf("k=0: got %v", got)

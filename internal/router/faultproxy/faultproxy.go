@@ -1,0 +1,242 @@
+// Package faultproxy is a test fixture: an httptest-backed reverse proxy
+// that sits between the router and one shard replica and injects
+// failures on demand — dropped connections, 5xx rejections, latency
+// spikes, and NDJSON streams truncated mid-flight. The router's failover
+// tests point a replica slot at a Proxy and assert that answers under
+// injected faults stay byte-identical to the healthy baseline.
+//
+// Faults are armed per proxy with Set and consumed per matching request:
+// a Fault with Count 3 fires on the first three matching requests and
+// then the proxy passes traffic through untouched. By default only
+// /v1/* requests match, so the router's health probes (/healthz,
+// /statusz) keep seeing a live backend and the tests exercise the
+// query-path retry, not the prober; a custom Match widens or narrows
+// that.
+package faultproxy
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects the failure a Fault injects.
+type Mode int
+
+const (
+	// ModeDrop hijacks the connection and closes it without writing a
+	// response: the client sees a transport error (EOF / connection
+	// reset), the failure class of a SIGKILLed backend.
+	ModeDrop Mode = iota
+	// Mode5xx answers 503 with a JSON error envelope, the failure class
+	// of an overloaded or restarting backend.
+	Mode5xx
+	// ModeDelay sleeps Fault.Delay before proxying the request through
+	// unchanged — the slow-replica class that hedging exists for.
+	ModeDelay
+	// ModeTruncate proxies the request but cuts the response stream
+	// after Fault.AfterLines NDJSON lines (before the trailer), the
+	// failure class of a backend dying mid-stream. With MidLine set, the
+	// cut lands inside the next line's JSON, leaving a malformed partial
+	// line on the wire.
+	ModeTruncate
+)
+
+// Fault is one armed failure rule.
+type Fault struct {
+	Mode Mode
+	// Count is how many matching requests the fault consumes before
+	// disarming. 0 means unlimited (every matching request).
+	Count int
+	// Delay is the injected latency for ModeDelay.
+	Delay time.Duration
+	// AfterLines is how many complete NDJSON lines ModeTruncate lets
+	// through before cutting the stream.
+	AfterLines int
+	// MidLine makes ModeTruncate additionally emit the first few bytes
+	// of the next line, so the router sees a malformed partial line
+	// rather than a clean cut between lines.
+	MidLine bool
+	// Match selects which requests the fault applies to. Nil matches
+	// /v1/* paths only, leaving health probes untouched.
+	Match func(r *http.Request) bool
+}
+
+func (f *Fault) matches(r *http.Request) bool {
+	if f.Match != nil {
+		return f.Match(r)
+	}
+	return strings.HasPrefix(r.URL.Path, "/v1/")
+}
+
+// Proxy is one fault-injecting reverse proxy in front of one backend.
+type Proxy struct {
+	server  *httptest.Server
+	backend *url.URL
+
+	mu    sync.Mutex
+	fault *Fault
+	left  int // remaining firings; -1 = unlimited
+
+	injected atomic.Int64
+}
+
+// New starts a proxy in front of backendURL with no fault armed. The
+// caller owns Close.
+//
+// Keep-alives are disabled so every client request reaches the proxy on
+// a fresh connection: Go's http.Transport silently replays an idempotent
+// request whose REUSED connection died before response bytes arrived,
+// which would let a ModeDrop fault be absorbed below the caller's
+// visibility — the second, fresh-connection attempt would consume
+// nothing and succeed. Fresh connections are never auto-retried, so an
+// injected drop is guaranteed to surface as an error to the system under
+// test.
+func New(backendURL string) (*Proxy, error) {
+	bu, err := url.Parse(backendURL)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{backend: bu}
+	p.server = httptest.NewUnstartedServer(http.HandlerFunc(p.serve))
+	p.server.Config.SetKeepAlivesEnabled(false)
+	p.server.Start()
+	return p, nil
+}
+
+// URL is the proxy's base URL — what the router's topology should list
+// in place of the backend.
+func (p *Proxy) URL() string { return p.server.URL }
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() { p.server.Close() }
+
+// Set arms one fault, replacing any previous one. Set(nil) disarms.
+func (p *Proxy) Set(f *Fault) {
+	p.mu.Lock()
+	p.fault = f
+	p.left = 0
+	if f != nil {
+		if f.Count == 0 {
+			p.left = -1
+		} else {
+			p.left = f.Count
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Injected reports how many faults the proxy has fired since New.
+func (p *Proxy) Injected() int64 { return p.injected.Load() }
+
+// take consumes one firing of the armed fault if it matches r.
+func (p *Proxy) take(r *http.Request) *Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.fault == nil || p.left == 0 || !p.fault.matches(r) {
+		return nil
+	}
+	if p.left > 0 {
+		p.left--
+	}
+	p.injected.Add(1)
+	return p.fault
+}
+
+func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
+	f := p.take(r)
+	if f == nil {
+		p.forward(w, r, nil)
+		return
+	}
+	switch f.Mode {
+	case ModeDrop:
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("faultproxy: response writer is not a Hijacker")
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			panic("faultproxy: hijack: " + err.Error())
+		}
+		conn.Close()
+	case Mode5xx:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"error":{"code":"injected","message":"faultproxy 503"}}`)
+	case ModeDelay:
+		select {
+		case <-time.After(f.Delay):
+		case <-r.Context().Done():
+			return
+		}
+		p.forward(w, r, nil)
+	case ModeTruncate:
+		p.forward(w, r, f)
+	}
+}
+
+// forward proxies the request to the backend. A non-nil truncate fault
+// cuts the response body after AfterLines NDJSON lines.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, truncate *Fault) {
+	out := *r.URL
+	out.Scheme = p.backend.Scheme
+	out.Host = p.backend.Host
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, out.String(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if truncate != nil {
+		// Drop the backend's Content-Length so the shortened body goes
+		// out chunked and ends cleanly at the cut — the reader sees EOF
+		// with no trailer line, not a transport-layer length mismatch.
+		w.Header().Del("Content-Length")
+	}
+	w.WriteHeader(resp.StatusCode)
+	if truncate == nil {
+		io.Copy(w, resp.Body)
+		return
+	}
+	fl, _ := w.(http.Flusher)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	lines := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if lines >= truncate.AfterLines {
+			if truncate.MidLine && len(line) > 2 {
+				// Leak a malformed prefix of the next line before dying.
+				w.Write(line[:len(line)/2])
+			}
+			break
+		}
+		w.Write(line)
+		w.Write([]byte("\n"))
+		lines++
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+	// Returning without the remaining lines ends the chunked response
+	// cleanly: the router sees EOF with no trailer line, exactly what a
+	// mid-stream backend death looks like after the kernel flushes.
+}

@@ -1,0 +1,167 @@
+package faultproxy
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ndjsonBackend serves a fixed 4-line NDJSON stream (3 answers + a
+// trailer) on /v1/stream and "ok" on /healthz.
+func ndjsonBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, `{"type":"answer","rank":1}`+"\n")
+		io.WriteString(w, `{"type":"answer","rank":2}`+"\n")
+		io.WriteString(w, `{"type":"answer","rank":3}`+"\n")
+		io.WriteString(w, `{"type":"trailer","answers":3}`+"\n")
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newProxy(t *testing.T, backend string) *Proxy {
+	t.Helper()
+	p, err := New(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func get(t *testing.T, url string) (*http.Response, []string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp, lines
+}
+
+func TestPassthrough(t *testing.T) {
+	ts := ndjsonBackend(t)
+	p := newProxy(t, ts.URL)
+	resp, lines := get(t, p.URL()+"/v1/stream")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if len(lines) != 4 || !strings.Contains(lines[3], "trailer") {
+		t.Fatalf("passthrough mangled the stream: %v", lines)
+	}
+	if p.Injected() != 0 {
+		t.Errorf("injected %d faults with none armed", p.Injected())
+	}
+}
+
+func TestDropThenRecover(t *testing.T) {
+	ts := ndjsonBackend(t)
+	p := newProxy(t, ts.URL)
+	p.Set(&Fault{Mode: ModeDrop, Count: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := http.Get(p.URL() + "/v1/stream"); err == nil {
+			t.Fatalf("request %d: dropped connection produced no error", i)
+		}
+	}
+	// Fault consumed: traffic passes again.
+	resp, lines := get(t, p.URL()+"/v1/stream")
+	if resp.StatusCode != http.StatusOK || len(lines) != 4 {
+		t.Fatalf("after drops: HTTP %d, %d lines", resp.StatusCode, len(lines))
+	}
+	if p.Injected() != 2 {
+		t.Errorf("injected = %d, want 2", p.Injected())
+	}
+}
+
+func Test5xx(t *testing.T) {
+	ts := ndjsonBackend(t)
+	p := newProxy(t, ts.URL)
+	p.Set(&Fault{Mode: Mode5xx, Count: 1})
+	resp, lines := get(t, p.URL()+"/v1/stream")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("HTTP %d, want 503", resp.StatusCode)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "injected") {
+		t.Fatalf("503 body: %v", lines)
+	}
+}
+
+func TestDelayPassesThrough(t *testing.T) {
+	ts := ndjsonBackend(t)
+	p := newProxy(t, ts.URL)
+	p.Set(&Fault{Mode: ModeDelay, Count: 1, Delay: 50 * time.Millisecond})
+	start := time.Now()
+	resp, lines := get(t, p.URL()+"/v1/stream")
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("delayed request returned in %v", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK || len(lines) != 4 {
+		t.Fatalf("delay corrupted the response: HTTP %d, %d lines", resp.StatusCode, len(lines))
+	}
+}
+
+func TestTruncateCleanCut(t *testing.T) {
+	ts := ndjsonBackend(t)
+	p := newProxy(t, ts.URL)
+	p.Set(&Fault{Mode: ModeTruncate, Count: 1, AfterLines: 2})
+	resp, lines := get(t, p.URL()+"/v1/stream")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("clean cut left %d lines, want 2: %v", len(lines), lines)
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "answer") {
+			t.Errorf("truncated stream leaked a non-answer line: %q", l)
+		}
+	}
+}
+
+func TestTruncateMidLine(t *testing.T) {
+	ts := ndjsonBackend(t)
+	p := newProxy(t, ts.URL)
+	p.Set(&Fault{Mode: ModeTruncate, Count: 1, AfterLines: 1, MidLine: true})
+	resp, lines := get(t, p.URL()+"/v1/stream")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d", resp.StatusCode)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("mid-line cut left %d lines, want 2 (1 whole + 1 partial): %v", len(lines), lines)
+	}
+	if strings.HasSuffix(lines[1], "}") {
+		t.Errorf("second line is well-formed JSON, want a partial: %q", lines[1])
+	}
+}
+
+func TestHealthProbesUntouchedByDefault(t *testing.T) {
+	ts := ndjsonBackend(t)
+	p := newProxy(t, ts.URL)
+	p.Set(&Fault{Mode: ModeDrop}) // unlimited, but /v1/ only
+	resp, lines := get(t, p.URL()+"/healthz")
+	if resp.StatusCode != http.StatusOK || len(lines) != 1 || lines[0] != "ok" {
+		t.Fatalf("healthz through armed proxy: HTTP %d, %v", resp.StatusCode, lines)
+	}
+	if p.Injected() != 0 {
+		t.Errorf("default matcher fired on /healthz")
+	}
+}

@@ -18,10 +18,13 @@ import (
 const maxBodyBytes = 1 << 20
 
 // routedStats is the routed response's stats object: the shard counters
-// aggregated per the aggregate() contract, plus the fan-out width.
+// aggregated per the aggregate() contract, plus the fan-out width and
+// the failover disclosure (extra replica attempts any shard needed —
+// omitted when every shard's first replica answered).
 type routedStats struct {
 	statsJSON
-	Shards int `json:"shards"`
+	Shards    int `json:"shards"`
+	Failovers int `json:"failovers,omitempty"`
 }
 
 // searchResponse is the routed /v1/search body — the same shape the
@@ -169,7 +172,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Clamped:   agg.clamped,
 		Truncated: agg.truncated,
 		Answers:   answers,
-		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results)},
+		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers},
 	}
 	annotate(r, resp.QueryID, len(answers), resp.Truncated)
 	writeJSON(w, resp)
@@ -211,7 +214,7 @@ func (rt *Router) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 		Cached:    agg.cached,
 		Degraded:  agg.degraded,
 		Answers:   len(merged),
-		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results)},
+		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers},
 	}
 	if len(merged) > 0 {
 		first := merged[0].outputMS
@@ -362,7 +365,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Clamped:   agg.clamped,
 				Truncated: agg.truncated,
 				Answers:   answers,
-				Stats:     routedStats{statsJSON: agg.stats, Shards: len(results)},
+				Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers},
 			}
 		}(i)
 	}
@@ -401,9 +404,9 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("ok\n"))
 }
 
-// shardStatusJSON is one row of the /statusz routing table.
-type shardStatusJSON struct {
-	Index   int    `json:"index"`
+// replicaStatusJSON is one replica row of the /statusz routing table.
+type replicaStatusJSON struct {
+	Replica int    `json:"replica"`
 	URL     string `json:"url"`
 	Healthy bool   `json:"healthy"`
 	// LastError is the most recent probe or query failure; empty while
@@ -412,6 +415,11 @@ type shardStatusJSON struct {
 	// CheckedSecondsAgo is the age of the health verdict (-1 before the
 	// first probe or query).
 	CheckedSecondsAgo float64 `json:"checked_seconds_ago"`
+	// EWMALatencyMS is the replica's moving-average stream service time
+	// (0 until the first successful fan-out); InFlight its live attempt
+	// count. Together they drive replica selection.
+	EWMALatencyMS float64 `json:"ewma_latency_ms"`
+	InFlight      int64   `json:"in_flight"`
 	// ClaimedShard/ClaimedNumShards mirror the backend's own /statusz
 	// shard disclosure (absent until probed, or when the backend serves
 	// an unsharded snapshot).
@@ -421,17 +429,30 @@ type shardStatusJSON struct {
 	// Misrouted flags a backend whose claim contradicts its position in
 	// the routing table (wrong shard index or wrong shard count).
 	Misrouted bool `json:"misrouted,omitempty"`
-	// Requests/Errors count fan-out calls to this shard.
+	// Requests/Errors count fan-out attempts against this replica.
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
 }
 
+// shardStatusJSON is one shard's row: healthy when at least one replica
+// is, with the replica set nested.
+type shardStatusJSON struct {
+	Index     int                 `json:"index"`
+	Healthy   bool                `json:"healthy"`
+	Failovers uint64              `json:"failovers"`
+	Replicas  []replicaStatusJSON `json:"replicas"`
+}
+
 // statuszResponse is the router's /statusz introspection document.
+// AllHealthy means every shard is answerable (≥1 healthy replica);
+// Degraded means the deployment is answerable but some replica is down.
 type statuszResponse struct {
 	UptimeSeconds float64           `json:"uptime_seconds"`
 	Draining      bool              `json:"draining"`
 	NumShards     int               `json:"num_shards"`
+	TotalReplicas int               `json:"total_replicas"`
 	AllHealthy    bool              `json:"all_healthy"`
+	Degraded      bool              `json:"degraded"`
 	Shards        []shardStatusJSON `json:"shards"`
 	Runtime       struct {
 		GoVersion  string `json:"go_version"`
@@ -444,33 +465,50 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	resp := statuszResponse{
 		UptimeSeconds: time.Since(rt.start).Seconds(),
 		Draining:      rt.draining.Load(),
-		NumShards:     len(rt.shards),
+		NumShards:     len(rt.groups),
+		TotalReplicas: len(rt.replicas),
 		AllHealthy:    true,
-		Shards:        make([]shardStatusJSON, len(rt.shards)),
+		Shards:        make([]shardStatusJSON, len(rt.groups)),
 	}
 	now := time.Now()
-	for i, sh := range rt.shards {
-		reqs, errs := rt.met.shardCounts(i)
-		sh.mu.Lock()
+	for i, g := range rt.groups {
 		row := shardStatusJSON{
-			Index:             i,
-			URL:               sh.url,
-			Healthy:           sh.healthy,
-			LastError:         sh.lastErr,
-			CheckedSecondsAgo: -1,
-			Nodes:             sh.claimedNodes,
-			Requests:          reqs,
-			Errors:            errs,
+			Index:     i,
+			Failovers: rt.met.shardFailovers(i),
+			Replicas:  make([]replicaStatusJSON, len(g.replicas)),
 		}
-		if !sh.lastCheck.IsZero() {
-			row.CheckedSecondsAgo = now.Sub(sh.lastCheck).Seconds()
+		for j, rep := range g.replicas {
+			reqs, errs := rt.met.replicaCounts(i, j)
+			inflight := rep.inflight.Load()
+			rep.mu.Lock()
+			rrow := replicaStatusJSON{
+				Replica:           j,
+				URL:               rep.url,
+				Healthy:           rep.healthy,
+				LastError:         rep.lastErr,
+				CheckedSecondsAgo: -1,
+				EWMALatencyMS:     rep.ewmaNS / 1e6,
+				InFlight:          inflight,
+				Nodes:             rep.claimedNodes,
+				Requests:          reqs,
+				Errors:            errs,
+			}
+			if !rep.lastCheck.IsZero() {
+				rrow.CheckedSecondsAgo = now.Sub(rep.lastCheck).Seconds()
+			}
+			if rep.claimedNumShards != 0 {
+				cs, cn := rep.claimedShard, rep.claimedNumShards
+				rrow.ClaimedShard, rrow.ClaimedNumShards = &cs, &cn
+				rrow.Misrouted = int(cs) != i || int(cn) != len(rt.groups)
+			}
+			rep.mu.Unlock()
+			if rrow.Healthy {
+				row.Healthy = true
+			} else {
+				resp.Degraded = true
+			}
+			row.Replicas[j] = rrow
 		}
-		if sh.claimedNumShards != 0 {
-			cs, cn := sh.claimedShard, sh.claimedNumShards
-			row.ClaimedShard, row.ClaimedNumShards = &cs, &cn
-			row.Misrouted = int(cs) != i || int(cn) != len(rt.shards)
-		}
-		sh.mu.Unlock()
 		if !row.Healthy {
 			resp.AllHealthy = false
 		}
@@ -484,18 +522,27 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	healthy := make([]bool, len(rt.shards))
-	for i, sh := range rt.shards {
-		sh.mu.Lock()
-		healthy[i] = sh.healthy
-		sh.mu.Unlock()
+	rg := replicaGauges{
+		healthy:  make([][]bool, len(rt.groups)),
+		inflight: make([][]int64, len(rt.groups)),
+	}
+	for i, g := range rt.groups {
+		rg.healthy[i] = make([]bool, len(g.replicas))
+		rg.inflight[i] = make([]int64, len(g.replicas))
+		for j, rep := range g.replicas {
+			rep.mu.Lock()
+			rg.healthy[i][j] = rep.healthy
+			rep.mu.Unlock()
+			rg.inflight[i][j] = rep.inflight.Load()
+		}
 	}
 	rt.met.write(w, []gauge{
-		{"banksrouter_shards", "Configured fan-out width.", float64(len(rt.shards))},
+		{"banksrouter_shards", "Configured fan-out width.", float64(len(rt.groups))},
+		{"banksrouter_replicas", "Total backend replicas across all shards.", float64(len(rt.replicas))},
 		{"banksrouter_draining", "1 once graceful drain has begun.", boolGauge(rt.draining.Load())},
 		{"banksrouter_uptime_seconds", "Seconds since the router started.", time.Since(rt.start).Seconds()},
 		{"go_goroutines", "Number of goroutines.", float64(runtime.NumGoroutine())},
-	}, healthy)
+	}, rg)
 }
 
 func boolGauge(b bool) float64 {

@@ -12,9 +12,10 @@ import (
 
 // metrics is the router's stdlib-only Prometheus-text exporter,
 // following the internal/server idiom: deterministic ordering (sorted
-// label keys, fixed shard indexes) so scrapes are testable by string
-// comparison. Per-shard series are arrays indexed by shard position —
-// the label space is fixed at construction, never minted per request.
+// label keys, fixed shard/replica indexes) so scrapes are testable by
+// string comparison. Per-replica series are arrays indexed by shard and
+// replica position — the label space is fixed at construction, never
+// minted per request.
 type metrics struct {
 	mu sync.Mutex
 	// requests["path|code"], queries[outcome].
@@ -22,22 +23,40 @@ type metrics struct {
 	queries  map[string]uint64
 	qSecSum  float64
 	qCount   uint64
-	// Per-shard fan-out outcomes and latency (successful fetches only:
-	// a failed fetch's duration measures the failure mode, not the
-	// shard's service time, and would skew the average).
-	shardOK     []uint64
-	shardErr    []uint64
-	shardSecSum []float64
+	// Per-replica attempt outcomes and latency, [shard][replica].
+	// Latency sums cover successful fetches only: a failed fetch's
+	// duration measures the failure mode, not the replica's service
+	// time, and would skew the average. Canceled attempts (hedge losers,
+	// query teardown) are counted apart from errors — they say nothing
+	// about the replica.
+	repOK       [][]uint64
+	repErr      [][]uint64
+	repCanceled [][]uint64
+	repSecSum   [][]float64
+	// failovers[shard] counts queries the shard answered only after
+	// extra replica attempts; hedges counts hedge timers fired.
+	failovers []uint64
+	hedges    uint64
 }
 
-func newMetrics(numShards int) *metrics {
-	return &metrics{
+func newMetrics(groups []*shardGroup) *metrics {
+	m := &metrics{
 		requests:    make(map[string]uint64),
 		queries:     make(map[string]uint64),
-		shardOK:     make([]uint64, numShards),
-		shardErr:    make([]uint64, numShards),
-		shardSecSum: make([]float64, numShards),
+		repOK:       make([][]uint64, len(groups)),
+		repErr:      make([][]uint64, len(groups)),
+		repCanceled: make([][]uint64, len(groups)),
+		repSecSum:   make([][]float64, len(groups)),
+		failovers:   make([]uint64, len(groups)),
 	}
+	for i, g := range groups {
+		n := len(g.replicas)
+		m.repOK[i] = make([]uint64, n)
+		m.repErr[i] = make([]uint64, n)
+		m.repCanceled[i] = make([]uint64, n)
+		m.repSecSum[i] = make([]float64, n)
+	}
+	return m
 }
 
 func (m *metrics) observeRequest(path string, code int) {
@@ -53,6 +72,13 @@ const (
 	outcomeError     = "error"
 )
 
+// Per-replica attempt outcomes.
+const (
+	outcomeAttemptOK       = "ok"
+	outcomeAttemptError    = "error"
+	outcomeAttemptCanceled = "canceled"
+)
+
 // observeQuery counts one routed query; the latency pair covers the full
 // scatter-gather-merge wall time of queries that produced a result.
 func (m *metrics) observeQuery(outcome string, elapsed time.Duration) {
@@ -65,23 +91,51 @@ func (m *metrics) observeQuery(outcome string, elapsed time.Duration) {
 	m.mu.Unlock()
 }
 
-// observeShard records one fan-out call to a shard.
-func (m *metrics) observeShard(shard int, ok bool, elapsed time.Duration) {
+// observeReplica records one fan-out attempt against a replica.
+func (m *metrics) observeReplica(shard, replica int, outcome string, elapsed time.Duration) {
 	m.mu.Lock()
-	if ok {
-		m.shardOK[shard]++
-		m.shardSecSum[shard] += elapsed.Seconds()
-	} else {
-		m.shardErr[shard]++
+	switch outcome {
+	case outcomeAttemptOK:
+		m.repOK[shard][replica]++
+		m.repSecSum[shard][replica] += elapsed.Seconds()
+	case outcomeAttemptCanceled:
+		m.repCanceled[shard][replica]++
+	default:
+		m.repErr[shard][replica]++
 	}
 	m.mu.Unlock()
 }
 
-// shardCounts returns one shard's request/error totals for /statusz.
-func (m *metrics) shardCounts(shard int) (requests, errors uint64) {
+// observeFailover counts one query a shard answered only after extra
+// replica attempts.
+func (m *metrics) observeFailover(shard int) {
+	m.mu.Lock()
+	m.failovers[shard]++
+	m.mu.Unlock()
+}
+
+// observeHedge counts one hedge timer firing (a concurrent attempt
+// launched against a slow replica's runner-up).
+func (m *metrics) observeHedge() {
+	m.mu.Lock()
+	m.hedges++
+	m.mu.Unlock()
+}
+
+// replicaCounts returns one replica's request/error totals for /statusz
+// (canceled attempts count as requests, not errors).
+func (m *metrics) replicaCounts(shard, replica int) (requests, errors uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.shardOK[shard] + m.shardErr[shard], m.shardErr[shard]
+	return m.repOK[shard][replica] + m.repErr[shard][replica] + m.repCanceled[shard][replica],
+		m.repErr[shard][replica]
+}
+
+// shardFailovers returns one shard's failover total for /statusz.
+func (m *metrics) shardFailovers(shard int) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failovers[shard]
 }
 
 // gauge is one instantaneous value appended at scrape time.
@@ -90,7 +144,14 @@ type gauge struct {
 	value      float64
 }
 
-func (m *metrics) write(w io.Writer, gauges []gauge, shardHealthy []bool) {
+// replicaGauges are the per-replica instantaneous values sampled by the
+// scrape handler, [shard][replica].
+type replicaGauges struct {
+	healthy  [][]bool
+	inflight [][]int64
+}
+
+func (m *metrics) write(w io.Writer, gauges []gauge, rg replicaGauges) {
 	m.mu.Lock()
 	requests := make(map[string]uint64, len(m.requests))
 	for k, v := range m.requests {
@@ -101,9 +162,12 @@ func (m *metrics) write(w io.Writer, gauges []gauge, shardHealthy []bool) {
 		queries[k] = v
 	}
 	qSecSum, qCount := m.qSecSum, m.qCount
-	shardOK := append([]uint64(nil), m.shardOK...)
-	shardErr := append([]uint64(nil), m.shardErr...)
-	shardSecSum := append([]float64(nil), m.shardSecSum...)
+	repOK := copy2D(m.repOK)
+	repErr := copy2D(m.repErr)
+	repCanceled := copy2D(m.repCanceled)
+	repSecSum := copy2D(m.repSecSum)
+	failovers := append([]uint64(nil), m.failovers...)
+	hedges := m.hedges
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP banksrouter_http_requests_total HTTP requests served, by path and status code.")
@@ -124,29 +188,72 @@ func (m *metrics) write(w io.Writer, gauges []gauge, shardHealthy []bool) {
 	fmt.Fprintf(w, "banksrouter_query_duration_seconds_sum %s\n", formatFloat(qSecSum))
 	fmt.Fprintf(w, "banksrouter_query_duration_seconds_count %d\n", qCount)
 
-	fmt.Fprintln(w, "# HELP banksrouter_shard_requests_total Fan-out calls per shard, by outcome (ok, error).")
+	fmt.Fprintln(w, "# HELP banksrouter_shard_requests_total Fan-out attempts per replica, by outcome (ok, error, canceled).")
 	fmt.Fprintln(w, "# TYPE banksrouter_shard_requests_total counter")
-	for i := range shardOK {
-		fmt.Fprintf(w, "banksrouter_shard_requests_total{shard=\"%d\",outcome=\"ok\"} %d\n", i, shardOK[i])
-		fmt.Fprintf(w, "banksrouter_shard_requests_total{shard=\"%d\",outcome=\"error\"} %d\n", i, shardErr[i])
+	for i := range repOK {
+		for j := range repOK[i] {
+			fmt.Fprintf(w, "banksrouter_shard_requests_total{shard=\"%d\",replica=\"%d\",outcome=\"ok\"} %d\n", i, j, repOK[i][j])
+			fmt.Fprintf(w, "banksrouter_shard_requests_total{shard=\"%d\",replica=\"%d\",outcome=\"error\"} %d\n", i, j, repErr[i][j])
+			fmt.Fprintf(w, "banksrouter_shard_requests_total{shard=\"%d\",replica=\"%d\",outcome=\"canceled\"} %d\n", i, j, repCanceled[i][j])
+		}
 	}
 
-	fmt.Fprintln(w, "# HELP banksrouter_shard_latency_seconds Per-shard stream service time of successful fan-out calls.")
+	fmt.Fprintln(w, "# HELP banksrouter_shard_latency_seconds Per-replica stream service time of successful fan-out attempts.")
 	fmt.Fprintln(w, "# TYPE banksrouter_shard_latency_seconds summary")
-	for i := range shardOK {
-		fmt.Fprintf(w, "banksrouter_shard_latency_seconds_sum{shard=\"%d\"} %s\n", i, formatFloat(shardSecSum[i]))
-		fmt.Fprintf(w, "banksrouter_shard_latency_seconds_count{shard=\"%d\"} %d\n", i, shardOK[i])
+	for i := range repOK {
+		for j := range repOK[i] {
+			fmt.Fprintf(w, "banksrouter_shard_latency_seconds_sum{shard=\"%d\",replica=\"%d\"} %s\n", i, j, formatFloat(repSecSum[i][j]))
+			fmt.Fprintf(w, "banksrouter_shard_latency_seconds_count{shard=\"%d\",replica=\"%d\"} %d\n", i, j, repOK[i][j])
+		}
 	}
 
-	fmt.Fprintln(w, "# HELP banksrouter_shard_healthy 1 when the shard's last probe or query succeeded.")
+	fmt.Fprintln(w, "# HELP banksrouter_failovers_total Queries a shard answered only after extra replica attempts.")
+	fmt.Fprintln(w, "# TYPE banksrouter_failovers_total counter")
+	for i, v := range failovers {
+		fmt.Fprintf(w, "banksrouter_failovers_total{shard=\"%d\"} %d\n", i, v)
+	}
+
+	fmt.Fprintln(w, "# HELP banksrouter_hedges_total Hedge attempts launched against slow replicas.")
+	fmt.Fprintln(w, "# TYPE banksrouter_hedges_total counter")
+	fmt.Fprintf(w, "banksrouter_hedges_total %d\n", hedges)
+
+	fmt.Fprintln(w, "# HELP banksrouter_shard_healthy 1 when at least one replica of the shard is healthy.")
 	fmt.Fprintln(w, "# TYPE banksrouter_shard_healthy gauge")
-	for i, h := range shardHealthy {
-		fmt.Fprintf(w, "banksrouter_shard_healthy{shard=\"%d\"} %s\n", i, formatFloat(boolGauge(h)))
+	for i := range rg.healthy {
+		any := false
+		for _, h := range rg.healthy[i] {
+			any = any || h
+		}
+		fmt.Fprintf(w, "banksrouter_shard_healthy{shard=\"%d\"} %s\n", i, formatFloat(boolGauge(any)))
+	}
+
+	fmt.Fprintln(w, "# HELP banksrouter_replica_healthy 1 when the replica's last probe or query succeeded.")
+	fmt.Fprintln(w, "# TYPE banksrouter_replica_healthy gauge")
+	for i := range rg.healthy {
+		for j, h := range rg.healthy[i] {
+			fmt.Fprintf(w, "banksrouter_replica_healthy{shard=\"%d\",replica=\"%d\"} %s\n", i, j, formatFloat(boolGauge(h)))
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP banksrouter_replica_inflight In-flight fan-out attempts per replica.")
+	fmt.Fprintln(w, "# TYPE banksrouter_replica_inflight gauge")
+	for i := range rg.inflight {
+		for j, n := range rg.inflight[i] {
+			fmt.Fprintf(w, "banksrouter_replica_inflight{shard=\"%d\",replica=\"%d\"} %d\n", i, j, n)
+		}
 	}
 
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", g.name, g.help, g.name, g.name, formatFloat(g.value))
 	}
+}
+
+func copy2D[T uint64 | float64](src [][]T) [][]T {
+	out := make([][]T, len(src))
+	for i, row := range src {
+		out[i] = append([]T(nil), row...)
+	}
+	return out
 }
 
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

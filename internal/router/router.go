@@ -1,9 +1,9 @@
 // Package router is the scatter-gather serving tier over a sharded BANKS
 // deployment: one stateless front end that fans each keyword query out to
-// N banksd shard servers (each holding one component-closed partition of
-// the dataset, see internal/shard and cmd/datagen -shards), gathers the
-// per-shard top-k streams, and merges them into the global top-k with the
-// canonical output-heap recipe (banks.MergeTopK).
+// N shard groups (each a set of interchangeable banksd replicas serving
+// the same component-closed partition, see internal/shard and cmd/datagen
+// -shards), gathers the per-shard top-k streams, and merges them into the
+// global top-k with the canonical output-heap recipe (banks.MergeTopK).
 //
 // Because the partition is component-closed, every answer tree lives on
 // exactly one shard and carries exactly the score the single-node search
@@ -12,7 +12,20 @@
 // of disjoint result sets, and the routed answer list is bit-identical —
 // order, scores, float bits — to the single-node answer list for the
 // same query. TestRouterDifferential proves this end to end across real
-// HTTP servers.
+// HTTP servers, and TestFailoverDifferential proves it stays true while
+// replicas fail.
+//
+// Replicas: every shard may be served by several banksd processes over
+// the same shard snapshot. Per-shard answers are deterministic, so any
+// healthy replica is interchangeable — the router picks one per query by
+// health- and load-driven selection (EWMA latency × in-flight count,
+// health-prober demotion) and, when an attempt fails or a hedge timer
+// fires, retries the remaining replicas in selection order, bounded to
+// one attempt per replica within the query deadline. Retries are safe
+// because nothing is emitted to the client until every shard's stream
+// completed: a replica that dies mid-stream (missing trailer, malformed
+// line) is detected, its partial answers are discarded, and the next
+// replica replays the whole per-shard query byte-identically.
 //
 // Endpoints:
 //
@@ -20,8 +33,8 @@
 //	GET|POST /v1/search/stream  the same, emitted as NDJSON (gather-then-emit)
 //	POST     /v1/batch          each element routed through the search scatter path
 //	GET      /healthz           liveness; 503 once draining
-//	GET      /statusz           JSON: shard health and routing table
-//	GET      /metrics           Prometheus text: per-shard latency/errors
+//	GET      /statusz           JSON: per-replica health and routing table
+//	GET      /metrics           Prometheus text: per-replica latency/errors
 //
 // /v1/near is rejected with 501: near-query activation divides prestige
 // by the shard-local keyword-set size (§4.3), so per-shard near results
@@ -29,8 +42,8 @@
 // unsharded deployment instead.
 //
 // Error semantics: a merged answer is only correct if every shard
-// contributed, so any shard failure (connect error, non-200, in-band
-// trailer error) fails the whole query with 502 naming the shard.
+// contributed, so a query fails with 502 only when EVERY replica of some
+// shard failed — one healthy replica per shard is enough to answer.
 // Requests are forwarded verbatim — parameters and the X-Tenant header —
 // so tenant clamps are enforced by the shards, uniformly, not duplicated
 // here.
@@ -51,11 +64,12 @@ import (
 // Config assembles a Router. Shards is required; everything else has
 // serving-grade defaults.
 type Config struct {
-	// Shards lists the base URLs of the shard servers, e.g.
-	// ["http://127.0.0.1:8081", "http://127.0.0.1:8082"]. Position i is
-	// expected to serve shard i of len(Shards); the prober verifies the
-	// claim against each shard's /statusz and discloses mismatches.
-	Shards []string
+	// Shards lists, per shard, the base URLs of that shard's replicas,
+	// e.g. [["http://10.0.0.1:8081", "http://10.0.0.2:8081"], ...].
+	// Group i is expected to serve shard i of len(Shards); every replica
+	// of a group serves the same shard snapshot. The prober verifies the
+	// claim against each replica's /statusz and discloses mismatches.
+	Shards [][]string
 	// Client issues the fan-out and probe requests. Nil uses a client
 	// with sensible defaults (no global timeout: per-query deadlines come
 	// from the caller's context, and streams may legitimately run long).
@@ -64,31 +78,50 @@ type Config struct {
 	// (5s); negative disables background probing (health then reflects
 	// only query traffic and the initial probe round).
 	ProbeInterval time.Duration
-	// Logger receives one line per /v1/* request and per shard-health
+	// HedgeAfter, when positive, arms a per-shard hedge timer: if the
+	// selected replica has not completed within this duration and another
+	// candidate remains, the next-best replica is queried concurrently
+	// and the first completed stream wins (the loser is canceled).
+	// Replicas are deterministic, so either winner yields identical
+	// bytes. 0 disables hedging; failover on hard failures is always on.
+	HedgeAfter time.Duration
+	// Logger receives one line per /v1/* request and per replica-health
 	// transition. Nil disables logging.
 	Logger *log.Logger
 }
 
 const defaultProbeInterval = 5 * time.Second
 
-// shardState is the router's live view of one shard server.
-type shardState struct {
-	index int
-	url   string // base URL, no trailing slash
+// ewmaAlpha weights the latest latency sample in the per-replica EWMA.
+const ewmaAlpha = 0.3
+
+// replicaState is the router's live view of one backend process serving
+// one replica of one shard.
+type replicaState struct {
+	shard   int
+	replica int
+	url     string // base URL, no trailing slash
+
+	// inflight counts fan-out attempts currently running against this
+	// replica; selection uses it to spread concurrent load.
+	inflight atomic.Int64
 
 	mu        sync.Mutex
 	healthy   bool
 	lastErr   string    // most recent probe/query failure, "" when healthy
 	lastCheck time.Time // when health was last updated
-	// claimed* mirror the shard's own /statusz disclosure (zero until the
-	// first successful probe; claimedNumShards 0 = shard meta not yet
+	// ewmaNS is the exponentially weighted moving average of successful
+	// stream service time, in nanoseconds (0 until the first success).
+	ewmaNS float64
+	// claimed* mirror the replica's own /statusz disclosure (zero until
+	// the first successful probe; claimedNumShards 0 = shard meta not yet
 	// seen or the backend serves an unsharded snapshot).
 	claimedShard     uint32
 	claimedNumShards uint32
 	claimedNodes     int
 }
 
-func (s *shardState) setHealth(healthy bool, errMsg string, now time.Time) (changed bool) {
+func (s *replicaState) setHealth(healthy bool, errMsg string, now time.Time) (changed bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	changed = s.healthy != healthy || s.lastErr != errMsg
@@ -98,12 +131,39 @@ func (s *shardState) setHealth(healthy bool, errMsg string, now time.Time) (chan
 	return changed
 }
 
-// Router fans queries out across shard servers and merges the results.
+// observeLatency folds one successful service time into the EWMA.
+func (s *replicaState) observeLatency(elapsed time.Duration) {
+	s.mu.Lock()
+	ns := float64(elapsed.Nanoseconds())
+	if s.ewmaNS == 0 {
+		s.ewmaNS = ns
+	} else {
+		s.ewmaNS = (1-ewmaAlpha)*s.ewmaNS + ewmaAlpha*ns
+	}
+	s.mu.Unlock()
+}
+
+// name identifies the replica in logs and error messages.
+func (s *replicaState) name() string {
+	return fmt.Sprintf("shard %d replica %d (%s)", s.shard, s.replica, s.url)
+}
+
+// shardGroup is the replica set serving one shard.
+type shardGroup struct {
+	index    int
+	replicas []*replicaState
+}
+
+// Router fans queries out across shard replica groups and merges the
+// results.
 type Router struct {
-	shards []*shardState
-	client *http.Client
-	met    *metrics
-	logger *log.Logger
+	groups   []*shardGroup
+	replicas []*replicaState // all replicas, flattened, for probing
+	client   *http.Client
+	met      *metrics
+	logger   *log.Logger
+
+	hedgeAfter time.Duration
 
 	start    time.Time
 	draining atomic.Bool
@@ -121,21 +181,31 @@ func New(cfg Config) (*Router, error) {
 	if len(cfg.Shards) == 0 {
 		return nil, errors.New("router: no shards configured")
 	}
-	seen := make(map[string]bool, len(cfg.Shards))
-	shards := make([]*shardState, len(cfg.Shards))
-	for i, u := range cfg.Shards {
-		u = strings.TrimRight(strings.TrimSpace(u), "/")
-		if u == "" {
-			return nil, fmt.Errorf("router: shard %d has an empty URL", i)
+	seen := make(map[string]bool)
+	groups := make([]*shardGroup, len(cfg.Shards))
+	var all []*replicaState
+	for i, urls := range cfg.Shards {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", i)
 		}
-		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
-			return nil, fmt.Errorf("router: shard %d URL %q must start with http:// or https://", i, u)
+		g := &shardGroup{index: i}
+		for j, u := range urls {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u == "" {
+				return nil, fmt.Errorf("router: shard %d replica %d has an empty URL", i, j)
+			}
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("router: shard %d replica %d URL %q must start with http:// or https://", i, j, u)
+			}
+			if seen[u] {
+				return nil, fmt.Errorf("router: duplicate replica URL %q", u)
+			}
+			seen[u] = true
+			rep := &replicaState{shard: i, replica: j, url: u}
+			g.replicas = append(g.replicas, rep)
+			all = append(all, rep)
 		}
-		if seen[u] {
-			return nil, fmt.Errorf("router: duplicate shard URL %q", u)
-		}
-		seen[u] = true
-		shards[i] = &shardState{index: i, url: u}
+		groups[i] = g
 	}
 	client := cfg.Client
 	if client == nil {
@@ -145,11 +215,16 @@ func New(cfg Config) (*Router, error) {
 	if probeEvery == 0 {
 		probeEvery = defaultProbeInterval
 	}
+	if cfg.HedgeAfter < 0 {
+		return nil, fmt.Errorf("router: HedgeAfter must be non-negative, got %v", cfg.HedgeAfter)
+	}
 	rt := &Router{
-		shards:     shards,
+		groups:     groups,
+		replicas:   all,
 		client:     client,
-		met:        newMetrics(len(shards)),
+		met:        newMetrics(groups),
 		logger:     cfg.Logger,
+		hedgeAfter: cfg.HedgeAfter,
 		start:      time.Now(),
 		probeEvery: probeEvery,
 	}
@@ -187,7 +262,10 @@ func (rt *Router) BeginDrain() { rt.draining.Store(true) }
 func (rt *Router) Draining() bool { return rt.draining.Load() }
 
 // NumShards reports the configured fan-out width.
-func (rt *Router) NumShards() int { return len(rt.shards) }
+func (rt *Router) NumShards() int { return len(rt.groups) }
+
+// NumReplicas reports the total backend count across all shards.
+func (rt *Router) NumReplicas() int { return len(rt.replicas) }
 
 // Close stops the background health prober. It does not wait for
 // in-flight requests; drain the HTTP server first.
@@ -197,7 +275,7 @@ func (rt *Router) Close() error {
 	return nil
 }
 
-// probeLoop probes every shard once at startup, then on the configured
+// probeLoop probes every replica once at startup, then on the configured
 // period. A negative interval disables the periodic probing but still
 // runs the initial round, so /statusz is populated promptly.
 func (rt *Router) probeLoop(ctx context.Context) {
@@ -221,37 +299,37 @@ func (rt *Router) probeLoop(ctx context.Context) {
 
 func (rt *Router) probeAll(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, sh := range rt.shards {
+	for _, rep := range rt.replicas {
 		wg.Add(1)
-		go func(sh *shardState) {
+		go func(rep *replicaState) {
 			defer wg.Done()
-			rt.probe(ctx, sh)
-		}(sh)
+			rt.probe(ctx, rep)
+		}(rep)
 	}
 	wg.Wait()
 }
 
-// probe checks one shard's /healthz and, on success, refreshes its
+// probe checks one replica's /healthz and, on success, refreshes its
 // /statusz shard claim for the routing table.
-func (rt *Router) probe(ctx context.Context, sh *shardState) {
+func (rt *Router) probe(ctx context.Context, rep *replicaState) {
 	ctx, cancel := context.WithTimeout(ctx, 3*time.Second)
 	defer cancel()
-	err := rt.checkHealthz(ctx, sh)
+	err := rt.checkHealthz(ctx, rep)
 	now := time.Now()
 	if err != nil {
-		if sh.setHealth(false, err.Error(), now) && rt.logger != nil {
-			rt.logger.Printf("shard %d (%s) unhealthy: %v", sh.index, sh.url, err)
+		if rep.setHealth(false, err.Error(), now) && rt.logger != nil {
+			rt.logger.Printf("%s unhealthy: %v", rep.name(), err)
 		}
 		return
 	}
-	rt.refreshClaim(ctx, sh)
-	if sh.setHealth(true, "", now) && rt.logger != nil {
-		rt.logger.Printf("shard %d (%s) healthy", sh.index, sh.url)
+	rt.refreshClaim(ctx, rep)
+	if rep.setHealth(true, "", now) && rt.logger != nil {
+		rt.logger.Printf("%s healthy", rep.name())
 	}
 }
 
-func (rt *Router) checkHealthz(ctx context.Context, sh *shardState) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/healthz", nil)
+func (rt *Router) checkHealthz(ctx context.Context, rep *replicaState) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/healthz", nil)
 	if err != nil {
 		return err
 	}
@@ -266,11 +344,12 @@ func (rt *Router) checkHealthz(ctx context.Context, sh *shardState) error {
 	return nil
 }
 
-// refreshClaim reads the shard's /statusz dataset section so the routing
-// table can disclose which partition each backend claims to serve. A
-// failure here is not a health failure — /statusz is introspection, and
-// older or unsharded backends simply have no shard claim.
-func (rt *Router) refreshClaim(ctx context.Context, sh *shardState) {
+// refreshClaim reads the replica's /statusz dataset section so the
+// routing table can disclose which partition each backend claims to
+// serve. A failure here is not a health failure — /statusz is
+// introspection, and older or unsharded backends simply have no shard
+// claim.
+func (rt *Router) refreshClaim(ctx context.Context, rep *replicaState) {
 	var doc struct {
 		Dataset struct {
 			Nodes int `json:"nodes"`
@@ -280,16 +359,16 @@ func (rt *Router) refreshClaim(ctx context.Context, sh *shardState) {
 			} `json:"shard"`
 		} `json:"dataset"`
 	}
-	if err := rt.getJSON(ctx, sh.url+"/statusz", &doc); err != nil {
+	if err := rt.getJSON(ctx, rep.url+"/statusz", &doc); err != nil {
 		return
 	}
-	sh.mu.Lock()
-	sh.claimedNodes = doc.Dataset.Nodes
+	rep.mu.Lock()
+	rep.claimedNodes = doc.Dataset.Nodes
 	if doc.Dataset.Shard != nil {
-		sh.claimedShard = doc.Dataset.Shard.Shard
-		sh.claimedNumShards = doc.Dataset.Shard.NumShards
+		rep.claimedShard = doc.Dataset.Shard.Shard
+		rep.claimedNumShards = doc.Dataset.Shard.NumShards
 	} else {
-		sh.claimedShard, sh.claimedNumShards = 0, 0
+		rep.claimedShard, rep.claimedNumShards = 0, 0
 	}
-	sh.mu.Unlock()
+	rep.mu.Unlock()
 }

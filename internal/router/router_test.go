@@ -114,7 +114,7 @@ func deploy(t *testing.T) *deployment {
 		d.shards = append(d.shards, ts)
 		urls[s] = ts.URL
 	}
-	rt, err := router.New(router.Config{Shards: urls, ProbeInterval: -1})
+	rt, err := router.New(router.Config{Shards: router.SingleReplicaTopology(urls), ProbeInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,6 +133,10 @@ type searchBody struct {
 	K         int               `json:"k"`
 	Truncated bool              `json:"truncated"`
 	Answers   []json.RawMessage `json:"answers"`
+	Stats     struct {
+		Shards    int `json:"shards"`
+		Failovers int `json:"failovers"`
+	} `json:"stats"`
 }
 
 func fetchSearch(t *testing.T, rawURL string) *searchBody {
@@ -190,13 +194,16 @@ func TestRouterDifferential(t *testing.T) {
 
 // streamLine mirrors the NDJSON wire lines for assertions.
 type streamLine struct {
-	Type    string          `json:"type"`
-	Rank    int             `json:"rank"`
-	Answer  json.RawMessage `json:"answer"`
-	Answers int             `json:"answers"`
-	Error   string          `json:"error"`
-	Stats   struct {
-		Shards int `json:"shards"`
+	Type     string          `json:"type"`
+	Rank     int             `json:"rank"`
+	Answer   json.RawMessage `json:"answer"`
+	Answers  int             `json:"answers"`
+	Cached   bool            `json:"cached"`
+	Degraded bool            `json:"degraded"`
+	Error    string          `json:"error"`
+	Stats    struct {
+		Shards    int `json:"shards"`
+		Failovers int `json:"failovers"`
 	} `json:"stats"`
 }
 
@@ -322,17 +329,31 @@ func TestRouterStatuszRoutingTable(t *testing.T) {
 	for i, r := range rows {
 		row := r.(map[string]any)
 		if !row["healthy"].(bool) {
-			t.Errorf("shard %d unhealthy: %v", i, row["last_error"])
+			t.Errorf("shard %d unhealthy: %v", i, row)
 		}
-		if row["misrouted"] == true {
-			t.Errorf("shard %d flagged misrouted: %v", i, row)
+		reps := row["replicas"].([]any)
+		if len(reps) != 1 {
+			t.Fatalf("shard %d has %d replica rows, want 1", i, len(reps))
 		}
-		if cs, ok := row["claimed_shard"].(float64); !ok || int(cs) != i {
-			t.Errorf("shard %d claims shard %v", i, row["claimed_shard"])
+		rep := reps[0].(map[string]any)
+		if !rep["healthy"].(bool) {
+			t.Errorf("shard %d replica unhealthy: %v", i, rep["last_error"])
 		}
-		if cn, ok := row["claimed_num_shards"].(float64); !ok || int(cn) != nshards {
-			t.Errorf("shard %d claims %v shards", i, row["claimed_num_shards"])
+		if rep["misrouted"] == true {
+			t.Errorf("shard %d flagged misrouted: %v", i, rep)
 		}
+		if cs, ok := rep["claimed_shard"].(float64); !ok || int(cs) != i {
+			t.Errorf("shard %d claims shard %v", i, rep["claimed_shard"])
+		}
+		if cn, ok := rep["claimed_num_shards"].(float64); !ok || int(cn) != nshards {
+			t.Errorf("shard %d claims %v shards", i, rep["claimed_num_shards"])
+		}
+	}
+	if tr, ok := doc["total_replicas"].(float64); !ok || int(tr) != nshards {
+		t.Errorf("total_replicas = %v, want %d", doc["total_replicas"], nshards)
+	}
+	if doc["degraded"] != false {
+		t.Errorf("degraded = %v, want false with every replica up", doc["degraded"])
 	}
 }
 
@@ -353,11 +374,15 @@ func TestRouterMetrics(t *testing.T) {
 	text := sb.String()
 	for _, want := range []string{
 		`banksrouter_queries_total{outcome="ok"} 1`,
-		`banksrouter_shard_requests_total{shard="0",outcome="ok"} 1`,
-		`banksrouter_shard_requests_total{shard="2",outcome="ok"} 1`,
-		`banksrouter_shard_latency_seconds_count{shard="1"} 1`,
+		`banksrouter_shard_requests_total{shard="0",replica="0",outcome="ok"} 1`,
+		`banksrouter_shard_requests_total{shard="2",replica="0",outcome="ok"} 1`,
+		`banksrouter_shard_latency_seconds_count{shard="1",replica="0"} 1`,
 		`banksrouter_shard_healthy{shard="0"} 1`,
+		`banksrouter_replica_healthy{shard="0",replica="0"} 1`,
+		`banksrouter_failovers_total{shard="0"} 0`,
+		`banksrouter_hedges_total 0`,
 		`banksrouter_shards 3`,
+		`banksrouter_replicas 3`,
 		`banksrouter_http_requests_total{path="/v1/search",code="200"} 1`,
 	} {
 		if !strings.Contains(text, want) {
@@ -402,8 +427,15 @@ func TestRouterShardFailure(t *testing.T) {
 	if row["healthy"].(bool) {
 		t.Error("failed shard still marked healthy")
 	}
-	if row["errors"].(float64) == 0 {
-		t.Error("failed shard shows zero errors")
+	rep := row["replicas"].([]any)[0].(map[string]any)
+	if rep["healthy"].(bool) {
+		t.Error("failed replica still marked healthy")
+	}
+	if rep["errors"].(float64) == 0 {
+		t.Error("failed replica shows zero errors")
+	}
+	if doc["degraded"] != true {
+		t.Errorf("degraded = %v, want true with a replica down", doc["degraded"])
 	}
 }
 

@@ -5,9 +5,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,6 +79,8 @@ type wireAnswer struct {
 // shardResult is one shard's complete contribution to a query.
 type shardResult struct {
 	shard   int
+	replica int // which replica answered
+	retried int // extra attempts launched beyond the first (failovers/hedges)
 	answers []*wireAnswer
 	trailer *shardLine
 	elapsed time.Duration
@@ -85,12 +89,11 @@ type shardResult struct {
 // shardError identifies which shard failed a fan-out and why.
 type shardError struct {
 	shard int
-	url   string
 	err   error
 }
 
 func (e *shardError) Error() string {
-	return fmt.Sprintf("shard %d (%s): %v", e.shard, e.url, e.err)
+	return fmt.Sprintf("shard %d: %v", e.shard, e.err)
 }
 
 func (e *shardError) Unwrap() error { return e.err }
@@ -100,55 +103,158 @@ func (e *shardError) Unwrap() error { return e.err }
 // limit only guards against a misbehaving backend.
 const maxLineBytes = 8 << 20
 
-// scatter fans the request out to every shard's /v1/search/stream and
-// gathers the complete per-shard results. The request is forwarded
-// verbatim: same method, same query parameters, same body, same X-Tenant
-// header. All shards must succeed; the first failure (by shard index)
-// aborts the query with a *shardError.
+// scatter fans the request out to one replica of every shard (with
+// failover to the remaining replicas on failure) and gathers the
+// complete per-shard results. The request is forwarded verbatim: same
+// method, same query parameters, same body, same X-Tenant header. Every
+// shard must be answered by some replica; the first shard whose entire
+// replica set failed (by shard index) aborts the query with a
+// *shardError.
 func (rt *Router) scatter(r *http.Request, body []byte) ([]*shardResult, error) {
-	results := make([]*shardResult, len(rt.shards))
-	errs := make([]error, len(rt.shards))
+	results := make([]*shardResult, len(rt.groups))
+	errs := make([]error, len(rt.groups))
 	var wg sync.WaitGroup
-	for i, sh := range rt.shards {
+	for i, g := range rt.groups {
 		wg.Add(1)
-		go func(i int, sh *shardState) {
+		go func(i int, g *shardGroup) {
 			defer wg.Done()
-			results[i], errs[i] = rt.fetchShard(r.Context(), sh, r, body)
-		}(i, sh)
+			results[i], errs[i] = rt.fetchGroup(r.Context(), g, r, body)
+		}(i, g)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, &shardError{shard: i, url: rt.shards[i].url, err: err}
+			return nil, &shardError{shard: i, err: err}
 		}
 	}
 	return results, nil
 }
 
-// fetchShard runs one shard's stream to completion and parses it. It
-// also feeds the shard's health state and per-shard metrics: a completed
-// stream marks the shard healthy, any failure marks it unhealthy.
-func (rt *Router) fetchShard(ctx context.Context, sh *shardState, orig *http.Request, body []byte) (*shardResult, error) {
+// attemptOutcome is one replica attempt's result, delivered to the
+// fetchGroup select loop.
+type attemptOutcome struct {
+	rep *replicaState
+	res *shardResult
+	err error
+}
+
+// fetchGroup serves one shard's part of a query from its replica set:
+// the best candidate (see candidates) streams first; a hard failure
+// triggers immediate failover to the next candidate, and — when hedging
+// is configured — a slow attempt triggers one concurrent hedge to the
+// runner-up. The first completed stream wins and the losers are
+// canceled. Attempts are bounded to one per replica; the whole dance
+// runs under the query's own deadline. Retrying a complete per-shard
+// stream is safe because replicas are deterministic (identical bytes)
+// and nothing was emitted downstream yet: a partial stream from a dead
+// replica is discarded wholesale, never spliced.
+func (rt *Router) fetchGroup(ctx context.Context, g *shardGroup, orig *http.Request, body []byte) (*shardResult, error) {
+	cands := g.candidates()
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // tears down hedge losers and abandoned attempts
+	outcomes := make(chan attemptOutcome, len(cands))
+	next, inflight := 0, 0
+	launch := func() {
+		rep := cands[next]
+		next++
+		inflight++
+		go func() {
+			res, err := rt.fetchReplica(actx, rep, orig, body)
+			outcomes <- attemptOutcome{rep: rep, res: res, err: err}
+		}()
+	}
+	launch()
+	var hedgeC <-chan time.Time
+	if rt.hedgeAfter > 0 && next < len(cands) {
+		tm := time.NewTimer(rt.hedgeAfter)
+		defer tm.Stop()
+		hedgeC = tm.C
+	}
+	var failures []string
+	for inflight > 0 {
+		select {
+		case out := <-outcomes:
+			inflight--
+			if out.err == nil {
+				out.res.replica = out.rep.replica
+				out.res.retried = next - 1
+				if out.res.retried > 0 {
+					rt.met.observeFailover(g.index)
+					if rt.logger != nil {
+						rt.logger.Printf("shard %d answered by replica %d after %d extra attempt(s)",
+							g.index, out.rep.replica, out.res.retried)
+					}
+				}
+				return out.res, nil
+			}
+			if actx.Err() != nil {
+				// The query itself was canceled or timed out mid-attempt;
+				// whatever error came back is tainted by that, so it says
+				// nothing about the replica and launches nothing new.
+				continue
+			}
+			failures = append(failures, fmt.Sprintf("replica %d (%s): %v", out.rep.replica, out.rep.url, out.err))
+			var she *shardHTTPError
+			if errors.As(out.err, &she) && she.status >= 400 && she.status < 500 {
+				// The request's own fault — identical on every replica, so
+				// retrying cannot help; pass the rejection through.
+				return nil, out.err
+			}
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("%s (query context: %v)", strings.Join(failures, "; "), ctx.Err())
+			}
+			if next < len(cands) {
+				launch()
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(cands) {
+				rt.met.observeHedge()
+				launch()
+			}
+		}
+	}
+	if len(failures) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("all %d replica(s) failed: %s", len(cands), strings.Join(failures, "; "))
+}
+
+// fetchReplica runs one replica's stream to completion and parses it. It
+// also feeds the replica's health state, EWMA latency, and per-replica
+// metrics: a completed stream marks the replica healthy, any failure
+// (other than the attempt's own cancellation) marks it unhealthy.
+func (rt *Router) fetchReplica(ctx context.Context, rep *replicaState, orig *http.Request, body []byte) (*shardResult, error) {
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
 	start := time.Now()
-	res, err := rt.fetchStream(ctx, sh, orig, body)
+	res, err := rt.fetchStream(ctx, rep, orig, body)
 	elapsed := time.Since(start)
 	if err != nil {
-		rt.met.observeShard(sh.index, false, elapsed)
-		if sh.setHealth(false, err.Error(), time.Now()) && rt.logger != nil {
-			rt.logger.Printf("shard %d (%s) unhealthy: %v", sh.index, sh.url, err)
+		if ctx.Err() != nil {
+			// Canceled mid-attempt: not evidence about the replica.
+			rt.met.observeReplica(rep.shard, rep.replica, outcomeAttemptCanceled, elapsed)
+			return nil, err
+		}
+		rt.met.observeReplica(rep.shard, rep.replica, outcomeAttemptError, elapsed)
+		if rep.setHealth(false, err.Error(), time.Now()) && rt.logger != nil {
+			rt.logger.Printf("%s unhealthy: %v", rep.name(), err)
 		}
 		return nil, err
 	}
-	rt.met.observeShard(sh.index, true, elapsed)
-	if sh.setHealth(true, "", time.Now()) && rt.logger != nil {
-		rt.logger.Printf("shard %d (%s) healthy", sh.index, sh.url)
+	rt.met.observeReplica(rep.shard, rep.replica, outcomeAttemptOK, elapsed)
+	rep.observeLatency(elapsed)
+	if rep.setHealth(true, "", time.Now()) && rt.logger != nil {
+		rt.logger.Printf("%s healthy", rep.name())
 	}
 	res.elapsed = elapsed
 	return res, nil
 }
 
-func (rt *Router) fetchStream(ctx context.Context, sh *shardState, orig *http.Request, body []byte) (*shardResult, error) {
-	u := sh.url + "/v1/search/stream"
+func (rt *Router) fetchStream(ctx context.Context, rep *replicaState, orig *http.Request, body []byte) (*shardResult, error) {
+	u := rep.url + "/v1/search/stream"
 	if orig.URL.RawQuery != "" {
 		u += "?" + orig.URL.RawQuery
 	}
@@ -175,7 +281,7 @@ func (rt *Router) fetchStream(ctx context.Context, sh *shardState, orig *http.Re
 		return nil, decodeShardHTTPError(resp)
 	}
 
-	res := &shardResult{shard: sh.index}
+	res := &shardResult{shard: rep.shard}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
 	for sc.Scan() {
@@ -201,7 +307,7 @@ func (rt *Router) fetchStream(ctx context.Context, sh *shardState, orig *http.Re
 				}
 			}
 			res.answers = append(res.answers, &wireAnswer{
-				shard:       sh.index,
+				shard:       rep.shard,
 				generatedMS: line.GeneratedMS,
 				outputMS:    line.OutputMS,
 				raw:         append(json.RawMessage(nil), line.Answer...),
@@ -221,7 +327,11 @@ func (rt *Router) fetchStream(ctx context.Context, sh *shardState, orig *http.Re
 		return nil, fmt.Errorf("reading stream: %w", err)
 	}
 	if res.trailer == nil {
-		return nil, fmt.Errorf("stream ended without a trailer")
+		// The replica died (or was cut off) mid-stream: its partial
+		// answer list is poison — discarding it here is what makes the
+		// group-level retry safe and a silently truncated top-k
+		// impossible.
+		return nil, fmt.Errorf("stream ended without a trailer (%d answer line(s) discarded)", len(res.answers))
 	}
 	if res.trailer.Error != "" {
 		return nil, fmt.Errorf("in-band stream error: %s", res.trailer.Error)
@@ -294,9 +404,12 @@ func mergeResults(results []*shardResult) []*wireAnswer {
 // workers_used is the widest intra-query parallelism any shard applied
 // (shards run concurrently, so summing would overstate it). Truncated,
 // degraded and budget_exhausted are sticky ORs; cached only when every
-// shard answered from its cache. Identity fields (query_id, algo, k,
-// clamped) come from shard 0 — identical across identically-configured
-// shards, since the query ID is a content hash of the query itself.
+// shard answered from its cache — whichever replica answered, so a
+// failover to a cold replica correctly reports cached:false. Failovers
+// counts extra replica attempts across all shards (retry disclosure).
+// Identity fields (query_id, algo, k, clamped) come from shard 0 —
+// identical across identically-configured shards, since the query ID is
+// a content hash of the query itself.
 type aggregateTrailer struct {
 	queryID   string
 	algo      string
@@ -305,6 +418,7 @@ type aggregateTrailer struct {
 	truncated bool
 	cached    bool
 	degraded  bool
+	failovers int
 	stats     statsJSON
 }
 
@@ -322,6 +436,7 @@ func aggregate(results []*shardResult) aggregateTrailer {
 		agg.truncated = agg.truncated || t.Truncated
 		agg.cached = agg.cached && t.Cached
 		agg.degraded = agg.degraded || t.Degraded
+		agg.failovers += res.retried
 		agg.stats.NodesExplored += t.Stats.NodesExplored
 		agg.stats.NodesTouched += t.Stats.NodesTouched
 		agg.stats.EdgesRelaxed += t.Stats.EdgesRelaxed

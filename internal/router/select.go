@@ -1,0 +1,66 @@
+package router
+
+import "sort"
+
+// Replica selection: one replica of each shard serves each query, chosen
+// by health- and load-driven scoring. The score of a replica is
+//
+//	(in-flight attempts + 1) × max(EWMA service time, 1ms)
+//
+// — an estimate of how long a new request would wait there. The EWMA
+// floor keeps untried replicas (EWMA 0) attractive without letting them
+// dominate, so load spreads onto fresh capacity; the in-flight factor
+// spreads concurrent queries across replicas even before latency samples
+// diverge. Unhealthy replicas (probe or query failure not yet cleared)
+// sort after every healthy one — they are still tried as a last resort,
+// because health is a cached observation and the replica may have
+// recovered since, but only once all healthy candidates failed.
+
+// ewmaFloorNS is the scoring floor for replicas with no latency samples
+// yet (1ms in nanoseconds).
+const ewmaFloorNS = 1e6
+
+// loadSnapshot is one replica's scoring inputs, captured atomically.
+type loadSnapshot struct {
+	rep     *replicaState
+	healthy bool
+	score   float64
+}
+
+func (s *replicaState) snapshotLoad() loadSnapshot {
+	s.mu.Lock()
+	healthy := s.healthy
+	ewma := s.ewmaNS
+	s.mu.Unlock()
+	if ewma < ewmaFloorNS {
+		ewma = ewmaFloorNS
+	}
+	return loadSnapshot{
+		rep:     s,
+		healthy: healthy,
+		score:   float64(s.inflight.Load()+1) * ewma,
+	}
+}
+
+// candidates orders the group's replicas for one query: healthy replicas
+// by ascending load score, then unhealthy replicas by ascending score —
+// stable, so equal scores keep replica-index order and single-replica
+// deployments behave exactly as before. The first candidate serves the
+// query; the rest are the failover/hedge order.
+func (g *shardGroup) candidates() []*replicaState {
+	snaps := make([]loadSnapshot, len(g.replicas))
+	for i, rep := range g.replicas {
+		snaps[i] = rep.snapshotLoad()
+	}
+	sort.SliceStable(snaps, func(i, j int) bool {
+		if snaps[i].healthy != snaps[j].healthy {
+			return snaps[i].healthy
+		}
+		return snaps[i].score < snaps[j].score
+	})
+	out := make([]*replicaState, len(snaps))
+	for i, s := range snaps {
+		out[i] = s.rep
+	}
+	return out
+}

@@ -5,23 +5,34 @@
 //
 // Usage:
 //
-//	loadgen -url http://127.0.0.1:8080 [-stream] [-c 8] [-duration 10s]
+//	loadgen -url http://127.0.0.1:8080 [-stream] [-c 8] [-duration 10s | -n 400]
 //	        [-query "database query" | -queries file] [-k 10]
 //	        [-algo bidirectional] [-tenant name] [-timeout 2s]
+//	        [-expect-zero-errors]
 //
 // Queries run round-robin from -queries (one query per line, '#'
 // comments) or the single -query. Every worker loops until -duration
-// elapses. With -stream the workers call /v1/search/stream and
-// additionally record first-answer latency — the time from request start
-// to the first NDJSON answer line, the number the streaming subsystem
-// exists to shrink. Output is one JSON document on stdout:
+// elapses, or — with -n — until exactly n requests have been issued in
+// total (for deterministic CI runs). With -stream the workers call
+// /v1/search/stream and additionally record first-answer latency — the
+// time from request start to the first NDJSON answer line, the number
+// the streaming subsystem exists to shrink. Output is one JSON document
+// on stdout:
 //
-//	{"requests":1234,"errors":0,"qps":123.4,
+//	{"requests":1234,"errors":0,"errors_by_code":{"502":2,"transport":1},
+//	 "qps":123.4,
 //	 "total_ms":{"p50":8.1,"p95":14.2,"p99":21.0,...},
 //	 "first_answer_ms":{"p50":1.2,...}}        // -stream only
 //
+// errors_by_code (omitted when clean) classifies failures: "transport"
+// (the request never got a response), an HTTP status code like "502"
+// (non-200 response), or "stream" (the response body died mid-read).
+//
 // The exit status is 1 when any request errored, so CI can gate on a
-// clean run.
+// clean run. With -expect-zero-errors the per-code breakdown is also
+// printed to stderr and the exit status is 3 — a distinct code for
+// fault-injection CI jobs that must tell "the deployment dropped
+// requests" apart from ordinary harness failure.
 package main
 
 import (
@@ -37,8 +48,10 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -48,7 +61,10 @@ type sample struct {
 	// firstMS is the first-answer latency (streaming runs only; negative
 	// when the stream produced no answer line).
 	firstMS float64
-	err     bool
+	// errCode classifies a failed request: "" for success, "transport"
+	// (no response), an HTTP status code like "502", or "stream" (body
+	// died mid-read).
+	errCode string
 }
 
 // latencySummary is a percentile digest of one latency series, in
@@ -66,6 +82,7 @@ type latencySummary struct {
 type summary struct {
 	Requests        int             `json:"requests"`
 	Errors          int             `json:"errors"`
+	ErrorsByCode    map[string]int  `json:"errors_by_code,omitempty"`
 	DurationSeconds float64         `json:"duration_seconds"`
 	QPS             float64         `json:"qps"`
 	TotalMS         latencySummary  `json:"total_ms"`
@@ -116,10 +133,15 @@ func summarize(ms []float64) latencySummary {
 // buildReport assembles the JSON report from raw samples.
 func buildReport(samples []sample, elapsed time.Duration, stream bool) summary {
 	var totals, firsts []float64
+	var byCode map[string]int
 	errors := 0
 	for _, s := range samples {
-		if s.err {
+		if s.errCode != "" {
 			errors++
+			if byCode == nil {
+				byCode = make(map[string]int)
+			}
+			byCode[s.errCode]++
 			continue
 		}
 		totals = append(totals, s.totalMS)
@@ -130,6 +152,7 @@ func buildReport(samples []sample, elapsed time.Duration, stream bool) summary {
 	rep := summary{
 		Requests:        len(samples),
 		Errors:          errors,
+		ErrorsByCode:    byCode,
 		DurationSeconds: elapsed.Seconds(),
 		TotalMS:         summarize(totals),
 	}
@@ -197,7 +220,7 @@ func oneRequest(client *http.Client, base *url.URL, stream bool, query string, k
 
 	req, err := http.NewRequestWithContext(context.Background(), http.MethodGet, u.String(), nil)
 	if err != nil {
-		return sample{err: true}
+		return sample{errCode: "transport"}
 	}
 	if tenant != "" {
 		req.Header.Set("X-Tenant", tenant)
@@ -205,12 +228,12 @@ func oneRequest(client *http.Client, base *url.URL, stream bool, query string, k
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return sample{err: true}
+		return sample{errCode: "transport"}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return sample{err: true}
+		return sample{errCode: strconv.Itoa(resp.StatusCode)}
 	}
 	s := sample{firstMS: -1}
 	if stream {
@@ -222,10 +245,10 @@ func oneRequest(client *http.Client, base *url.URL, stream bool, query string, k
 			}
 		}
 		if sc.Err() != nil {
-			return sample{err: true}
+			return sample{errCode: "stream"}
 		}
 	} else if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return sample{err: true}
+		return sample{errCode: "stream"}
 	}
 	s.totalMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return s
@@ -238,7 +261,9 @@ func main() {
 	baseURL := flag.String("url", "http://127.0.0.1:8080", "banksd or banksrouter base URL")
 	stream := flag.Bool("stream", false, "use /v1/search/stream and record first-answer latency")
 	concurrency := flag.Int("c", 8, "concurrent workers")
-	duration := flag.Duration("duration", 10*time.Second, "how long to generate load")
+	duration := flag.Duration("duration", 10*time.Second, "how long to generate load (ignored with -n)")
+	count := flag.Int("n", 0, "issue exactly this many requests in total instead of running for -duration")
+	expectZero := flag.Bool("expect-zero-errors", false, "on any error, print a per-code breakdown to stderr and exit 3")
 	query := flag.String("query", "database query", "single query to run (ignored with -queries)")
 	queriesPath := flag.String("queries", "", "file of queries, one per line ('#' comments)")
 	k := flag.Int("k", 10, "answers per query (0 = server default)")
@@ -266,6 +291,7 @@ func main() {
 	var (
 		mu      sync.Mutex
 		samples []sample
+		seq     atomic.Int64
 	)
 	stop := time.Now().Add(*duration)
 	start := time.Now()
@@ -274,7 +300,18 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; time.Now().Before(stop); i++ {
+			for i := w; ; i++ {
+				if *count > 0 {
+					// Fixed-count mode: claim a global slot; round-robin
+					// by slot so the query mix is deterministic.
+					slot := seq.Add(1) - 1
+					if slot >= int64(*count) {
+						return
+					}
+					i = int(slot)
+				} else if !time.Now().Before(stop) {
+					return
+				}
 				s := oneRequest(client, base, *stream, queries[i%len(queries)], *k, *algo, *tenant, *timeout)
 				mu.Lock()
 				samples = append(samples, s)
@@ -291,6 +328,17 @@ func main() {
 		log.Fatal(err)
 	}
 	if rep.Errors > 0 {
+		if *expectZero {
+			codes := make([]string, 0, len(rep.ErrorsByCode))
+			for code := range rep.ErrorsByCode {
+				codes = append(codes, code)
+			}
+			sort.Strings(codes)
+			for _, code := range codes {
+				fmt.Fprintf(os.Stderr, "loadgen: %d request(s) failed with %s\n", rep.ErrorsByCode[code], code)
+			}
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -101,7 +103,7 @@ func TestBuildReport(t *testing.T) {
 		{totalMS: 10, firstMS: 2},
 		{totalMS: 20, firstMS: 4},
 		{totalMS: 30, firstMS: -1}, // stream with no answers: excluded from first-answer stats
-		{err: true},
+		{errCode: "transport"},
 	}
 	rep := buildReport(samples, 2*time.Second, true)
 	if rep.Requests != 4 || rep.Errors != 1 {
@@ -121,5 +123,47 @@ func TestBuildReport(t *testing.T) {
 	rep = buildReport(samples[:2], time.Second, false)
 	if rep.FirstAnswerMS != nil {
 		t.Fatalf("non-stream report carries first-answer stats: %+v", rep.FirstAnswerMS)
+	}
+}
+
+// TestBuildReportErrorsByCode pins the failure classification the
+// router-failover CI job gates on: failures are counted per code,
+// errored requests stay out of the latency series, and a clean run
+// omits the map entirely (so its JSON serializes without the key).
+func TestBuildReportErrorsByCode(t *testing.T) {
+	samples := []sample{
+		{totalMS: 10},
+		{errCode: "transport"},
+		{errCode: "502"},
+		{errCode: "502"},
+		{errCode: "stream"},
+	}
+	rep := buildReport(samples, time.Second, false)
+	if rep.Errors != 4 {
+		t.Fatalf("errors = %d, want 4", rep.Errors)
+	}
+	want := map[string]int{"transport": 1, "502": 2, "stream": 1}
+	if len(rep.ErrorsByCode) != len(want) {
+		t.Fatalf("errors_by_code = %v, want %v", rep.ErrorsByCode, want)
+	}
+	for code, n := range want {
+		if rep.ErrorsByCode[code] != n {
+			t.Errorf("errors_by_code[%s] = %d, want %d", code, rep.ErrorsByCode[code], n)
+		}
+	}
+	if rep.TotalMS.Count != 1 {
+		t.Fatalf("latency count = %d: errored requests must not contribute", rep.TotalMS.Count)
+	}
+
+	clean := buildReport([]sample{{totalMS: 5}}, time.Second, false)
+	if clean.ErrorsByCode != nil {
+		t.Fatalf("clean run carries errors_by_code: %v", clean.ErrorsByCode)
+	}
+	raw, err := json.Marshal(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "errors_by_code") {
+		t.Fatalf("clean report JSON carries errors_by_code: %s", raw)
 	}
 }
