@@ -7,6 +7,7 @@
 //	banksd [-addr :8080] [-snapshot dblp.snap | -dataset dblp -factor 0.25]
 //	       [-parallel 0] [-cache 256] [-max-inflight 0]
 //	       [-tenants tenants.json] [-drain-timeout 15s]
+//	       [-live [-wal] [-wal-fsync always] [-compact-after-ops N] [-compact-after-bytes N]]
 //
 // -snapshot serves from a memory-mapped snapshot file (see cmd/datagen
 // -out), building and saving it first if absent — the fast path for
@@ -14,6 +15,14 @@
 // (0 = GOMAXPROCS) and -max-inflight the admission limit (0 = 4× pool).
 // -tenants points at a JSON file of per-tenant caps (docs/SERVING.md has
 // the schema); without it every tenant gets the built-in limits.
+//
+// With -live, -wal write-ahead-logs every acknowledged mutation batch to
+// <snapshot>.wal (fsync per -wal-fsync) and replays the log on restart,
+// so a crash loses nothing that was acknowledged; restarts also resume
+// from the newest <snapshot>.genN compaction output. -compact-after-ops
+// and -compact-after-bytes bound recovery time by folding the overlay
+// into a new generation automatically. See docs/MUTATIONS.md and
+// docs/WAL_FORMAT.md.
 //
 // On SIGTERM or SIGINT the server drains gracefully: /healthz flips to
 // 503, listeners close, in-flight requests run to completion (bounded by
@@ -57,6 +66,11 @@ func run() error {
 	tenantsPath := flag.String("tenants", "", "JSON file of per-tenant serving limits (see docs/SERVING.md)")
 	liveFlag := flag.Bool("live", false, "enable live mutations (POST /v1/mutate and /v1/compact; see docs/MUTATIONS.md)")
 	livePrestige := flag.String("live-prestige", "random-walk", "prestige mode the served data was built with (random-walk, indegree, uniform); the mutation overlay recomputes prestige in the same mode")
+	walFlag := flag.Bool("wal", false, "write-ahead-log mutations for crash recovery (requires -live and -snapshot; the log lives at <snapshot>.wal and is replayed on restart; see docs/WAL_FORMAT.md)")
+	walPath := flag.String("wal-path", "", "write-ahead-log file (overrides the <snapshot>.wal convention; implies -wal)")
+	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always (fsync before every ack), interval (group commit), never (leave it to the OS)")
+	compactAfterOps := flag.Uint64("compact-after-ops", 0, "auto-compact once this many ops accumulate since the base generation (0 disables)")
+	compactAfterBytes := flag.Int64("compact-after-bytes", 0, "auto-compact once the WAL grows past this many bytes (0 disables)")
 	streamDropToBatch := flag.Bool("stream-drop-to-batch", false, "degrade slow /v1/search/stream consumers to batch delivery instead of blocking answer generation (see docs/STREAMING.md)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "window between /healthz turning 503 and the listener closing, so load balancers can observe unreadiness and stop routing (0 for tests)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
@@ -70,7 +84,17 @@ func run() error {
 		}
 	}
 
-	db, desc, err := openOrBuild(*snapshot, *dataset, *factor)
+	// A restart after compactions must resume from the newest durable
+	// base: open the highest <snapshot>.genN if any exist, and let the
+	// WAL replay skip records the newer base already contains.
+	openPath := *snapshot
+	if *liveFlag && *snapshot != "" {
+		if latest := banks.LatestSnapshotPath(*snapshot); latest != *snapshot {
+			log.Printf("resuming from compacted generation %s", latest)
+			openPath = latest
+		}
+	}
+	db, desc, err := openOrBuild(openPath, *dataset, *factor)
 	if err != nil {
 		return err
 	}
@@ -86,17 +110,38 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		policy, err := banks.ParseWALFsyncPolicy(*walFsync)
+		if err != nil {
+			return err
+		}
+		wpath := *walPath
+		if wpath == "" && *walFlag {
+			if *snapshot == "" {
+				return errors.New("-wal needs -snapshot to derive the log path (<snapshot>.wal); name one with -wal-path instead")
+			}
+			// The WAL path stays fixed across generations: compaction
+			// truncates the log in place rather than rotating files.
+			wpath = *snapshot + ".wal"
+		}
 		// Compaction needs somewhere to write generations; without
 		// -snapshot, mutations still work but /v1/compact reports the
 		// missing path.
 		live, err = banks.OpenLive(eng, banks.LiveOptions{
 			SnapshotPath: *snapshot,
 			Prestige:     mode,
+			WALPath:      wpath,
+			WALFsync:     policy,
 		})
 		if err != nil {
 			return err
 		}
-		log.Printf("live mutations enabled (generation %d, prestige %s)", live.Generation(), *livePrestige)
+		defer live.Close()
+		if wpath != "" {
+			log.Printf("live mutations enabled (generation %d, prestige %s, wal %s fsync=%s, %d records replayed)",
+				live.Generation(), *livePrestige, wpath, policy, live.Replayed())
+		} else {
+			log.Printf("live mutations enabled (generation %d, prestige %s)", live.Generation(), *livePrestige)
+		}
 	}
 
 	srv, err := server.New(server.Config{
@@ -121,6 +166,13 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
+
+	if live != nil && (*compactAfterOps > 0 || *compactAfterBytes > 0) {
+		if *snapshot == "" {
+			return errors.New("-compact-after-ops/-compact-after-bytes need -snapshot (compaction writes <snapshot>.genN)")
+		}
+		go autoCompact(ctx, live, *compactAfterOps, *compactAfterBytes)
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -153,6 +205,42 @@ func run() error {
 	}
 	log.Printf("drained cleanly")
 	return nil
+}
+
+// autoCompact folds the overlay into a new snapshot generation whenever
+// it grows past a configured threshold: ops applied since the base
+// (-compact-after-ops) or WAL size (-compact-after-bytes). Polling every
+// second keeps the check off the mutation hot path. A failed compaction
+// is logged and retried at the next poll; mutations keep flowing either
+// way.
+func autoCompact(ctx context.Context, live *banks.Live, maxOps uint64, maxBytes int64) {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		var trigger string
+		switch ops, size := live.Stats().OpsSinceBase, live.WALStats().SizeBytes; {
+		case maxOps > 0 && ops >= maxOps:
+			trigger = fmt.Sprintf("%d ops since base >= %d", ops, maxOps)
+		case maxBytes > 0 && size >= maxBytes:
+			trigger = fmt.Sprintf("wal at %d bytes >= %d", size, maxBytes)
+		default:
+			continue
+		}
+		res, err := live.Compact(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			log.Printf("auto-compaction (%s) failed: %v", trigger, err)
+			continue
+		}
+		log.Printf("auto-compacted (%s): generation %d at %s", trigger, res.Generation, res.Path)
+	}
 }
 
 // parsePrestigeMode maps the -live-prestige flag to a banks.PrestigeMode.

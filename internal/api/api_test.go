@@ -1,0 +1,86 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestRegistryCoversConstants pins that every code constant resolves in
+// the registry with a sane HTTP status.
+func TestRegistryCoversConstants(t *testing.T) {
+	codes := []string{
+		CodeBadRequest, CodeBadOptions, CodeBadBody, CodeBodyTooLarge,
+		CodeBatchTooLarge, CodeMutateTooLarge, CodeMethodNotAllowed,
+		CodeOverCapacity, CodeTenantOverCapacity, CodeDeadlineExceeded,
+		CodeCanceled, CodeInternal, CodeNotMutable, CodeMutateDenied,
+		CodeWALAppendFailed, CodeCompactFailed, CodeShardError,
+		CodeShardRejected, CodeNotRouted,
+	}
+	if len(codes) != len(Registry) {
+		t.Fatalf("registry has %d entries, constants list %d — keep them in lockstep", len(Registry), len(codes))
+	}
+	for _, c := range codes {
+		info, ok := Registry[c]
+		if !ok {
+			t.Fatalf("code %q missing from registry", c)
+		}
+		if info.Status < 400 || info.Status > 599 {
+			t.Fatalf("code %q has non-error status %d", c, info.Status)
+		}
+		if info.Description == "" {
+			t.Fatalf("code %q has no description", c)
+		}
+		if !Known(c) {
+			t.Fatalf("Known(%q) = false", c)
+		}
+	}
+	if Known("no_such_code") {
+		t.Fatal("Known accepted an unregistered code")
+	}
+}
+
+// TestEnvelopeShape pins the exact v1 wire shape — the new contract
+// fields AND the legacy mirrors — so neither can drift silently.
+func TestEnvelopeShape(t *testing.T) {
+	env := NewError(http.StatusBadRequest, CodeBadOptions, "k", "k must be positive")
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := m["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error object in %s", raw)
+	}
+	// v1 contract fields.
+	if e["code"] != "bad_options" || e["field"] != "k" || e["detail"] != "k must be positive" {
+		t.Fatalf("v1 fields wrong: %s", raw)
+	}
+	// Legacy mirrors during the deprecation window.
+	if m["code"] != "bad_options" {
+		t.Fatalf("legacy top-level code missing: %s", raw)
+	}
+	if e["status"] != float64(400) || e["message"] != "k must be positive" {
+		t.Fatalf("legacy status/message mirrors missing: %s", raw)
+	}
+}
+
+// TestEnvelopeOmitsEmptyField pins that field is omitted when unknown
+// rather than emitted as "".
+func TestEnvelopeOmitsEmptyField(t *testing.T) {
+	raw, err := json.Marshal(NewError(http.StatusInternalServerError, CodeInternal, "", "boom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := m["error"].(map[string]any)["field"]; present {
+		t.Fatalf("empty field serialized: %s", raw)
+	}
+}

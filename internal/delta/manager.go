@@ -16,6 +16,53 @@ import (
 	"banks/internal/store"
 )
 
+// LogAppender is the write-ahead log seam. The concrete implementation
+// lives in internal/wal (which imports this package for the Op type);
+// the interface keeps the dependency one-way. Append must make the
+// record durable per its configured policy before returning — Apply
+// acknowledges a batch only after Append succeeds. Reset empties the
+// log once a compaction has made its records redundant.
+type LogAppender interface {
+	// Append logs one batch stamped (generation, version) and returns
+	// the log offset of its end — the read-your-writes token. On error
+	// the log must be unchanged (or refusing all further appends):
+	// Apply translates an Append error into a rejected, unapplied batch.
+	Append(generation, version uint64, ops []Op) (int64, error)
+	// Reset empties the log (post-compaction truncation).
+	Reset() error
+}
+
+// ApplyResult reports one acknowledged mutation batch: the IDs assigned
+// to its insert_node ops, the logical state it produced, and where its
+// durability record landed.
+type ApplyResult struct {
+	// Assigned are the NodeIDs of the batch's insert_node ops, in op
+	// order (nil when the batch inserted no nodes).
+	Assigned []graph.NodeID
+	// Generation and DeltaVersion identify the state the batch produced:
+	// any later query observing this (generation, delta_version) or
+	// newer sees the batch (read-your-writes).
+	Generation   uint64
+	DeltaVersion uint64
+	// WALOffset is the write-ahead-log offset of the batch's record end;
+	// -1 when the manager runs without a WAL (ack ≠ durable).
+	WALOffset int64
+	// DeltaNodes/DeltaEdges/Tombstones are the overlay gauges after the
+	// batch.
+	DeltaNodes, DeltaEdges, Tombstones int
+}
+
+// CompactResult reports one completed compaction.
+type CompactResult struct {
+	// Generation is the new base generation; Path its snapshot file.
+	Generation uint64
+	Path       string
+	// WALReset reports whether the write-ahead log was truncated (false
+	// when no WAL is configured, or when truncation failed — correctness
+	// holds either way, replay skips records older than the base).
+	WALReset bool
+}
+
 // Config wires a Manager to the data it mutates and the engine it swaps.
 type Config struct {
 	// Engine is the query engine whose Source the manager swaps on every
@@ -43,6 +90,10 @@ type Config struct {
 	// computed.
 	Mode            PrestigeMode
 	PrestigeOptions prestige.Options
+	// Log, when non-nil, is the write-ahead log every batch is appended
+	// to before acknowledgment. Nil means mutations are memory-only
+	// between compactions (the pre-WAL behavior).
+	Log LogAppender
 }
 
 // Stats is a point-in-time snapshot of the manager's state and activity.
@@ -55,8 +106,13 @@ type Stats struct {
 	// counts deleted nodes.
 	DeltaNodes, DeltaEdges, Tombstones int
 	// MutationsTotal counts ops ever applied (cumulative, survives
-	// compaction). MutationBatches counts accepted batches.
+	// compaction). MutationBatches counts accepted batches. Batches the
+	// WAL refused are counted by neither — they were never applied.
 	MutationsTotal, MutationBatches uint64
+	// OpsSinceBase counts ops applied since the current base generation
+	// was established (reset by compaction) — the -compact-after-ops
+	// trigger reads it.
+	OpsSinceBase uint64
 	// CompactionsTotal counts completed compactions;
 	// LastCompactionSeconds is the duration of the latest one and
 	// CompactionSecondsSum accumulates all of them (for a Prometheus
@@ -75,6 +131,9 @@ type Manager struct {
 
 	mu   sync.Mutex
 	view *View
+	// opsSinceBase counts ops applied onto the current base generation
+	// (guarded by mu; reset by Compact).
+	opsSinceBase uint64
 	// owned is the snapshot backing the current base iff the manager
 	// opened it (a compacted generation). The process-initial snapshot
 	// is never owned — closing it would unmap memory the rest of the
@@ -113,11 +172,20 @@ func (m *Manager) View() *View {
 	return m.view
 }
 
-// Apply validates and applies one mutation batch, swaps the resulting
-// view into the engine, and returns the NodeIDs assigned to the batch's
-// insert_node ops. Queries in flight keep their pre-batch view; queries
-// arriving after Apply returns see the mutations.
-func (m *Manager) Apply(batch []Op) ([]graph.NodeID, error) {
+// Apply validates and applies one mutation batch, appends it to the
+// write-ahead log (when configured), swaps the resulting view into the
+// engine, and reports the result. Queries in flight keep their
+// pre-batch view; queries arriving after Apply returns see the
+// mutations.
+//
+// Ordering is the durability and atomicity contract: the batch is
+// validated and the new view + source are fully built first, the WAL
+// append is the last fallible step, and only after it succeeds does the
+// swap make the batch visible and the counters move. A failed append
+// therefore leaves the in-memory overlay, the serving source, and every
+// counter exactly as they were — the client's error means "not applied,
+// not durable", with no third state.
+func (m *Manager) Apply(batch []Op) (*ApplyResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	nv, assigned, err := m.view.Apply(batch)
@@ -128,11 +196,83 @@ func (m *Manager) Apply(batch []Op) ([]graph.NodeID, error) {
 	if err != nil {
 		return nil, err
 	}
+	walOffset := int64(-1)
+	if m.cfg.Log != nil {
+		walOffset, err = m.cfg.Log.Append(nv.generation, nv.version, batch)
+		if err != nil {
+			return nil, &WALError{Err: err}
+		}
+	}
 	m.cfg.Engine.Swap(src)
 	m.view = nv
+	m.opsSinceBase += uint64(len(batch))
 	m.mutationsTotal.Add(uint64(len(batch)))
 	m.mutationBatches.Add(1)
-	return assigned, nil
+	return &ApplyResult{
+		Assigned:     assigned,
+		Generation:   nv.generation,
+		DeltaVersion: nv.version,
+		WALOffset:    walOffset,
+		DeltaNodes:   nv.DeltaNodes(),
+		DeltaEdges:   nv.DeltaEdges(),
+		Tombstones:   nv.Tombstones(),
+	}, nil
+}
+
+// WALError marks a batch the write-ahead log refused: the batch was
+// valid but could not be made durable, so it was not applied. Callers
+// that distinguish client errors (invalid batch) from durability
+// failures unwrap to this type.
+type WALError struct{ Err error }
+
+func (e *WALError) Error() string {
+	return fmt.Sprintf("delta: batch not applied, write-ahead log append failed: %v", e.Err)
+}
+
+func (e *WALError) Unwrap() error { return e.Err }
+
+// Replay applies one recovered WAL record during open, with the
+// idempotence rules that make recovery safe against every crash point:
+//
+//   - generation < base: the record predates the base snapshot (the
+//     crash hit between compaction's rename and the WAL truncate) — its
+//     effects are already in the base; skip.
+//   - generation > base: the log claims a future base — the snapshot
+//     and log files do not belong together; refuse.
+//   - version ≤ current: duplicate record; skip.
+//   - version > current+1: a record between them is missing; refuse
+//     (recovering around a hole would silently reorder history).
+//
+// Replayed batches do not re-append to the WAL (they are already in
+// it). applied reports whether the record advanced the state.
+func (m *Manager) Replay(generation, version uint64, ops []Op) (applied bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.view
+	switch {
+	case generation < cur.generation:
+		return false, nil
+	case generation > cur.generation:
+		return false, fmt.Errorf("delta: replay: record generation %d is ahead of base generation %d (log does not match snapshot)", generation, cur.generation)
+	case version <= cur.version:
+		return false, nil
+	case version != cur.version+1:
+		return false, fmt.Errorf("delta: replay: version jumps %d→%d, a record is missing", cur.version, version)
+	}
+	nv, _, err := cur.Apply(ops)
+	if err != nil {
+		return false, fmt.Errorf("delta: replay version %d: %w", version, err)
+	}
+	src, err := engine.NewSource(nv, nv.Lookup, nv.generation, nv.version)
+	if err != nil {
+		return false, err
+	}
+	m.cfg.Engine.Swap(src)
+	m.view = nv
+	m.opsSinceBase += uint64(len(ops))
+	m.mutationsTotal.Add(uint64(len(ops)))
+	m.mutationBatches.Add(1)
+	return true, nil
 }
 
 // CompactPath returns the snapshot path compaction would write for the
@@ -150,38 +290,54 @@ func (m *Manager) CompactPath(generation uint64) string {
 // bind the new base immediately), then Quiesce waits for every query
 // bound to the old state to finish before the previous manager-owned
 // mapping is released. Mutations are blocked for the duration; queries
-// are not. Returns the new generation and the snapshot path.
-func (m *Manager) Compact(ctx context.Context) (uint64, string, error) {
+// are not.
+//
+// The durability order is: new generation written and fsync'd (the
+// snapshot writer syncs before its rename), then verified by re-open,
+// and only then is the write-ahead log truncated. A crash anywhere in
+// between recovers correctly — before the rename the old base + full
+// log replay; after the rename but before the truncate the new base
+// skips the log's now-stale records by generation.
+func (m *Manager) Compact(ctx context.Context) (*CompactResult, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.cfg.SnapshotPath == "" {
-		return 0, "", fmt.Errorf("delta: compaction disabled (no snapshot path)")
+		return nil, fmt.Errorf("delta: compaction disabled (no snapshot path)")
 	}
 	start := time.Now()
 
 	g, ix, err := m.view.Materialize()
 	if err != nil {
-		return 0, "", err
+		return nil, err
 	}
 	newGen := m.view.generation + 1
 	path := m.CompactPath(newGen)
 	if _, err := store.WriteExtrasFile(path, g, ix, m.cfg.Mapping, m.cfg.EdgeTypes, store.Extras{Generation: newGen}); err != nil {
-		return 0, "", fmt.Errorf("delta: write generation %d: %w", newGen, err)
+		return nil, fmt.Errorf("delta: write generation %d: %w", newGen, err)
 	}
 	snap, err := store.Open(path, store.Options{})
 	if err != nil {
-		return 0, "", fmt.Errorf("delta: reopen generation %d: %w", newGen, err)
+		return nil, fmt.Errorf("delta: reopen generation %d: %w", newGen, err)
 	}
 	if snap.Generation != newGen {
 		snap.Close()
-		return 0, "", fmt.Errorf("delta: generation %d snapshot reads back as %d", newGen, snap.Generation)
+		return nil, fmt.Errorf("delta: generation %d snapshot reads back as %d", newGen, snap.Generation)
 	}
 
 	nv := NewView(snap.Graph, snap.Index, newGen, m.cfg.Mode, m.cfg.PrestigeOptions)
 	src, err := engine.NewSource(nv, nv.Lookup, newGen, 0)
 	if err != nil {
 		snap.Close()
-		return 0, "", err
+		return nil, err
+	}
+
+	// The new generation is durable and verified: the logged records are
+	// now redundant. A Reset failure is tolerated — replay skips records
+	// whose generation predates the base — the log just stays fat until
+	// the next successful truncation.
+	walReset := false
+	if m.cfg.Log != nil {
+		walReset = m.cfg.Log.Reset() == nil
 	}
 	m.cfg.Engine.Swap(src)
 
@@ -200,6 +356,7 @@ func (m *Manager) Compact(ctx context.Context) (uint64, string, error) {
 	}
 	m.owned = snap
 	m.view = nv
+	m.opsSinceBase = 0
 
 	dur := time.Since(start).Seconds()
 	m.compactionsTotal.Add(1)
@@ -210,7 +367,7 @@ func (m *Manager) Compact(ctx context.Context) (uint64, string, error) {
 			break
 		}
 	}
-	return newGen, path, nil
+	return &CompactResult{Generation: newGen, Path: path, WALReset: walReset}, nil
 }
 
 // Stats samples the manager's state. The overlay gauges reflect the
@@ -218,10 +375,12 @@ func (m *Manager) Compact(ctx context.Context) (uint64, string, error) {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	v := m.view
+	opsSinceBase := m.opsSinceBase
 	m.mu.Unlock()
 	return Stats{
 		Generation:            v.generation,
 		DeltaVersion:          v.version,
+		OpsSinceBase:          opsSinceBase,
 		DeltaNodes:            v.DeltaNodes(),
 		DeltaEdges:            v.DeltaEdges(),
 		Tombstones:            v.Tombstones(),

@@ -20,6 +20,12 @@ import (
 // and a Manager (compaction enabled iff snapshotPath is non-empty).
 func newManagerWorld(t *testing.T, snapshotPath string) (*Manager, *engine.Engine) {
 	t.Helper()
+	return newManagerWorldLog(t, snapshotPath, nil)
+}
+
+// newManagerWorldLog is newManagerWorld with a write-ahead log wired in.
+func newManagerWorldLog(t *testing.T, snapshotPath string, log LogAppender) (*Manager, *engine.Engine) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(99))
 	b := graph.NewBuilder()
 	ix := index.New()
@@ -61,6 +67,7 @@ func newManagerWorld(t *testing.T, snapshotPath string) (*Manager, *engine.Engin
 		Index:        ix,
 		SnapshotPath: snapshotPath,
 		Mode:         PrestigeUniform,
+		Log:          log,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -220,10 +227,11 @@ func TestCompactUnderLoad(t *testing.T) {
 			}
 		}
 		before := m.Stats()
-		gen, path, err := m.Compact(ctx)
+		cres, err := m.Compact(ctx)
 		if err != nil {
 			t.Fatalf("round %d compact: %v", round, err)
 		}
+		gen := cres.Generation
 		after := m.Stats()
 		if gen != before.Generation+1 || after.Generation != gen {
 			t.Fatalf("round %d: generation %d -> %d (compact returned %d)", round, before.Generation, after.Generation, gen)
@@ -231,8 +239,8 @@ func TestCompactUnderLoad(t *testing.T) {
 		if after.DeltaVersion != 0 || after.DeltaNodes != 0 || after.Tombstones != 0 {
 			t.Fatalf("round %d: delta not reset after compaction: %+v", round, after)
 		}
-		if want := m.CompactPath(gen); path != want {
-			t.Fatalf("round %d: compacted to %q, want %q", round, path, want)
+		if want := m.CompactPath(gen); cres.Path != want {
+			t.Fatalf("round %d: compacted to %q, want %q", round, cres.Path, want)
 		}
 	}
 
@@ -280,7 +288,7 @@ func TestCompactPreservesSearch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Compact(context.Background()); err != nil {
+	if _, err := m.Compact(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	after, err := eng.Search(context.Background(), q)
@@ -295,7 +303,7 @@ func TestCompactPreservesSearch(t *testing.T) {
 // TestCompactDisabled pins the error path when no snapshot path is set.
 func TestCompactDisabled(t *testing.T) {
 	m, _ := newManagerWorld(t, "")
-	if _, _, err := m.Compact(context.Background()); err == nil {
+	if _, err := m.Compact(context.Background()); err == nil {
 		t.Fatal("Compact succeeded without a snapshot path")
 	}
 	if p := m.CompactPath(1); p != "" {

@@ -1,0 +1,63 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"banks/internal/api"
+)
+
+// TestErrorEnvelopeBothShapes pins the router's error envelope to the
+// shared v1 contract: new fields (error.code/detail) and the legacy
+// mirrors (top-level code, error.status, error.message) must both be
+// present during the deprecation window — and byte-compatible with what
+// the shard servers emit, since clients cannot tell which tier answered.
+func TestErrorEnvelopeBothShapes(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeError(rec, &httpError{status: http.StatusNotImplemented,
+		code: api.CodeNotRouted, message: "near queries are not routable"})
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", rec.Code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	e, ok := m["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error object: %s", rec.Body.Bytes())
+	}
+	// v1 contract.
+	if e["code"] != api.CodeNotRouted {
+		t.Fatalf("error.code = %v, want %q", e["code"], api.CodeNotRouted)
+	}
+	if e["detail"] != "near queries are not routable" {
+		t.Fatalf("error.detail = %v", e["detail"])
+	}
+	// Legacy shape, kept during deprecation.
+	if m["code"] != api.CodeNotRouted {
+		t.Fatalf("legacy top-level code = %v, want %q", m["code"], api.CodeNotRouted)
+	}
+	if e["status"] != float64(http.StatusNotImplemented) {
+		t.Fatalf("legacy error.status = %v, want 501", e["status"])
+	}
+	if e["message"] != "near queries are not routable" {
+		t.Fatalf("legacy error.message = %v", e["message"])
+	}
+}
+
+// TestRouterCodesRegistered pins that every code the router can emit is
+// in the shared registry.
+func TestRouterCodesRegistered(t *testing.T) {
+	for _, code := range []string{
+		api.CodeBadBody, api.CodeBodyTooLarge, api.CodeMethodNotAllowed,
+		api.CodeBadRequest, api.CodeBatchTooLarge, api.CodeShardRejected,
+		api.CodeShardError, api.CodeNotRouted, api.CodeInternal,
+	} {
+		if !api.Known(code) {
+			t.Errorf("router-emitted code %q not in registry", code)
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"banks/internal/api"
 )
 
 // maxBodyBytes bounds a forwarded POST body; the shards enforce their
@@ -75,11 +77,11 @@ func readBody(r *http.Request) ([]byte, *httpError) {
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
-		return nil, &httpError{status: http.StatusBadRequest, code: "bad_body",
+		return nil, &httpError{status: http.StatusBadRequest, code: api.CodeBadBody,
 			message: fmt.Sprintf("reading request body: %v", err)}
 	}
 	if len(body) > maxBodyBytes {
-		return nil, &httpError{status: http.StatusRequestEntityTooLarge, code: "body_too_large",
+		return nil, &httpError{status: http.StatusRequestEntityTooLarge, code: api.CodeBodyTooLarge,
 			message: fmt.Sprintf("request body exceeds %d bytes", maxBodyBytes)}
 	}
 	return body, nil
@@ -89,7 +91,7 @@ func checkMethod(r *http.Request) *httpError {
 	if r.Method == http.MethodGet || r.Method == http.MethodPost {
 		return nil
 	}
-	return &httpError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+	return &httpError{status: http.StatusMethodNotAllowed, code: api.CodeMethodNotAllowed,
 		message: "use GET with query parameters or POST with a JSON body"}
 }
 
@@ -144,13 +146,13 @@ func mapShardError(err error) *httpError {
 	if errors.As(err, &she) && she.status >= 400 && she.status < 500 {
 		code := she.code
 		if code == "" {
-			code = "shard_rejected"
+			code = api.CodeShardRejected
 		}
 		return &httpError{status: she.status, code: code, message: err.Error()}
 	}
 	return &httpError{
 		status:  http.StatusBadGateway,
-		code:    "shard_error",
+		code:    api.CodeShardError,
 		message: err.Error(),
 	}
 }
@@ -265,7 +267,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, &httpError{status: http.StatusMethodNotAllowed,
-			code: "method_not_allowed", message: "batch requests are POST with a JSON body"})
+			code: api.CodeMethodNotAllowed, message: "batch requests are POST with a JSON body"})
 		return
 	}
 	body, herr := readBody(r)
@@ -277,22 +279,22 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var p routedBatchParams
 	if err := dec.Decode(&p); err != nil {
-		writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_body",
+		writeError(w, &httpError{status: http.StatusBadRequest, code: api.CodeBadBody,
 			message: fmt.Sprintf("decoding batch body: %v", err)})
 		return
 	}
 	if len(p.Queries) == 0 {
-		writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+		writeError(w, &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest,
 			message: "batch contains no queries"})
 		return
 	}
 	if len(p.Queries) > maxRoutedBatch {
-		writeError(w, &httpError{status: http.StatusBadRequest, code: "batch_too_large",
+		writeError(w, &httpError{status: http.StatusBadRequest, code: api.CodeBatchTooLarge,
 			message: fmt.Sprintf("batch of %d queries exceeds the router limit %d", len(p.Queries), maxRoutedBatch)})
 		return
 	}
 	if p.TimeoutMS < 0 {
-		writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+		writeError(w, &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest,
 			message: fmt.Sprintf("timeout must be non-negative, got %d", p.TimeoutMS)})
 		return
 	}
@@ -302,12 +304,12 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		edec.UseNumber() // preserve numeric literals bit-for-bit through the rewrite
 		var m map[string]any
 		if err := edec.Decode(&m); err != nil {
-			writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+			writeError(w, &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest,
 				message: fmt.Sprintf("queries[%d]: %v", i, err)})
 			return
 		}
 		if _, ok := m["timeout_ms"]; ok {
-			writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+			writeError(w, &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest,
 				message: fmt.Sprintf("queries[%d].timeout_ms: timeout_ms is per batch: set it at the top level", i)})
 			return
 		}
@@ -316,7 +318,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		b, err := json.Marshal(m)
 		if err != nil {
-			writeError(w, &httpError{status: http.StatusBadRequest, code: "bad_request",
+			writeError(w, &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest,
 				message: fmt.Sprintf("queries[%d]: %v", i, err)})
 			return
 		}
@@ -344,7 +346,8 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				rt.met.observeQuery(outcomeError, 0)
 				he := mapShardError(err)
-				resp.Errors[i] = &errorJSON{Status: he.status, Code: he.code, Message: he.message}
+				detail := api.NewErrorDetail(he.status, he.code, "", he.message)
+				resp.Errors[i] = &detail
 				return
 			}
 			merged := mergeResults(results)
@@ -388,7 +391,7 @@ func (rt *Router) handleUnsupported(reason string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &httpError{
 			status:  http.StatusNotImplemented,
-			code:    "not_routed",
+			code:    api.CodeNotRouted,
 			message: reason,
 		})
 	}

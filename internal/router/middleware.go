@@ -7,6 +7,8 @@ import (
 	"runtime/debug"
 	"strings"
 	"time"
+
+	"banks/internal/api"
 )
 
 // statusWriter captures the response status for logging and metrics.
@@ -87,7 +89,7 @@ func (rt *Router) instrument(next http.Handler) http.Handler {
 				}
 				if sw.status == 0 {
 					writeError(sw, &httpError{status: http.StatusInternalServerError,
-						code: "internal", message: "internal server error"})
+						code: api.CodeInternal, message: "internal server error"})
 				}
 			}
 			rt.met.observeRequest(metricsPath(r.URL.Path), sw.status)
@@ -117,22 +119,16 @@ type httpError struct {
 	message string
 }
 
-type errorBody struct {
-	Error errorJSON `json:"error"`
-}
+// errorBody and errorJSON are the shared v1 envelope from internal/api —
+// the router serves byte-compatible errors with the shard servers.
+type errorBody = api.ErrorEnvelope
 
-type errorJSON struct {
-	Status  int    `json:"status"`
-	Code    string `json:"code"`
-	Message string `json:"message"`
-}
+type errorJSON = api.ErrorDetail
 
 func writeError(w http.ResponseWriter, e *httpError) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(e.status)
-	json.NewEncoder(w).Encode(errorBody{Error: errorJSON{
-		Status: e.status, Code: e.code, Message: e.message,
-	}})
+	json.NewEncoder(w).Encode(api.NewError(e.status, e.code, "", e.message))
 }
 
 // writeJSON encodes the response body; an encode failure here is a

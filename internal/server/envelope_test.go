@@ -1,0 +1,87 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"banks/internal/api"
+)
+
+// TestErrorEnvelopeBothShapes pins the v1 error envelope on a real
+// response: the new contract fields (error.code/field/detail) AND the
+// legacy mirrors (top-level code, error.status, error.message) must both
+// be present during the deprecation window, so neither old nor new
+// clients break.
+func TestErrorEnvelopeBothShapes(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/search?q=cite&bogus=1", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body %s", rec.Code, rec.Body.Bytes())
+	}
+	var m map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	e, ok := m["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error object: %s", rec.Body.Bytes())
+	}
+	// v1 contract.
+	if e["code"] != api.CodeBadRequest {
+		t.Fatalf("error.code = %v, want %q", e["code"], api.CodeBadRequest)
+	}
+	if e["field"] != "bogus" {
+		t.Fatalf("error.field = %v, want bogus", e["field"])
+	}
+	if d, _ := e["detail"].(string); d == "" {
+		t.Fatalf("error.detail missing: %s", rec.Body.Bytes())
+	}
+	// Legacy shape, kept during deprecation.
+	if m["code"] != api.CodeBadRequest {
+		t.Fatalf("legacy top-level code = %v, want %q", m["code"], api.CodeBadRequest)
+	}
+	if e["status"] != float64(http.StatusBadRequest) {
+		t.Fatalf("legacy error.status = %v, want 400", e["status"])
+	}
+	if msg, _ := e["message"].(string); msg == "" {
+		t.Fatalf("legacy error.message missing: %s", rec.Body.Bytes())
+	}
+}
+
+// TestEmittedCodesRegistered pins that every code the server can emit is
+// in the shared registry with a matching status.
+func TestEmittedCodesRegistered(t *testing.T) {
+	cases := []struct {
+		code   string
+		status int
+	}{
+		{api.CodeBadRequest, http.StatusBadRequest},
+		{api.CodeBadOptions, http.StatusBadRequest},
+		{api.CodeBatchTooLarge, http.StatusBadRequest},
+		{api.CodeMutateTooLarge, http.StatusBadRequest},
+		{api.CodeMethodNotAllowed, http.StatusMethodNotAllowed},
+		{api.CodeOverCapacity, http.StatusTooManyRequests},
+		{api.CodeTenantOverCapacity, http.StatusTooManyRequests},
+		{api.CodeDeadlineExceeded, http.StatusGatewayTimeout},
+		{api.CodeCanceled, http.StatusServiceUnavailable},
+		{api.CodeInternal, http.StatusInternalServerError},
+		{api.CodeNotMutable, http.StatusNotImplemented},
+		{api.CodeMutateDenied, http.StatusForbidden},
+		{api.CodeWALAppendFailed, http.StatusServiceUnavailable},
+		{api.CodeCompactFailed, http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		info, ok := api.Registry[c.code]
+		if !ok {
+			t.Errorf("code %q not in registry", c.code)
+			continue
+		}
+		if info.Status != c.status {
+			t.Errorf("registry status for %q = %d, server emits %d", c.code, info.Status, c.status)
+		}
+	}
+}

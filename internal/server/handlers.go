@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"banks"
+	"banks/internal/api"
 )
 
 // nodeJSON is one tree node with its display label.
@@ -322,7 +323,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, &httpError{status: http.StatusMethodNotAllowed,
-			code: "method_not_allowed", message: "batch requests are POST with a JSON body"})
+			code: api.CodeMethodNotAllowed, message: "batch requests are POST with a JSON body"})
 		return
 	}
 	reqs, timeout, clamped, herr := decodeBatchRequest(r, s.limits(r))
@@ -353,7 +354,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if field != "" {
 				field = fmt.Sprintf("queries[%d].%s", i, field)
 			}
-			resp.Errors[i] = &errorJSON{Status: he.status, Code: he.code, Field: field, Message: he.message}
+			detail := api.NewErrorDetail(he.status, he.code, field, he.message)
+			resp.Errors[i] = &detail
 			continue
 		}
 		res := results[i]
@@ -449,10 +451,29 @@ type liveJSON struct {
 	DeltaNodes            int     `json:"delta_nodes"`
 	DeltaEdges            int     `json:"delta_edges"`
 	Tombstones            int     `json:"tombstones"`
+	OpsSinceBase          uint64  `json:"ops_since_base"`
 	MutationsTotal        uint64  `json:"mutations_total"`
 	MutationBatches       uint64  `json:"mutation_batches"`
 	CompactionsTotal      uint64  `json:"compactions_total"`
 	LastCompactionSeconds float64 `json:"last_compaction_seconds,omitempty"`
+	// WAL discloses the write-ahead log when one is configured; its
+	// absence means mutation acks are memory-only between compactions.
+	WAL *walJSON `json:"wal,omitempty"`
+}
+
+// walJSON is the /statusz disclosure of the write-ahead log.
+type walJSON struct {
+	Path           string `json:"path"`
+	FsyncPolicy    string `json:"fsync_policy"`
+	SizeBytes      int64  `json:"size_bytes"`
+	Records        uint64 `json:"records"`
+	Appends        uint64 `json:"appends"`
+	Syncs          uint64 `json:"syncs"`
+	Resets         uint64 `json:"resets"`
+	AppendFailures uint64 `json:"append_failures"`
+	// ReplayedRecords is how many records crash recovery replayed at
+	// startup (0 after a clean start).
+	ReplayedRecords int `json:"replayed_records"`
 }
 
 // tenantAdmissionJSON is one tenant's admission disclosure in /statusz.
@@ -535,10 +556,25 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			DeltaNodes:            st.DeltaNodes,
 			DeltaEdges:            st.DeltaEdges,
 			Tombstones:            st.Tombstones,
+			OpsSinceBase:          st.OpsSinceBase,
 			MutationsTotal:        st.MutationsTotal,
 			MutationBatches:       st.MutationBatches,
 			CompactionsTotal:      st.CompactionsTotal,
 			LastCompactionSeconds: st.LastCompactionSeconds,
+		}
+		if s.live.HasWAL() {
+			ws := s.live.WALStats()
+			resp.Live.WAL = &walJSON{
+				Path:            ws.Path,
+				FsyncPolicy:     string(ws.Policy),
+				SizeBytes:       ws.SizeBytes,
+				Records:         ws.Records,
+				Appends:         ws.Appends,
+				Syncs:           ws.Syncs,
+				Resets:          ws.Resets,
+				AppendFailures:  ws.AppendFailures,
+				ReplayedRecords: s.live.Replayed(),
+			}
 		}
 	}
 
@@ -585,9 +621,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			gauge{"banksd_delta_nodes", "Live nodes inserted since the current base.", float64(st.DeltaNodes)},
 			gauge{"banksd_delta_edges", "Live edges inserted since the current base.", float64(st.DeltaEdges)},
 			gauge{"banksd_delta_tombstones", "Nodes deleted since the current base.", float64(st.Tombstones)},
+			gauge{"banksd_ops_since_base", "Mutation ops applied since the current base generation (resets on compaction).", float64(st.OpsSinceBase)},
 			gauge{"banksd_compaction_seconds_sum", "Total seconds spent in compactions (pair with banksd_compactions_total for averages).", st.CompactionSecondsSum},
 			gauge{"banksd_last_compaction_seconds", "Duration of the most recent compaction.", st.LastCompactionSeconds},
 		)
+		if s.live.HasWAL() {
+			ws := s.live.WALStats()
+			counters = append(counters,
+				counterExtra{"banksd_wal_appends_total", "Mutation batches appended to the write-ahead log.", ws.Appends},
+				counterExtra{"banksd_wal_syncs_total", "fsync calls issued by the write-ahead log.", ws.Syncs},
+				counterExtra{"banksd_wal_resets_total", "Write-ahead log truncations (one per compaction).", ws.Resets},
+				counterExtra{"banksd_wal_append_failures_total", "Mutation batches the write-ahead log refused (batch not applied).", ws.AppendFailures},
+			)
+			gauges = append(gauges,
+				gauge{"banksd_wal_size_bytes", "Current write-ahead log file size.", float64(ws.SizeBytes)},
+				gauge{"banksd_wal_records", "Records currently in the write-ahead log.", float64(ws.Records)},
+			)
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w, counters, gauges)

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"banks/internal/api"
 )
 
 // statusWriter captures the response status for logging and metrics.
@@ -90,7 +92,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 				}
 				if sw.status == 0 {
 					writeError(sw, &httpError{status: http.StatusInternalServerError,
-						code: "internal", message: "internal server error"})
+						code: api.CodeInternal, message: "internal server error"})
 				}
 			}
 			s.met.observeRequest(metricsPath(r.URL.Path), sw.status)
@@ -131,12 +133,12 @@ func (s *Server) admitted(next http.HandlerFunc) http.HandlerFunc {
 		if !ok {
 			herr := &httpError{
 				status:     http.StatusTooManyRequests,
-				code:       "over_capacity",
+				code:       api.CodeOverCapacity,
 				message:    fmt.Sprintf("server is at its in-flight limit (%d); retry after the indicated delay", s.adm.limit),
 				retryAfter: s.adm.retryAfterSeconds(),
 			}
 			if byTenant {
-				herr.code = "tenant_over_capacity"
+				herr.code = api.CodeTenantOverCapacity
 				herr.message = fmt.Sprintf("tenant is at its in-flight limit (%d); retry after the indicated delay", quota)
 			}
 			writeError(w, herr)
@@ -147,17 +149,12 @@ func (s *Server) admitted(next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error errorJSON `json:"error"`
-}
+// errorBody and errorJSON are the v1 error envelope, defined once in
+// internal/api and shared with the router so the two surfaces cannot
+// drift apart again.
+type errorBody = api.ErrorEnvelope
 
-type errorJSON struct {
-	Status  int    `json:"status"`
-	Code    string `json:"code"`
-	Field   string `json:"field,omitempty"`
-	Message string `json:"message"`
-}
+type errorJSON = api.ErrorDetail
 
 func writeError(w http.ResponseWriter, e *httpError) {
 	w.Header().Set("Content-Type", "application/json")
@@ -165,9 +162,7 @@ func writeError(w http.ResponseWriter, e *httpError) {
 		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
 	}
 	w.WriteHeader(e.status)
-	json.NewEncoder(w).Encode(errorBody{Error: errorJSON{
-		Status: e.status, Code: e.code, Field: e.field, Message: e.message,
-	}})
+	json.NewEncoder(w).Encode(api.NewError(e.status, e.code, e.field, e.message))
 }
 
 // writeJSON encodes the response body. An encode error at this point is a

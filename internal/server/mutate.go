@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"banks"
+	"banks/internal/api"
 	"banks/internal/graph"
 )
 
@@ -35,20 +37,49 @@ type mutateParams struct {
 	Ops []mutateOpJSON `json:"ops"`
 }
 
-// mutateResponse reports an applied batch: the IDs assigned to its
-// insert_node ops (in op order) and the resulting logical state identity.
+// deltaStatsJSON is the overlay-size block shared by the mutate and
+// compact response envelopes.
+type deltaStatsJSON struct {
+	Nodes      int `json:"nodes"`
+	Edges      int `json:"edges"`
+	Tombstones int `json:"tombstones"`
+}
+
+// mutateResponse is the v1 /v1/mutate envelope, reporting exactly the
+// state the acknowledged batch produced (from the typed ApplyResult, not
+// a racy re-sample): applied/assigned/generation/delta_version are the
+// original fields (kept stable for pre-v1 clients and the reload-smoke
+// assertions), wal_offset + durable + delta are the v1 additions.
+// (generation, delta_version) — and wal_offset when a WAL is configured
+// — are the client's read-your-writes tokens.
 type mutateResponse struct {
 	Applied      int            `json:"applied"`
 	Assigned     []banks.NodeID `json:"assigned,omitempty"`
 	Generation   uint64         `json:"generation"`
 	DeltaVersion uint64         `json:"delta_version"`
+	// WALOffset is the write-ahead-log end offset of this batch's
+	// record; absent when the server runs without a WAL.
+	WALOffset *int64 `json:"wal_offset,omitempty"`
+	// Durable reports whether acknowledgment implies durability (a WAL
+	// is configured; the strength depends on its fsync policy).
+	Durable bool `json:"durable"`
+	// Delta is the overlay size after this batch.
+	Delta deltaStatsJSON `json:"delta"`
 }
 
-// compactResponse reports a completed compaction.
+// compactResponse is the v1 /v1/compact envelope, shaped like
+// mutateResponse: the state identity the operation produced plus its
+// durability disclosure.
 type compactResponse struct {
 	Generation uint64  `json:"generation"`
 	Path       string  `json:"path"`
 	DurationMS float64 `json:"duration_ms"`
+	// WALTruncated reports that the write-ahead log was emptied because
+	// the new generation is durable (false when no WAL is configured).
+	WALTruncated bool `json:"wal_truncated"`
+	// Delta is the overlay size after compaction (all zero by
+	// construction — the overlay folded into the new base).
+	Delta deltaStatsJSON `json:"delta"`
 }
 
 // nodeField converts one wire node reference, enforcing presence and the
@@ -78,7 +109,7 @@ func decodeMutateOps(body io.Reader, maxOps int) ([]banks.MutationOp, *httpError
 		return nil, badRequest("ops", "mutation batch contains no ops")
 	}
 	if maxOps > 0 && len(p.Ops) > maxOps {
-		return nil, &httpError{status: http.StatusBadRequest, code: "mutate_too_large", field: "ops",
+		return nil, &httpError{status: http.StatusBadRequest, code: api.CodeMutateTooLarge, field: "ops",
 			message: fmt.Sprintf("batch of %d ops exceeds the tenant limit %d", len(p.Ops), maxOps)}
 	}
 	ops := make([]banks.MutationOp, len(p.Ops))
@@ -142,16 +173,16 @@ func (s *Server) requireLive(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		writeError(w, &httpError{status: http.StatusMethodNotAllowed,
-			code: "method_not_allowed", message: "mutations are POST with a JSON body"})
+			code: api.CodeMethodNotAllowed, message: "mutations are POST with a JSON body"})
 		return false
 	}
 	if s.live == nil {
-		writeError(w, &httpError{status: http.StatusNotImplemented, code: "not_mutable",
+		writeError(w, &httpError{status: http.StatusNotImplemented, code: api.CodeNotMutable,
 			message: "this server was started without live mutations (banksd -live)"})
 		return false
 	}
 	if !s.limits(r).MutateAllowed() {
-		writeError(w, &httpError{status: http.StatusForbidden, code: "mutate_denied",
+		writeError(w, &httpError{status: http.StatusForbidden, code: api.CodeMutateDenied,
 			message: "this tenant is not allowed to mutate"})
 		return false
 	}
@@ -167,21 +198,36 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr)
 		return
 	}
-	assigned, err := s.live.Apply(ops)
+	res, err := s.live.Apply(ops)
 	if err != nil {
+		var werr *banks.WALError
+		if errors.As(err, &werr) {
+			// The batch was valid but could not be made durable — and
+			// therefore was not applied. 503: the client may retry, the
+			// data is intact.
+			writeError(w, &httpError{status: http.StatusServiceUnavailable,
+				code: api.CodeWALAppendFailed, message: err.Error()})
+			return
+		}
 		// Semantic rejections from the delta layer are the caller's to
 		// fix; the batch was not applied.
 		writeError(w, badRequest("ops", "%v", err))
 		return
 	}
-	st := s.live.Stats()
 	annotate(r, "mutate", len(ops), false)
-	writeJSON(w, mutateResponse{
+	resp := mutateResponse{
 		Applied:      len(ops),
-		Assigned:     assigned,
-		Generation:   st.Generation,
-		DeltaVersion: st.DeltaVersion,
-	})
+		Assigned:     res.Assigned,
+		Generation:   res.Generation,
+		DeltaVersion: res.DeltaVersion,
+		Durable:      res.WALOffset >= 0,
+		Delta:        deltaStatsJSON{Nodes: res.DeltaNodes, Edges: res.DeltaEdges, Tombstones: res.Tombstones},
+	}
+	if res.WALOffset >= 0 {
+		off := res.WALOffset
+		resp.WALOffset = &off
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
@@ -189,16 +235,17 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	gen, path, err := s.live.Compact(r.Context())
+	res, err := s.live.Compact(r.Context())
 	if err != nil {
-		writeError(w, &httpError{status: http.StatusInternalServerError, code: "compact_failed",
+		writeError(w, &httpError{status: http.StatusInternalServerError, code: api.CodeCompactFailed,
 			message: err.Error()})
 		return
 	}
 	annotate(r, "compact", 0, false)
 	writeJSON(w, compactResponse{
-		Generation: gen,
-		Path:       path,
-		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Generation:   res.Generation,
+		Path:         res.Path,
+		DurationMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		WALTruncated: res.WALReset,
 	})
 }

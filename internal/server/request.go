@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"banks"
+	"banks/internal/api"
 	"banks/internal/core"
 )
 
@@ -43,7 +44,7 @@ type httpError struct {
 func (e *httpError) Error() string { return e.message }
 
 func badRequest(field, format string, args ...any) *httpError {
-	return &httpError{status: http.StatusBadRequest, code: "bad_request", field: field,
+	return &httpError{status: http.StatusBadRequest, code: api.CodeBadRequest, field: field,
 		message: fmt.Sprintf(format, args...)}
 }
 
@@ -56,18 +57,18 @@ func badRequest(field, format string, args ...any) *httpError {
 func mapQueryError(err error) *httpError {
 	var oe *core.OptionsError
 	if errors.As(err, &oe) {
-		return &httpError{status: http.StatusBadRequest, code: "bad_options",
+		return &httpError{status: http.StatusBadRequest, code: api.CodeBadOptions,
 			field: oe.Field, message: oe.Error()}
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		return &httpError{status: http.StatusGatewayTimeout, code: "deadline_exceeded",
+		return &httpError{status: http.StatusGatewayTimeout, code: api.CodeDeadlineExceeded,
 			message: "deadline expired before the query could start executing"}
 	}
 	if errors.Is(err, context.Canceled) {
-		return &httpError{status: http.StatusServiceUnavailable, code: "canceled",
+		return &httpError{status: http.StatusServiceUnavailable, code: api.CodeCanceled,
 			message: "request canceled before the query could start executing"}
 	}
-	return &httpError{status: http.StatusInternalServerError, code: "internal",
+	return &httpError{status: http.StatusInternalServerError, code: api.CodeInternal,
 		message: err.Error()}
 }
 
@@ -382,7 +383,7 @@ func decodeSearchParams(r *http.Request) (*searchParams, *httpError) {
 	case http.MethodPost:
 		return paramsFromJSON(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	default:
-		return nil, &httpError{status: http.StatusMethodNotAllowed, code: "method_not_allowed",
+		return nil, &httpError{status: http.StatusMethodNotAllowed, code: api.CodeMethodNotAllowed,
 			message: "use GET with query parameters or POST with a JSON body"}
 	}
 }
@@ -416,7 +417,7 @@ func decodeBatchRequest(r *http.Request, lim TenantLimits) (reqs []*searchReques
 		return nil, 0, nil, badRequest("queries", "batch contains no queries")
 	}
 	if lim.MaxBatch > 0 && len(b.Queries) > lim.MaxBatch {
-		return nil, 0, nil, &httpError{status: http.StatusBadRequest, code: "batch_too_large", field: "queries",
+		return nil, 0, nil, &httpError{status: http.StatusBadRequest, code: api.CodeBatchTooLarge, field: "queries",
 			message: fmt.Sprintf("batch of %d queries exceeds the tenant limit %d", len(b.Queries), lim.MaxBatch)}
 	}
 	if b.TimeoutMS < 0 {

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"banks"
+)
+
+// newWALServer is newLiveServer with a write-ahead log wired in.
+func newWALServer(t *testing.T) (*Server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "live.wal")
+	db := testDB(t)
+	eng, err := banks.NewEngine(db, banks.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := banks.OpenLive(eng, banks.LiveOptions{
+		SnapshotPath: filepath.Join(dir, "live.banksnap"),
+		WALPath:      walPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { live.Close() })
+	s, err := New(Config{Engine: eng, DB: db, Live: live, Tenants: generousTenants()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, walPath
+}
+
+// TestMutateWALDisclosures pins the v1 durability surface end to end: the
+// mutate envelope carries wal_offset/durable/delta, compact reports the
+// truncation, and /statusz + /metrics disclose the log's position and
+// counters at every step.
+func TestMutateWALDisclosures(t *testing.T) {
+	_, ts, walPath := newWALServer(t)
+
+	code, body := post(t, ts, "/v1/mutate", "", `{"ops":[
+		{"op":"insert_node","table":"paper","text":"durable walserver probe"}
+	]}`)
+	if code != 200 {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+	var mr mutateResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Durable || mr.WALOffset == nil || *mr.WALOffset <= 16 {
+		t.Fatalf("WAL-backed mutate not disclosed as durable: %+v", mr)
+	}
+	if mr.Delta.Nodes != 1 || mr.Delta.Tombstones != 0 {
+		t.Fatalf("delta block: %+v", mr.Delta)
+	}
+
+	// /statusz: the live block carries the wal sub-block.
+	_, body, _ = get(t, ts, "/statusz", "")
+	var st struct {
+		Live *liveJSON `json:"live"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Live == nil || st.Live.WAL == nil {
+		t.Fatalf("statusz missing wal block: %s", body)
+	}
+	w := st.Live.WAL
+	if w.Path != walPath || w.FsyncPolicy != "always" || w.Records != 1 || w.Appends != 1 ||
+		w.SizeBytes != *mr.WALOffset || w.AppendFailures != 0 || w.ReplayedRecords != 0 {
+		t.Fatalf("wal block: %+v (mutate offset %d)", w, *mr.WALOffset)
+	}
+	if st.Live.OpsSinceBase != 1 {
+		t.Fatalf("ops_since_base = %d, want 1", st.Live.OpsSinceBase)
+	}
+
+	// /metrics: WAL counters and gauges present and moving.
+	_, body, _ = get(t, ts, "/metrics", "")
+	for _, want := range []string{
+		"banksd_wal_appends_total 1",
+		"banksd_wal_records 1",
+		"banksd_wal_append_failures_total 0",
+		"banksd_ops_since_base 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// Compaction truncates the log and says so.
+	code, body = post(t, ts, "/v1/compact", "", "")
+	if code != 200 {
+		t.Fatalf("compact: %d %s", code, body)
+	}
+	var cr compactResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		t.Fatal(err)
+	}
+	if !cr.WALTruncated || cr.Generation != 1 {
+		t.Fatalf("compact response: %+v", cr)
+	}
+	if cr.Delta != (deltaStatsJSON{}) {
+		t.Fatalf("post-compaction delta not empty: %+v", cr.Delta)
+	}
+	_, body, _ = get(t, ts, "/metrics", "")
+	for _, want := range []string{
+		"banksd_wal_resets_total 1",
+		"banksd_wal_records 0",
+		"banksd_ops_since_base 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("post-compaction metrics missing %q", want)
+		}
+	}
+}
+
+// TestMutateWithoutWALUndisclosed: a live server with no WAL must not
+// fake durability — no wal_offset, durable false, no statusz wal block.
+func TestMutateWithoutWALUndisclosed(t *testing.T) {
+	_, ts, _ := newLiveServer(t, nil)
+	code, body := post(t, ts, "/v1/mutate", "", `{"ops":[{"op":"insert_node","table":"paper","text":"x"}]}`)
+	if code != 200 {
+		t.Fatalf("mutate: %d %s", code, body)
+	}
+	var mr mutateResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Durable || mr.WALOffset != nil {
+		t.Fatalf("WAL-less mutate claims durability: %+v", mr)
+	}
+	_, body, _ = get(t, ts, "/statusz", "")
+	if strings.Contains(string(body), `"wal"`) {
+		t.Fatalf("WAL-less statusz discloses a wal block: %s", body)
+	}
+}

@@ -198,10 +198,29 @@ func WriteExtrasFile(path string, g *graph.Graph, ix *index.Index, mapping *conv
 		tmp.Close()
 		return n, err
 	}
+	// Durability chain for crash recovery: the data must be on stable
+	// storage before the rename publishes the file, and the rename itself
+	// must be persisted (directory fsync) before callers act on the new
+	// file's existence — compaction truncates the write-ahead log only
+	// after this returns, so a lost rename with a truncated log would
+	// lose acknowledged mutations.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return n, err
+	}
 	if err := tmp.Close(); err != nil {
 		return n, err
 	}
-	return n, os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return n, err
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		// Best effort: some filesystems refuse directory fsync; the
+		// rename is still ordered after the data sync above.
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return n, nil
 }
 
 // Chunked encoders: each streams its array through a stack buffer so the

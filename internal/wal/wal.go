@@ -1,0 +1,616 @@
+// Package wal implements the write-ahead log that makes live mutations
+// durable between compactions (docs/WAL_FORMAT.md is the byte-level
+// spec). The log is an append-only file of length-prefixed, CRC32-C
+// framed records, each one acknowledged mutation batch stamped with the
+// snapshot generation and delta version it produced.
+//
+// Durability contract: delta.Manager.Apply appends the batch here
+// *before* the engine swap that makes it visible, so every acknowledged
+// batch is in the log. On restart, Open scans the log, tolerates a torn
+// final record (the one write that may have been racing the crash — it
+// was never acknowledged) by truncating it away, and refuses a corrupt
+// middle (bit rot or tampering under acknowledged records must fail
+// loudly, never silently drop data). Replay of the returned records
+// rebuilds the overlay exactly.
+//
+// Fsync policy tunes the ack-vs-throughput tradeoff:
+//
+//	always   — fsync before every acknowledgment; a crash (or power
+//	           loss) loses nothing that was acknowledged.
+//	interval — fsync at most once per configured interval (group
+//	           commit); kill -9 loses nothing (the page cache survives
+//	           the process), power loss may lose the last interval.
+//	never    — rely on the OS writeback; cheapest, weakest.
+//
+// A failed or partial append is rolled back (the file is truncated to
+// the pre-append offset) so the next append cannot land after garbage
+// and forge a corrupt middle; when rollback itself fails the log is
+// poisoned and every later append errors until the process restarts.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"banks/internal/delta"
+	"banks/internal/graph"
+)
+
+// Magic identifies a WAL file; Version is the format version.
+const (
+	Magic   = "BANKSWAL"
+	Version = 1
+)
+
+const (
+	headerSize      = 16 // magic(8) + version(4) + reserved(4)
+	frameHeaderSize = 8  // payloadLen(4) + crc32c(4)
+
+	// MaxPayload bounds one record's payload. A mutation batch is at most
+	// a tenant's op cap of short strings; 16 MiB is far above any sane
+	// batch and small enough that a forged length field cannot make the
+	// reader allocate unboundedly.
+	MaxPayload = 16 << 20
+)
+
+// Op kind codes on the wire (the delta.OpKind strings are not
+// serialized; the codes below are the stable byte-level encoding).
+const (
+	kindInsertNode byte = 1
+	kindInsertEdge byte = 2
+	kindDeleteNode byte = 3
+	kindDeleteEdge byte = 4
+	kindInsertTerm byte = 5
+	kindDeleteTerm byte = 6
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Policy is the fsync policy name.
+type Policy string
+
+const (
+	PolicyAlways   Policy = "always"
+	PolicyInterval Policy = "interval"
+	PolicyNever    Policy = "never"
+)
+
+// ParsePolicy validates a policy name from a flag or config.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyAlways, PolicyInterval, PolicyNever:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("wal: unknown fsync policy %q (have always, interval, never)", s)
+}
+
+// DefaultInterval is the group-commit window of PolicyInterval when the
+// caller does not set one.
+const DefaultInterval = 100 * time.Millisecond
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the fsync policy; empty means PolicyAlways (durable by
+	// default — callers opt into weaker guarantees explicitly).
+	Policy Policy
+	// Interval is the PolicyInterval group-commit window (0 means
+	// DefaultInterval). Ignored by the other policies.
+	Interval time.Duration
+}
+
+// Record is one logged mutation batch: the base generation and delta
+// version it produced, plus the ops exactly as acknowledged.
+type Record struct {
+	Generation uint64
+	Version    uint64
+	Ops        []delta.Op
+}
+
+// Stats is a point-in-time sample of the log's position and activity.
+type Stats struct {
+	// Path is the log file path.
+	Path string
+	// Policy is the configured fsync policy.
+	Policy Policy
+	// SizeBytes is the current file size (header + valid frames) — the
+	// read-your-writes offset of the newest record's end.
+	SizeBytes int64
+	// Records is the number of records currently in the log (replayed at
+	// open plus appended since; reset by Reset).
+	Records uint64
+	// Appends counts successful appends since open; Syncs counts fsyncs
+	// issued; Resets counts truncations (one per compaction).
+	Appends, Syncs, Resets uint64
+	// AppendFailures counts appends that errored (and were rolled back or
+	// poisoned the log).
+	AppendFailures uint64
+}
+
+// ErrCorrupt reports a record that is damaged in a way recovery must not
+// paper over: a CRC or structural failure that is not the torn final
+// write of a crash.
+type ErrCorrupt struct {
+	Offset int64
+	Reason string
+}
+
+func (e *ErrCorrupt) Error() string {
+	return fmt.Sprintf("wal: corrupt record at offset %d: %s", e.Offset, e.Reason)
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use; appends serialize on one mutex (the delta manager already
+// serializes mutations, the lock here keeps the file consistent even if
+// a future caller does not).
+type Log struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	policy   Policy
+	interval time.Duration
+	size     int64
+	lastSync time.Time
+	failed   error // non-nil once the log is poisoned
+
+	records      uint64
+	appends      uint64
+	syncs        uint64
+	resets       uint64
+	appendErrors uint64
+}
+
+// Open opens (or creates) the log at path, scans any existing records
+// and returns them for replay. A torn final record — the unacknowledged
+// write a crash cut short — is truncated away; a corrupt record with
+// valid data after it refuses with *ErrCorrupt. The returned log is
+// positioned for appending.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	if opts.Policy == "" {
+		opts.Policy = PolicyAlways
+	}
+	if _, err := ParsePolicy(string(opts.Policy)); err != nil {
+		return nil, nil, err
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+
+	var recs []Record
+	validEnd := int64(headerSize)
+	if len(data) == 0 {
+		// Fresh log: write and persist the header before the first append
+		// can be acknowledged against it.
+		hdr := make([]byte, headerSize)
+		copy(hdr, Magic)
+		binary.LittleEndian.PutUint32(hdr[8:], Version)
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: sync header: %w", err)
+		}
+	} else {
+		recs, validEnd, err = DecodeAll(data)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if validEnd < int64(len(data)) {
+			// Torn tail: the final, never-acknowledged write. Drop it so
+			// the next append starts on a clean boundary.
+			if err := f.Truncate(validEnd); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("wal: sync after tail repair: %w", err)
+			}
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{
+		f:        f,
+		path:     path,
+		policy:   opts.Policy,
+		interval: opts.Interval,
+		size:     validEnd,
+		lastSync: time.Now(),
+		records:  uint64(len(recs)),
+	}, recs, nil
+}
+
+// Append logs one acknowledged-batch record and returns the file offset
+// of its end (the read-your-writes durability token). Under
+// PolicyAlways the record is fsync'd before Append returns; a sync or
+// write failure rolls the file back to the pre-append offset and
+// returns an error — the caller must not apply (or acknowledge) the
+// batch.
+func (l *Log) Append(generation, version uint64, ops []delta.Op) (int64, error) {
+	payload, err := encodePayload(generation, version, ops)
+	if err != nil {
+		return 0, err
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[frameHeaderSize:], payload)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		l.appendErrors++
+		return 0, fmt.Errorf("wal: log is failed: %w", l.failed)
+	}
+	start := l.size
+	if _, err := l.f.Write(frame); err != nil {
+		l.appendErrors++
+		l.rollback(start, err)
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size = start + int64(len(frame))
+
+	switch l.policy {
+	case PolicyAlways:
+		if err := l.syncLocked(); err != nil {
+			l.appendErrors++
+			l.rollback(start, err)
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	case PolicyInterval:
+		if time.Since(l.lastSync) >= l.interval {
+			if err := l.syncLocked(); err != nil {
+				l.appendErrors++
+				l.rollback(start, err)
+				return 0, fmt.Errorf("wal: sync: %w", err)
+			}
+		}
+	}
+	l.records++
+	l.appends++
+	return l.size, nil
+}
+
+// rollback undoes a failed append so the file cannot carry a partial
+// frame under later valid ones. If the truncate itself fails the log is
+// poisoned: returning errors forever is safer than forging a corrupt
+// middle.
+func (l *Log) rollback(start int64, cause error) {
+	if terr := l.f.Truncate(start); terr != nil {
+		l.failed = fmt.Errorf("append failed (%v) and rollback failed (%v)", cause, terr)
+		return
+	}
+	if _, serr := l.f.Seek(start, io.SeekStart); serr != nil {
+		l.failed = fmt.Errorf("append failed (%v) and reseek failed (%v)", cause, serr)
+		return
+	}
+	l.size = start
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.syncs++
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces an fsync regardless of policy (used at graceful shutdown).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	return l.syncLocked()
+}
+
+// Reset empties the log after a compaction has made a new snapshot
+// generation durable: every logged record is now redundant with the
+// snapshot, so the file shrinks back to its header. The truncation is
+// fsync'd before Reset returns.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.f.Truncate(headerSize); err != nil {
+		l.failed = fmt.Errorf("reset truncate failed: %w", err)
+		return l.failed
+	}
+	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
+		l.failed = fmt.Errorf("reset seek failed: %w", err)
+		return l.failed
+	}
+	l.size = headerSize
+	l.records = 0
+	if err := l.syncLocked(); err != nil {
+		return fmt.Errorf("wal: sync after reset: %w", err)
+	}
+	l.resets++
+	return nil
+}
+
+// Stats samples the log.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Path:           l.path,
+		Policy:         l.policy,
+		SizeBytes:      l.size,
+		Records:        l.records,
+		Appends:        l.appends,
+		Syncs:          l.syncs,
+		Resets:         l.resets,
+		AppendFailures: l.appendErrors,
+	}
+}
+
+// Close syncs (best effort under PolicyNever nothing was promised, but a
+// clean shutdown should not lose the tail) and closes the file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed == nil {
+		if err := l.f.Sync(); err == nil {
+			l.syncs++
+		}
+	}
+	return l.f.Close()
+}
+
+// DecodeAll parses a complete WAL image (header + frames). It returns
+// the fully valid records, the byte offset up to which the image is
+// valid, and an error only for damage that must not be papered over: a
+// bad header, a corrupt record with data after it, a forged length, or
+// a CRC-valid record that does not decode. A torn tail — an incomplete
+// final frame, or a final frame whose CRC fails right at EOF (a
+// partially persisted write) — is not an error: the records before it
+// are returned and validEnd points at the torn frame's start.
+func DecodeAll(data []byte) (recs []Record, validEnd int64, err error) {
+	if len(data) < headerSize {
+		return nil, 0, &ErrCorrupt{Offset: 0, Reason: fmt.Sprintf("file is %d bytes, header needs %d", len(data), headerSize)}
+	}
+	if string(data[:8]) != Magic {
+		return nil, 0, &ErrCorrupt{Offset: 0, Reason: "bad magic"}
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != Version {
+		return nil, 0, &ErrCorrupt{Offset: 8, Reason: fmt.Sprintf("unsupported format version %d", v)}
+	}
+
+	off := int64(headerSize)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, off, nil
+		}
+		if len(rest) < frameHeaderSize {
+			// Incomplete frame header: torn tail.
+			return recs, off, nil
+		}
+		payloadLen := int64(binary.LittleEndian.Uint32(rest[0:]))
+		if payloadLen > MaxPayload {
+			return recs, off, &ErrCorrupt{Offset: off, Reason: fmt.Sprintf("forged length %d exceeds cap %d", payloadLen, MaxPayload)}
+		}
+		frameEnd := off + frameHeaderSize + payloadLen
+		if frameEnd > int64(len(data)) {
+			// Frame extends past EOF: torn tail.
+			return recs, off, nil
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+payloadLen]
+		wantCRC := binary.LittleEndian.Uint32(rest[4:])
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			if frameEnd == int64(len(data)) {
+				// Final frame, bad CRC: a write whose length metadata
+				// persisted but whose data did not (power loss) — torn.
+				return recs, off, nil
+			}
+			return recs, off, &ErrCorrupt{Offset: off, Reason: "CRC mismatch under later records"}
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			// The CRC matched, so these are the writer's bytes (or a
+			// forged CRC): structural damage, never torn.
+			return recs, off, &ErrCorrupt{Offset: off, Reason: derr.Error()}
+		}
+		recs = append(recs, rec)
+		off = frameEnd
+	}
+}
+
+// encodePayload serializes one record payload canonically: the byte
+// image is a pure function of (generation, version, ops), which is what
+// lets the fuzz oracle round-trip decode→encode→compare.
+func encodePayload(generation, version uint64, ops []delta.Op) ([]byte, error) {
+	buf := make([]byte, 0, 64+32*len(ops))
+	buf = binary.LittleEndian.AppendUint64(buf, generation)
+	buf = binary.LittleEndian.AppendUint64(buf, version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ops)))
+	for i, op := range ops {
+		switch op.Kind {
+		case delta.OpInsertNode:
+			buf = append(buf, kindInsertNode)
+			buf = appendString(buf, op.Table)
+			buf = appendString(buf, op.Text)
+		case delta.OpInsertEdge:
+			buf = append(buf, kindInsertEdge)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.From))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.To))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(op.Weight))
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(op.EdgeType))
+		case delta.OpDeleteNode:
+			buf = append(buf, kindDeleteNode)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.Node))
+		case delta.OpDeleteEdge:
+			buf = append(buf, kindDeleteEdge)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.From))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.To))
+		case delta.OpInsertTerm:
+			buf = append(buf, kindInsertTerm)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.Node))
+			buf = appendString(buf, op.Term)
+		case delta.OpDeleteTerm:
+			buf = append(buf, kindDeleteTerm)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(op.Node))
+			buf = appendString(buf, op.Term)
+		default:
+			return nil, fmt.Errorf("wal: op %d: unknown kind %q", i, op.Kind)
+		}
+	}
+	if len(buf) > MaxPayload {
+		return nil, fmt.Errorf("wal: record payload %d bytes exceeds cap %d", len(buf), MaxPayload)
+	}
+	return buf, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+// decodePayload is the strict inverse of encodePayload: any trailing
+// bytes, short field, or unknown kind is an error (the CRC already
+// vouched for the bytes, so a mismatch here is structural corruption).
+func decodePayload(payload []byte) (Record, error) {
+	d := decoder{buf: payload}
+	var rec Record
+	rec.Generation = d.u64()
+	rec.Version = d.u64()
+	n := d.u32()
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	// Each op is at least 5 bytes; a forged count cannot force a large
+	// allocation past this bound.
+	if int64(n)*5 > int64(len(payload)) {
+		return Record{}, fmt.Errorf("op count %d impossible for %d payload bytes", n, len(payload))
+	}
+	rec.Ops = make([]delta.Op, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var op delta.Op
+		switch kind := d.byte(); kind {
+		case kindInsertNode:
+			op.Kind = delta.OpInsertNode
+			op.Table = d.str()
+			op.Text = d.str()
+		case kindInsertEdge:
+			op.Kind = delta.OpInsertEdge
+			op.From = graph.NodeID(d.u32())
+			op.To = graph.NodeID(d.u32())
+			op.Weight = math.Float64frombits(d.u64())
+			op.EdgeType = graph.EdgeType(d.u16())
+		case kindDeleteNode:
+			op.Kind = delta.OpDeleteNode
+			op.Node = graph.NodeID(d.u32())
+		case kindDeleteEdge:
+			op.Kind = delta.OpDeleteEdge
+			op.From = graph.NodeID(d.u32())
+			op.To = graph.NodeID(d.u32())
+		case kindInsertTerm:
+			op.Kind = delta.OpInsertTerm
+			op.Node = graph.NodeID(d.u32())
+			op.Term = d.str()
+		case kindDeleteTerm:
+			op.Kind = delta.OpDeleteTerm
+			op.Node = graph.NodeID(d.u32())
+			op.Term = d.str()
+		default:
+			if d.err == nil {
+				d.err = fmt.Errorf("op %d: unknown kind %d", i, kind)
+			}
+		}
+		if d.err != nil {
+			return Record{}, d.err
+		}
+		rec.Ops = append(rec.Ops, op)
+	}
+	if len(d.buf) != 0 {
+		return Record{}, fmt.Errorf("%d trailing bytes after %d ops", len(d.buf), n)
+	}
+	return rec, nil
+}
+
+// decoder consumes payload bytes with sticky error handling.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("payload truncated: want %d bytes, have %d", n, len(d.buf))
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *decoder) byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err == nil && int64(n) > int64(len(d.buf)) {
+		d.err = fmt.Errorf("string length %d exceeds %d remaining payload bytes", n, len(d.buf))
+		return ""
+	}
+	b := d.take(int(n))
+	return string(b)
+}

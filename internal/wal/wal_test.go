@@ -1,0 +1,422 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"banks/internal/delta"
+)
+
+// testOps returns a batch exercising every op kind once.
+func testOps() []delta.Op {
+	return []delta.Op{
+		{Kind: delta.OpInsertNode, Table: "paper", Text: "durable overlay search"},
+		{Kind: delta.OpInsertEdge, From: 3, To: 7, Weight: 1.25, EdgeType: 2},
+		{Kind: delta.OpDeleteNode, Node: 9},
+		{Kind: delta.OpDeleteEdge, From: 1, To: 2},
+		{Kind: delta.OpInsertTerm, Node: 4, Term: "steiner"},
+		{Kind: delta.OpDeleteTerm, Node: 5, Term: "stale"},
+	}
+}
+
+func mustOpen(t *testing.T, path string, opts Options) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, recs
+}
+
+// TestRoundTrip pins the core contract: records appended and fsync'd come
+// back from a reopen byte-exact, in order, with their generation/version
+// stamps.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, recs := mustOpen(t, path, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log returned %d records", len(recs))
+	}
+	var lastOff int64 = headerSize
+	for v := uint64(1); v <= 3; v++ {
+		off, err := l.Append(7, v, testOps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off <= lastOff {
+			t.Fatalf("append %d: offset %d not past previous end %d", v, off, lastOff)
+		}
+		lastOff = off
+	}
+	st := l.Stats()
+	if st.Records != 3 || st.Appends != 3 || st.SizeBytes != lastOff || st.Syncs < 3 {
+		t.Fatalf("stats after 3 appends: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := mustOpen(t, path, Options{})
+	defer l2.Close()
+	if len(recs) != 3 {
+		t.Fatalf("reopen returned %d records, want 3", len(recs))
+	}
+	want := testOps()
+	for i, rec := range recs {
+		if rec.Generation != 7 || rec.Version != uint64(i+1) {
+			t.Fatalf("record %d stamped (%d,%d), want (7,%d)", i, rec.Generation, rec.Version, i+1)
+		}
+		if len(rec.Ops) != len(want) {
+			t.Fatalf("record %d has %d ops, want %d", i, len(rec.Ops), len(want))
+		}
+		for j, op := range rec.Ops {
+			if op != want[j] {
+				t.Fatalf("record %d op %d: %+v != %+v", i, j, op, want[j])
+			}
+		}
+	}
+	if got := l2.Stats().SizeBytes; got != lastOff {
+		t.Fatalf("reopened size %d, want %d", got, lastOff)
+	}
+}
+
+// appendRaw tacks raw bytes onto the file — simulating the partial write
+// of a crash (or corruption injected under existing records).
+func appendRaw(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeLog creates a log with n acknowledged records and returns the
+// valid end offset.
+func writeLog(t *testing.T, path string, n int) int64 {
+	t.Helper()
+	l, _ := mustOpen(t, path, Options{})
+	for v := 1; v <= n; v++ {
+		if _, err := l.Append(0, uint64(v), testOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	end := l.Stats().SizeBytes
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+// TestTornTailRecovery: the three shapes a crash mid-append can leave —
+// an incomplete frame header, a frame cut short, and a full-length final
+// frame whose payload bytes never persisted (bad CRC at exact EOF) — are
+// all truncated away silently, keeping every acknowledged record.
+func TestTornTailRecovery(t *testing.T) {
+	frame := func() []byte {
+		payload, err := encodePayload(0, 99, testOps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := make([]byte, frameHeaderSize+len(payload))
+		binary.LittleEndian.PutUint32(f[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(f[4:], crc32.Checksum(payload, castagnoli))
+		copy(f[frameHeaderSize:], payload)
+		return f
+	}
+	cases := []struct {
+		name string
+		torn func() []byte
+	}{
+		{"incomplete frame header", func() []byte { return frame()[:3] }},
+		{"frame cut short", func() []byte { f := frame(); return f[:len(f)/2] }},
+		{"payload bytes lost", func() []byte {
+			f := frame()
+			for i := frameHeaderSize; i < len(f); i++ {
+				f[i] = 0
+			}
+			return f
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "t.wal")
+			end := writeLog(t, path, 2)
+			appendRaw(t, path, tc.torn())
+
+			l, recs := mustOpen(t, path, Options{})
+			if len(recs) != 2 {
+				t.Fatalf("recovered %d records, want 2", len(recs))
+			}
+			if got := l.Stats().SizeBytes; got != end {
+				t.Fatalf("tail not truncated: size %d, want %d", got, end)
+			}
+			// The repaired log must accept appends on the clean boundary.
+			if _, err := l.Append(0, 3, testOps()); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, recs := mustOpen(t, path, Options{}); len(recs) != 3 {
+				t.Fatalf("after repair + append: %d records, want 3", len(recs))
+			}
+		})
+	}
+}
+
+// TestCorruptMiddleRefused: damage under acknowledged records — a CRC
+// failure with valid data after it, a forged length, or a CRC-valid
+// payload that does not decode — must refuse with *ErrCorrupt, never
+// silently drop acknowledged batches.
+func TestCorruptMiddleRefused(t *testing.T) {
+	t.Run("bit flip under later records", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "t.wal")
+		writeLog(t, path, 3)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[headerSize+frameHeaderSize+2] ^= 0xff // inside record 1's payload
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = Open(path, Options{})
+		var c *ErrCorrupt
+		if !errors.As(err, &c) {
+			t.Fatalf("corrupt middle: got %v, want *ErrCorrupt", err)
+		}
+	})
+	t.Run("forged length", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "t.wal")
+		writeLog(t, path, 1)
+		huge := make([]byte, frameHeaderSize)
+		binary.LittleEndian.PutUint32(huge, MaxPayload+1)
+		appendRaw(t, path, huge)
+		_, _, err := Open(path, Options{})
+		var c *ErrCorrupt
+		if !errors.As(err, &c) {
+			t.Fatalf("forged length: got %v, want *ErrCorrupt", err)
+		}
+	})
+	t.Run("CRC-valid garbage payload", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "t.wal")
+		writeLog(t, path, 1)
+		payload := []byte("not a record payload")
+		f := make([]byte, frameHeaderSize+len(payload))
+		binary.LittleEndian.PutUint32(f[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(f[4:], crc32.Checksum(payload, castagnoli))
+		copy(f[frameHeaderSize:], payload)
+		appendRaw(t, path, f)
+		_, _, err := Open(path, Options{})
+		var c *ErrCorrupt
+		if !errors.As(err, &c) {
+			t.Fatalf("undecodable payload: got %v, want *ErrCorrupt", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "t.wal")
+		if err := os.WriteFile(path, []byte("NOTBANKS\x01\x00\x00\x00\x00\x00\x00\x00"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := Open(path, Options{})
+		var c *ErrCorrupt
+		if !errors.As(err, &c) {
+			t.Fatalf("bad magic: got %v, want *ErrCorrupt", err)
+		}
+	})
+	t.Run("unsupported version", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "t.wal")
+		hdr := make([]byte, headerSize)
+		copy(hdr, Magic)
+		binary.LittleEndian.PutUint32(hdr[8:], Version+1)
+		if err := os.WriteFile(path, hdr, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := Open(path, Options{})
+		var c *ErrCorrupt
+		if !errors.As(err, &c) {
+			t.Fatalf("future version: got %v, want *ErrCorrupt", err)
+		}
+	})
+}
+
+// TestReset pins the post-compaction truncation: the log shrinks to its
+// header, loses its records, and keeps accepting appends.
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := mustOpen(t, path, Options{})
+	defer l.Close()
+	if _, err := l.Append(0, 1, testOps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.SizeBytes != headerSize || st.Records != 0 || st.Resets != 1 {
+		t.Fatalf("stats after reset: %+v", st)
+	}
+	if _, err := l.Append(1, 1, testOps()); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := mustOpen(t, path, Options{})
+	if len(recs) != 1 || recs[0].Generation != 1 {
+		t.Fatalf("post-reset reopen: %+v", recs)
+	}
+}
+
+// TestAppendFailurePoisons: when the file is gone from under the log,
+// Append must fail, count the failure, and — rollback being impossible —
+// poison the log so no later append can land after garbage.
+func TestAppendFailurePoisons(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := mustOpen(t, path, Options{})
+	l.f.Close() // simulate the descriptor dying under the log
+	if _, err := l.Append(0, 1, testOps()); err == nil {
+		t.Fatal("append on a dead file succeeded")
+	}
+	if _, err := l.Append(0, 2, testOps()); err == nil {
+		t.Fatal("append on a poisoned log succeeded")
+	}
+	st := l.Stats()
+	if st.AppendFailures != 2 || st.Appends != 0 {
+		t.Fatalf("failure accounting: %+v", st)
+	}
+}
+
+// TestEncodeRejectsUnknownKind: an op the format cannot represent must be
+// refused before any bytes hit the file.
+func TestEncodeRejectsUnknownKind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := mustOpen(t, path, Options{})
+	defer l.Close()
+	if _, err := l.Append(0, 1, []delta.Op{{Kind: "upsert_node"}}); err == nil {
+		t.Fatal("unknown kind encoded")
+	}
+	if st := l.Stats(); st.SizeBytes != headerSize {
+		t.Fatalf("rejected op wrote bytes: %+v", st)
+	}
+}
+
+// TestPolicies: interval mode group-commits (far fewer syncs than
+// appends); never mode syncs only at close; parse rejects junk.
+func TestPolicies(t *testing.T) {
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted junk")
+	}
+	path := filepath.Join(t.TempDir(), "i.wal")
+	l, _ := mustOpen(t, path, Options{Policy: PolicyInterval, Interval: time.Hour})
+	for v := 1; v <= 50; v++ {
+		if _, err := l.Append(0, uint64(v), testOps()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Syncs != 0 {
+		t.Fatalf("hour-wide group commit synced %d times mid-run", st.Syncs)
+	}
+	l.Close()
+
+	path = filepath.Join(t.TempDir(), "n.wal")
+	l, _ = mustOpen(t, path, Options{Policy: PolicyNever})
+	if _, err := l.Append(0, 1, testOps()); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Syncs != 0 {
+		t.Fatalf("policy never synced %d times", st.Syncs)
+	}
+	l.Close()
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the recovery scanner. The
+// contract under attack: any input either yields records plus a valid
+// end, or *ErrCorrupt — never a panic or an oversized allocation. Every
+// record handed back for replay must re-encode byte-exactly to the
+// payload it was decoded from (the canonical-encoding oracle), and
+// truncating the image at validEnd must yield a clean log that returns
+// the same records.
+func FuzzWALReplay(f *testing.F) {
+	image := func(tamper func([]byte) []byte) []byte {
+		buf := make([]byte, headerSize)
+		copy(buf, Magic)
+		binary.LittleEndian.PutUint32(buf[8:], Version)
+		for v := uint64(1); v <= 2; v++ {
+			payload, err := encodePayload(3, v, testOps())
+			if err != nil {
+				f.Fatal(err)
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+			buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+			buf = append(buf, payload...)
+		}
+		if tamper != nil {
+			buf = tamper(buf)
+		}
+		return buf
+	}
+	f.Add(image(nil))
+	f.Add(image(func(b []byte) []byte { return b[:len(b)-5] })) // torn tail
+	f.Add(image(func(b []byte) []byte { b[headerSize+frameHeaderSize] ^= 0xff; return b }))
+	f.Add(image(func(b []byte) []byte { // forged length
+		binary.LittleEndian.PutUint32(b[headerSize:], MaxPayload+1)
+		return b
+	}))
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validEnd, err := DecodeAll(data)
+		if err != nil {
+			var c *ErrCorrupt
+			if !errors.As(err, &c) {
+				t.Fatalf("non-ErrCorrupt error: %v", err)
+			}
+			return
+		}
+		if validEnd < headerSize || validEnd > int64(len(data)) {
+			t.Fatalf("validEnd %d outside [%d,%d]", validEnd, headerSize, len(data))
+		}
+		// Canonical-encoding oracle: each returned record re-encodes to
+		// exactly the payload bytes it came from.
+		off := int64(headerSize)
+		for i, rec := range recs {
+			payloadLen := int64(binary.LittleEndian.Uint32(data[off:]))
+			payload := data[off+frameHeaderSize : off+frameHeaderSize+payloadLen]
+			enc, err := encodePayload(rec.Generation, rec.Version, rec.Ops)
+			if err != nil {
+				t.Fatalf("record %d does not re-encode: %v", i, err)
+			}
+			if string(enc) != string(payload) {
+				t.Fatalf("record %d: decode/encode not a fixed point", i)
+			}
+			if math.MaxInt32 < len(rec.Ops) {
+				t.Fatalf("record %d claims %d ops", i, len(rec.Ops))
+			}
+			off += frameHeaderSize + payloadLen
+		}
+		if off != validEnd {
+			t.Fatalf("records cover %d bytes, validEnd %d", off, validEnd)
+		}
+		// Truncating at validEnd is exactly the torn-tail repair Open
+		// performs: it must yield the same records with nothing torn.
+		recs2, end2, err := DecodeAll(data[:validEnd])
+		if err != nil || end2 != validEnd || len(recs2) != len(recs) {
+			t.Fatalf("repaired image: %d records end %d err %v, want %d records end %d",
+				len(recs2), end2, err, len(recs), validEnd)
+		}
+	})
+}

@@ -4,10 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 
 	"banks/internal/delta"
 	"banks/internal/graph"
 	"banks/internal/prestige"
+	"banks/internal/wal"
 )
 
 // Live-mutation types, aliased from internal/delta so callers only import
@@ -22,7 +27,36 @@ type (
 	// LiveStats is a point-in-time snapshot of live-mutation state:
 	// generation, delta sizes, and mutation/compaction counters.
 	LiveStats = delta.Stats
+	// ApplyResult reports one acknowledged mutation batch: assigned
+	// NodeIDs, the (generation, delta_version) it produced — the
+	// read-your-writes token — and its WAL offset (-1 without a WAL).
+	ApplyResult = delta.ApplyResult
+	// CompactResult reports one completed compaction: the new generation,
+	// its snapshot path, and whether the WAL was truncated.
+	CompactResult = delta.CompactResult
+	// WALError marks a mutation batch that was valid but could not be
+	// made durable; it was not applied.
+	WALError = delta.WALError
+	// WALStats samples the write-ahead log's position and activity.
+	WALStats = wal.Stats
+	// WALFsyncPolicy selects when the write-ahead log fsyncs:
+	// WALFsyncAlways, WALFsyncInterval, or WALFsyncNever.
+	WALFsyncPolicy = wal.Policy
 )
+
+// Write-ahead-log fsync policies (see docs/MUTATIONS.md for the ack
+// guarantee each one buys).
+const (
+	WALFsyncAlways   = wal.PolicyAlways
+	WALFsyncInterval = wal.PolicyInterval
+	WALFsyncNever    = wal.PolicyNever
+)
+
+// ParseWALFsyncPolicy parses a policy name ("always", "interval",
+// "never") — the banksd -wal-fsync flag values — into a WALFsyncPolicy.
+func ParseWALFsyncPolicy(s string) (WALFsyncPolicy, error) {
+	return wal.ParsePolicy(s)
+}
 
 // Mutation operation kinds.
 const (
@@ -46,6 +80,18 @@ type LiveOptions struct {
 	Prestige PrestigeMode
 	// PrestigeOptions tunes the random-walk mode (ignored otherwise).
 	PrestigeOptions PrestigeOptions
+
+	// WALPath, when non-empty, enables the write-ahead log: every batch
+	// is appended (and, per WALFsync, fsync'd) there before Apply
+	// acknowledges it, and OpenLive replays any records found at the
+	// path — crash recovery. The conventional path is SnapshotPath +
+	// ".wal" (what banksd -wal uses).
+	WALPath string
+	// WALFsync is the log's fsync policy (empty means WALFsyncAlways).
+	WALFsync WALFsyncPolicy
+	// WALFsyncInterval is the WALFsyncInterval group-commit window
+	// (0 means the wal package default, 100ms).
+	WALFsyncInterval time.Duration
 }
 
 // PrestigeOptions re-exports the random-walk tuning knobs (the same type
@@ -57,7 +103,9 @@ type PrestigeOptions = prestige.Options
 // visible to queries atomically (each in-flight query keeps the exact
 // state it started with), and Compact folds the overlay into a new
 // snapshot generation on disk, hot-swapping it in with zero dropped
-// queries.
+// queries. With a write-ahead log configured, Apply's acknowledgment
+// additionally means the batch is durable per the fsync policy and will
+// survive a crash and restart.
 //
 // All mutating entry points serialize internally; queries never block on
 // them. The Engine's result cache is keyed by (generation, delta version),
@@ -65,10 +113,13 @@ type PrestigeOptions = prestige.Options
 type Live struct {
 	e *Engine
 	m *delta.Manager
+	w *wal.Log // nil without a WAL
 	// baseNodes is the node count of the process-initial base. The DB's
 	// row mapping covers exactly those nodes; nodes appended later get
 	// synthetic labels even after a compaction folds them into the base.
 	baseNodes int
+	// replayed is how many WAL records OpenLive recovered.
+	replayed int
 }
 
 // OpenLive enables live mutations on an Engine. The engine's queries are
@@ -76,6 +127,13 @@ type Live struct {
 // overlay cost until the first mutation). The DB backing the engine must
 // not be Closed while Live is in use; compacted generations are managed
 // internally.
+//
+// When LiveOptions.WALPath names an existing write-ahead log, OpenLive
+// replays it: records stamped with the base's generation rebuild the
+// overlay batch by batch (stale records from before the base snapshot
+// are skipped; a log that is ahead of the snapshot, or has a hole, is
+// refused). A torn final record — a crash mid-append — is discarded, it
+// was never acknowledged.
 func OpenLive(e *Engine, opts LiveOptions) (*Live, error) {
 	if e == nil {
 		return nil, errors.New("banks: OpenLive requires an engine")
@@ -92,7 +150,23 @@ func OpenLive(e *Engine, opts LiveOptions) (*Live, error) {
 	case PrestigeUniform:
 		mode = delta.PrestigeUniform
 	}
-	m, err := delta.NewManager(delta.Config{
+
+	var (
+		log  *wal.Log
+		recs []wal.Record
+		err  error
+	)
+	if opts.WALPath != "" {
+		log, recs, err = wal.Open(opts.WALPath, wal.Options{
+			Policy:   opts.WALFsync,
+			Interval: opts.WALFsyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("banks: open WAL: %w", err)
+		}
+	}
+
+	cfg := delta.Config{
 		Engine:          e.e,
 		Graph:           d.Graph,
 		Index:           d.Index,
@@ -102,33 +176,108 @@ func OpenLive(e *Engine, opts LiveOptions) (*Live, error) {
 		SnapshotPath:    opts.SnapshotPath,
 		Mode:            mode,
 		PrestigeOptions: opts.PrestigeOptions,
-	})
+	}
+	if log != nil {
+		cfg.Log = log
+	}
+	m, err := delta.NewManager(cfg)
 	if err != nil {
+		if log != nil {
+			log.Close()
+		}
 		return nil, err
 	}
-	return &Live{e: e, m: m, baseNodes: d.Graph.NumNodes()}, nil
+	l := &Live{e: e, m: m, w: log, baseNodes: d.Graph.NumNodes()}
+	for _, rec := range recs {
+		applied, err := m.Replay(rec.Generation, rec.Version, rec.Ops)
+		if err != nil {
+			if log != nil {
+				log.Close()
+			}
+			return nil, fmt.Errorf("banks: WAL replay: %w", err)
+		}
+		if applied {
+			l.replayed++
+		}
+	}
+	return l, nil
 }
 
 // Apply validates and applies one mutation batch atomically: either every
 // op is applied and visible to all queries arriving afterwards, or none
-// is and the error names the offending op. It returns the NodeIDs
-// assigned to the batch's insert_node ops, in op order.
-func (l *Live) Apply(ops []MutationOp) ([]NodeID, error) {
+// is and the error names the offending op. With a WAL configured the
+// batch is durable (per the fsync policy) before Apply returns; a
+// *WALError means the batch was valid but could not be made durable and
+// was NOT applied. The result carries the assigned NodeIDs and the
+// read-your-writes (generation, delta_version, wal_offset) tokens.
+func (l *Live) Apply(ops []MutationOp) (*ApplyResult, error) {
 	return l.m.Apply(ops)
 }
 
 // Compact folds the current overlay into a snapshot file of the next
 // generation and hot-swaps it in as the new base without dropping
-// in-flight queries. Returns the new generation and the file path.
-func (l *Live) Compact(ctx context.Context) (uint64, string, error) {
+// in-flight queries. Once the new generation is durable on disk the
+// write-ahead log is truncated — its records are redundant with the
+// snapshot.
+func (l *Live) Compact(ctx context.Context) (*CompactResult, error) {
 	return l.m.Compact(ctx)
 }
 
 // Stats samples the live-mutation state.
 func (l *Live) Stats() LiveStats { return l.m.Stats() }
 
+// WALStats samples the write-ahead log (zero value when no WAL is
+// configured; check HasWAL).
+func (l *Live) WALStats() WALStats {
+	if l.w == nil {
+		return WALStats{}
+	}
+	return l.w.Stats()
+}
+
+// HasWAL reports whether a write-ahead log is configured.
+func (l *Live) HasWAL() bool { return l.w != nil }
+
+// Replayed returns how many WAL records OpenLive recovered into the
+// overlay.
+func (l *Live) Replayed() int { return l.replayed }
+
+// Close releases live-mutation resources (today: syncs and closes the
+// WAL). The Engine and DB stay usable; Close is not required when the
+// process is exiting anyway.
+func (l *Live) Close() error {
+	if l.w == nil {
+		return nil
+	}
+	return l.w.Close()
+}
+
 // Generation returns the current base snapshot generation.
 func (l *Live) Generation() uint64 { return l.m.Stats().Generation }
+
+// LatestSnapshotPath resolves the newest snapshot generation for a base
+// path: the highest path+".genN" compaction output if any exists, else
+// the base path itself. Restarting servers open this so recovery
+// resumes from the newest durable base (the WAL's stale records are
+// skipped by generation).
+func LatestSnapshotPath(path string) string {
+	matches, err := filepath.Glob(path + ".gen*")
+	if err != nil || len(matches) == 0 {
+		return path
+	}
+	best, bestGen := path, uint64(0)
+	for _, m := range matches {
+		suffix := strings.TrimPrefix(m, path+".gen")
+		gen, err := strconv.ParseUint(suffix, 10, 64)
+		if err != nil {
+			continue
+		}
+		if gen > bestGen {
+			best, bestGen = m, gen
+		}
+	}
+	return best
+}
 
 // NodeLabel renders a node for display, replacing DB.NodeLabel for
 // mutable instances: nodes of the process-initial base keep their

@@ -1,0 +1,434 @@
+package banks_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"banks"
+)
+
+// walWorld is one live serving instance recovered from (or started on)
+// a snapshot + WAL pair.
+type walWorld struct {
+	db   *banks.DB
+	eng  *banks.Engine
+	live *banks.Live
+}
+
+// openWALWorld opens the snapshot and enables live mutations over it,
+// with a WAL when walPath is non-empty. The result cache is disabled so
+// every signature comes from a real search.
+func openWALWorld(t *testing.T, snapPath, walPath string) *walWorld {
+	t.Helper()
+	db, err := banks.OpenSnapshot(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: 4, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := banks.OpenLive(eng, banks.LiveOptions{
+		SnapshotPath: snapPath,
+		WALPath:      walPath,
+	})
+	if err != nil {
+		t.Fatalf("OpenLive(%s, wal=%s): %v", snapPath, walPath, err)
+	}
+	t.Cleanup(func() { live.Close() })
+	return &walWorld{db: db, eng: eng, live: live}
+}
+
+// walTestBatches returns a deterministic batch sequence exercising every
+// op kind, phrased against the shared test DB. base is the node count of
+// the pristine base; IDs from base upward are the ones the batches
+// themselves insert (assignment is deterministic, so the victim and the
+// reference agree on them).
+func walTestBatches(base banks.NodeID) [][]banks.MutationOp {
+	return [][]banks.MutationOp{
+		{
+			{Kind: banks.OpInsertNode, Table: "paper", Text: "walqux alpha recovery"},
+			{Kind: banks.OpInsertNode, Table: "paper", Text: "walqux beta durability"},
+		},
+		{
+			{Kind: banks.OpInsertEdge, From: base, To: base + 1, Weight: 1.0},
+		},
+		{
+			{Kind: banks.OpInsertNode, Table: "author", Text: "walqux gamma"},
+			{Kind: banks.OpInsertEdge, From: base + 2, To: base, Weight: 2.5},
+		},
+		{
+			{Kind: banks.OpInsertTerm, Node: base, Term: "walcrash"},
+			{Kind: banks.OpInsertTerm, Node: 3, Term: "walcrash"},
+		},
+		{
+			{Kind: banks.OpDeleteEdge, From: base, To: base + 1},
+			{Kind: banks.OpInsertEdge, From: base + 1, To: base + 2, Weight: 1.25},
+		},
+		{
+			{Kind: banks.OpDeleteNode, Node: 11},
+			{Kind: banks.OpInsertNode, Table: "paper", Text: "walqux delta epsilon"},
+			{Kind: banks.OpDeleteTerm, Node: base, Term: "walcrash"},
+		},
+	}
+}
+
+// walTestQueries cover the mutated vocabulary and the untouched base.
+var walTestQueries = []string{
+	"walqux alpha",
+	"walqux beta gamma",
+	"walcrash walqux",
+	"database transaction",
+}
+
+// walSignatures renders the deterministic fingerprint of the world's
+// answers to every probe query.
+func walSignatures(t *testing.T, w *walWorld) map[string]string {
+	return walSignaturesFor(t, w, walTestQueries)
+}
+
+func walSignaturesFor(t *testing.T, w *walWorld, queries []string) map[string]string {
+	t.Helper()
+	sigs := make(map[string]string, len(queries))
+	for _, q := range queries {
+		res, err := w.eng.Search(context.Background(), q, banks.Bidirectional, banks.Options{K: 5, MaxNodes: 50_000})
+		if err != nil {
+			t.Fatalf("search %q: %v", q, err)
+		}
+		sigs[q] = resultSignature(res)
+	}
+	return sigs
+}
+
+// TestWALCrashDifferential is the crash-recovery acceptance proof: a
+// victim applies batches through the WAL, then the log is cut at every
+// record boundary AND mid-record — every byte offset a kill -9 can leave
+// behind — and each cut is recovered into a fresh process image. The
+// recovered world must (a) replay exactly the batches whose records
+// survived complete, (b) answer every probe query bit-identically to a
+// reference that applied exactly those batches with no WAL at all, and
+// (c) leave the log truncated to the last acknowledged record, ready
+// for new appends.
+func TestWALCrashDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash differential skipped in -short")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "base.banksnap")
+	if err := testDB(t).WriteSnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	base := banks.NodeID(testDB(t).Graph.NumNodes())
+	batches := walTestBatches(base)
+
+	// Victim: apply every batch through the WAL, recording the end
+	// offset of each record — the acknowledged-batch boundaries.
+	victimWAL := filepath.Join(dir, "victim.wal")
+	victim := openWALWorld(t, snap, victimWAL)
+	boundaries := []int64{victim.live.WALStats().SizeBytes} // offset after 0 batches
+	for i, batch := range batches {
+		res, err := victim.live.Apply(batch)
+		if err != nil {
+			t.Fatalf("victim batch %d: %v", i, err)
+		}
+		if res.WALOffset <= boundaries[i] {
+			t.Fatalf("batch %d: WAL offset %d not past %d", i, res.WALOffset, boundaries[i])
+		}
+		boundaries = append(boundaries, res.WALOffset)
+	}
+	if err := victim.live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walBytes, err := os.ReadFile(victimWAL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(walBytes)) != boundaries[len(batches)] {
+		t.Fatalf("WAL is %d bytes, last acknowledged offset %d", len(walBytes), boundaries[len(batches)])
+	}
+
+	// References: for every prefix length k, a world that applied exactly
+	// the first k batches and never saw a WAL.
+	refSigs := make([]map[string]string, len(batches)+1)
+	for k := 0; k <= len(batches); k++ {
+		ref := openWALWorld(t, snap, "")
+		for i := 0; i < k; i++ {
+			if _, err := ref.live.Apply(batches[i]); err != nil {
+				t.Fatalf("reference %d batch %d: %v", k, i, err)
+			}
+		}
+		refSigs[k] = walSignatures(t, ref)
+	}
+
+	// Every crash point: the exact boundary after k records, plus two
+	// mid-record cuts (inside the next frame's header, and mid-payload).
+	for k := 0; k <= len(batches); k++ {
+		cuts := []int64{boundaries[k]}
+		if k < len(batches) {
+			cuts = append(cuts, boundaries[k]+1, boundaries[k]+(boundaries[k+1]-boundaries[k])/2)
+		}
+		for _, cut := range cuts {
+			t.Run(fmt.Sprintf("records=%d/cut=%d", k, cut), func(t *testing.T) {
+				cutPath := filepath.Join(dir, fmt.Sprintf("cut.%d.wal", cut))
+				if err := os.WriteFile(cutPath, walBytes[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				rec := openWALWorld(t, snap, cutPath)
+				if got := rec.live.Replayed(); got != k {
+					t.Fatalf("replayed %d records, want %d", got, k)
+				}
+				if st := rec.live.Stats(); st.DeltaVersion != uint64(k) {
+					t.Fatalf("recovered delta version %d, want %d", st.DeltaVersion, k)
+				}
+				if got := rec.live.WALStats().SizeBytes; got != boundaries[k] {
+					t.Fatalf("torn tail not repaired: log at %d bytes, want %d", got, boundaries[k])
+				}
+				got := walSignatures(t, rec)
+				for _, q := range walTestQueries {
+					if got[q] != refSigs[k][q] {
+						t.Errorf("query %q diverges from reference after recovering %d records:\nrecovered:\n%s\nreference:\n%s",
+							q, k, got[q], refSigs[k][q])
+					}
+				}
+				// The recovered log must accept the next batch on a clean
+				// boundary — recovery is not read-only.
+				if k < len(batches) {
+					res, err := rec.live.Apply(batches[k])
+					if err != nil {
+						t.Fatalf("apply after recovery: %v", err)
+					}
+					if res.DeltaVersion != uint64(k+1) {
+						t.Fatalf("post-recovery version %d, want %d", res.DeltaVersion, k+1)
+					}
+				}
+			})
+		}
+	}
+
+	// A corrupt middle — damage under acknowledged records — must refuse
+	// recovery loudly, never silently drop batches.
+	if len(batches) >= 2 {
+		corrupt := append([]byte(nil), walBytes...)
+		corrupt[boundaries[0]+12] ^= 0xff // inside record 1, records 2.. follow
+		corruptPath := filepath.Join(dir, "corrupt.wal")
+		if err := os.WriteFile(corruptPath, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		db, err := banks.OpenSnapshot(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		eng, err := banks.NewEngine(db, banks.EngineOptions{CacheSize: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := banks.OpenLive(eng, banks.LiveOptions{SnapshotPath: snap, WALPath: corruptPath}); err == nil {
+			t.Fatal("OpenLive accepted a WAL with a corrupt middle")
+		}
+	}
+}
+
+// TestLiveWALRestartAfterCompaction is the restart path banksd takes: a
+// server that mutated, compacted, and mutated again shuts down cleanly;
+// the restart opens the newest generation via LatestSnapshotPath and
+// replays only the post-compaction records (the pre-compaction ones are
+// folded into the base and the log was truncated). The restarted world
+// answers bit-identically to the world that never went down.
+func TestLiveWALRestartAfterCompaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restart test skipped in -short")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "base.banksnap")
+	if err := testDB(t).WriteSnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	base := banks.NodeID(testDB(t).Graph.NumNodes())
+	batches := walTestBatches(base)
+	wal := filepath.Join(dir, "live.wal")
+
+	w := openWALWorld(t, snap, wal)
+	for i, batch := range batches[:4] {
+		if _, err := w.live.Apply(batch); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	cres, err := w.live.Compact(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cres.WALReset {
+		t.Fatalf("compaction left the WAL standing: %+v", cres)
+	}
+	for i, batch := range batches[4:] {
+		if _, err := w.live.Apply(batch); err != nil {
+			t.Fatalf("post-compaction batch %d: %v", i, err)
+		}
+	}
+	want := walSignatures(t, w)
+	st := w.live.Stats()
+	if err := w.live.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	latest := banks.LatestSnapshotPath(snap)
+	if latest != cres.Path {
+		t.Fatalf("LatestSnapshotPath = %q, want %q", latest, cres.Path)
+	}
+	r := openWALWorld(t, latest, wal)
+	if got := r.live.Replayed(); got != 2 {
+		t.Fatalf("restart replayed %d records, want the 2 post-compaction ones", got)
+	}
+	rst := r.live.Stats()
+	if rst.Generation != st.Generation || rst.DeltaVersion != st.DeltaVersion {
+		t.Fatalf("restart at (gen %d, ver %d), shutdown was (gen %d, ver %d)",
+			rst.Generation, rst.DeltaVersion, st.Generation, st.DeltaVersion)
+	}
+	got := walSignatures(t, r)
+	for _, q := range walTestQueries {
+		if got[q] != want[q] {
+			t.Errorf("query %q diverges after restart:\nrestarted:\n%s\nlive:\n%s", q, got[q], want[q])
+		}
+	}
+}
+
+// TestLiveWALConcurrentHammer races WAL-backed mutations, searches, and
+// compactions under the race detector, then restarts from what is on
+// disk and checks the recovered state matches the final live state —
+// the same invariant the crash differential proves, now with real
+// concurrency over the log.
+func TestLiveWALConcurrentHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer skipped in -short")
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "base.banksnap")
+	if err := testDB(t).WriteSnapshotFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "live.wal")
+	w := openWALWorld(t, snap, wal)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	var queries, batches, compactions atomic.Uint64
+	errs := make(chan error, 16)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Writer: insert nodes carrying a searchable marker term, and edges
+	// between its own earlier inserts.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(21))
+		var mine []banks.NodeID
+		for ctx.Err() == nil {
+			ops := []banks.MutationOp{{Kind: banks.OpInsertNode, Table: "paper",
+				Text: fmt.Sprintf("hammerwal %s", []string{"alpha", "beta", "gamma", "delta"}[rng.Intn(4)])}}
+			if len(mine) >= 2 {
+				u, v := mine[rng.Intn(len(mine))], mine[rng.Intn(len(mine))]
+				if u != v {
+					ops = append(ops, banks.MutationOp{Kind: banks.OpInsertEdge, From: u, To: v, Weight: 1 + rng.Float64()})
+				}
+			}
+			res, err := w.live.Apply(ops)
+			if err != nil {
+				fail(fmt.Errorf("apply: %w", err))
+				return
+			}
+			mine = append(mine, res.Assigned...)
+			batches.Add(1)
+		}
+	}()
+
+	// Readers: mixed base and mutated vocabulary.
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			probes := []string{"hammerwal alpha", "hammerwal beta", "database transaction", "index spatial"}
+			for ctx.Err() == nil {
+				q := probes[rng.Intn(len(probes))]
+				if _, err := w.eng.Search(ctx, q, banks.Bidirectional, banks.Options{K: 3, MaxNodes: 20_000}); err != nil {
+					if ctx.Err() == nil {
+						fail(fmt.Errorf("search %q: %w", q, err))
+					}
+					return
+				}
+				queries.Add(1)
+			}
+		}(int64(300 + r))
+	}
+
+	// Compactor: fold the overlay every 150ms.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(150 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if _, err := w.live.Compact(ctx); err != nil {
+					if ctx.Err() == nil {
+						fail(fmt.Errorf("compact: %w", err))
+					}
+					return
+				}
+				compactions.Add(1)
+			}
+		}
+	}()
+
+	time.Sleep(600 * time.Millisecond)
+	cancel()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("hammer error: %v", err)
+	}
+	if queries.Load() == 0 || batches.Load() == 0 || compactions.Load() == 0 {
+		t.Fatalf("hammer made no progress: %d queries, %d batches, %d compactions",
+			queries.Load(), batches.Load(), compactions.Load())
+	}
+
+	hammerProbes := []string{"hammerwal alpha", "hammerwal beta", "hammerwal gamma delta", "database transaction"}
+	want := walSignaturesFor(t, w, hammerProbes)
+	st := w.live.Stats()
+	if err := w.live.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openWALWorld(t, banks.LatestSnapshotPath(snap), wal)
+	rst := r.live.Stats()
+	if rst.Generation != st.Generation || rst.DeltaVersion != st.DeltaVersion {
+		t.Fatalf("restart at (gen %d, ver %d), shutdown was (gen %d, ver %d)",
+			rst.Generation, rst.DeltaVersion, st.Generation, st.DeltaVersion)
+	}
+	got := walSignaturesFor(t, r, hammerProbes)
+	for q, sig := range want {
+		if got[q] != sig {
+			t.Errorf("query %q diverges after restart", q)
+		}
+	}
+	t.Logf("hammer: %d queries, %d batches, %d compactions; restart replayed %d records",
+		queries.Load(), batches.Load(), compactions.Load(), r.live.Replayed())
+}
