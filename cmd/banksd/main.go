@@ -44,6 +44,7 @@ import (
 
 	"banks"
 	"banks/internal/datagen"
+	"banks/internal/repl"
 	"banks/internal/server"
 )
 
@@ -71,6 +72,8 @@ func run() error {
 	walFsync := flag.String("wal-fsync", "always", "WAL fsync policy: always (fsync before every ack), interval (group commit), never (leave it to the OS)")
 	compactAfterOps := flag.Uint64("compact-after-ops", 0, "auto-compact once this many ops accumulate since the base generation (0 disables)")
 	compactAfterBytes := flag.Int64("compact-after-bytes", 0, "auto-compact once the WAL grows past this many bytes (0 disables)")
+	follow := flag.String("follow", "", "run as a replication follower tailing this primary's WAL, e.g. http://primary:8080 (requires -live -wal -snapshot; local writes answer 409 not_primary; see docs/REPLICATION.md)")
+	legacyErrors := flag.Bool("legacy-errors", true, "keep the deprecated error-envelope mirror fields (top-level code, error.status, error.message); false emits the pure v1 shape (see docs/ERRORS.md)")
 	streamDropToBatch := flag.Bool("stream-drop-to-batch", false, "degrade slow /v1/search/stream consumers to batch delivery instead of blocking answer generation (see docs/STREAMING.md)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "window between /healthz turning 503 and the listener closing, so load balancers can observe unreadiness and stop routing (0 for tests)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
@@ -81,6 +84,34 @@ func run() error {
 		var err error
 		if tenants, err = server.LoadTenants(*tenantsPath); err != nil {
 			return err
+		}
+	}
+
+	if *follow != "" {
+		// Follower mode needs the full durable-state kit: a snapshot path
+		// to root the base under, and a WAL to re-append the primary's
+		// records to (that re-append is what makes wal_offset comparable
+		// across the pair).
+		if *snapshot == "" {
+			return errors.New("-follow needs -snapshot (the follower roots its base and fetched generations there)")
+		}
+		if !*liveFlag {
+			return errors.New("-follow needs -live (the follower applies the primary's mutations through the live overlay)")
+		}
+		if !*walFlag && *walPath == "" {
+			return errors.New("-follow needs -wal (the follower re-appends the primary's records to its own log)")
+		}
+		// First start with no local base: fetch the primary's current
+		// snapshot before opening anything. Restarts skip this — the
+		// local base + WAL resume, and the tailer re-bootstraps on its
+		// own if the primary compacted past them.
+		if _, err := os.Stat(banks.LatestSnapshotPath(*snapshot)); errors.Is(err, fs.ErrNotExist) {
+			log.Printf("no local base; bootstrapping from %s", *follow)
+			dest, pos, err := repl.FetchSnapshot(context.Background(), nil, *follow, *snapshot)
+			if err != nil {
+				return fmt.Errorf("bootstrap from %s: %w", *follow, err)
+			}
+			log.Printf("bootstrapped generation %d from %s into %s", pos.Generation, *follow, dest)
 		}
 	}
 
@@ -144,6 +175,22 @@ func run() error {
 		}
 	}
 
+	var follower *repl.Follower
+	if *follow != "" {
+		follower, err = repl.StartFollower(repl.FollowerConfig{
+			Primary:  *follow,
+			Target:   live,
+			BasePath: *snapshot,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer follower.Close()
+		log.Printf("following %s from generation %d, wal offset %d",
+			*follow, live.Generation(), live.WALSize())
+	}
+
 	srv, err := server.New(server.Config{
 		Engine:            eng,
 		DB:                db,
@@ -153,6 +200,8 @@ func run() error {
 		Logger:            log.Default(),
 		Dataset:           desc,
 		StreamDropToBatch: *streamDropToBatch,
+		Follower:          follower,
+		V1ErrorsOnly:      !*legacyErrors,
 	})
 	if err != nil {
 		return err

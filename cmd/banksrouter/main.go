@@ -64,6 +64,7 @@ func run() error {
 	topologyPath := flag.String("topology", "", "JSON topology file: {\"shards\": [[\"urlA\",\"urlB\"], ...]}")
 	probeInterval := flag.Duration("probe-interval", 5*time.Second, "replica health-probe period (negative disables probing)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge a slow replica by also querying its runner-up after this delay (0 disables hedging)")
+	maxLag := flag.Int64("max-lag", 0, "demote a replication follower behind its primary by more than this many WAL records until it catches up (0 = default 256, negative disables; see docs/REPLICATION.md)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "window between /healthz turning 503 and the listener closing, so load balancers can observe unreadiness and stop routing (0 for tests)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
 	flag.Parse()
@@ -77,6 +78,7 @@ func run() error {
 		Shards:        topology,
 		ProbeInterval: *probeInterval,
 		HedgeAfter:    *hedgeAfter,
+		MaxLagRecords: *maxLag,
 		Logger:        log.Default(),
 	})
 	if err != nil {

@@ -73,6 +73,9 @@ const (
 	CodeShardRejected = "shard_rejected"
 	// CodeNotRouted: the endpoint is not available through the router.
 	CodeNotRouted = "not_routed"
+	// CodeNotPrimary: mutation sent to a replication follower; the error
+	// detail names the primary's URL.
+	CodeNotPrimary = "not_primary"
 )
 
 // CodeInfo documents one registry entry: the HTTP status the code is
@@ -104,6 +107,7 @@ var Registry = map[string]CodeInfo{
 	CodeShardError:         {http.StatusBadGateway, "a shard failed and no replica could answer"},
 	CodeShardRejected:      {http.StatusBadRequest, "shard rejected the request without a code of its own"},
 	CodeNotRouted:          {http.StatusNotImplemented, "endpoint not available through the router"},
+	CodeNotPrimary:         {http.StatusConflict, "this server is a replication follower; write to the primary named in detail"},
 }
 
 // Known reports whether code is in the v1 registry.
@@ -155,4 +159,15 @@ func NewErrorDetail(status int, code, field, detail string) ErrorDetail {
 		Status:  status,
 		Message: detail,
 	}
+}
+
+// V1Only strips the deprecated mirror fields, leaving the pure v1
+// contract — what servers emit once started with -legacy-errors=false.
+func (e ErrorEnvelope) V1Only() ErrorEnvelope {
+	return ErrorEnvelope{Error: e.Error.V1Only()}
+}
+
+// V1Only strips the deprecated mirror fields from one error detail.
+func (d ErrorDetail) V1Only() ErrorDetail {
+	return ErrorDetail{Code: d.Code, Field: d.Field, Detail: d.Detail}
 }

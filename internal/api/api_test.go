@@ -14,8 +14,8 @@ func TestRegistryCoversConstants(t *testing.T) {
 		CodeBatchTooLarge, CodeMutateTooLarge, CodeMethodNotAllowed,
 		CodeOverCapacity, CodeTenantOverCapacity, CodeDeadlineExceeded,
 		CodeCanceled, CodeInternal, CodeNotMutable, CodeMutateDenied,
-		CodeWALAppendFailed, CodeCompactFailed, CodeShardError,
-		CodeShardRejected, CodeNotRouted,
+		CodeWALAppendFailed, CodeCompactFailed, CodeNotPrimary,
+		CodeShardError, CodeShardRejected, CodeNotRouted,
 	}
 	if len(codes) != len(Registry) {
 		t.Fatalf("registry has %d entries, constants list %d — keep them in lockstep", len(Registry), len(codes))

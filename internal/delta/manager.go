@@ -275,6 +275,102 @@ func (m *Manager) Replay(generation, version uint64, ops []Op) (applied bool, er
 	return true, nil
 }
 
+// ReplayLogged is the replication ingest seam: a follower applies one
+// record shipped from its primary's log under Replay's idempotence
+// rules, and — unlike Replay, whose records are already in the local
+// log — appends the record to this process's own write-ahead log
+// before making it visible. The append reuses the record's original
+// (generation, version) stamp, and the wal package's frame encoding is
+// canonical, so the follower's log file stays a byte-identical copy of
+// the primary's at identical offsets — which is what makes wal_offset
+// a globally comparable replication position. Skipped records
+// (duplicates, pre-base generations) are not re-appended. offset is
+// the local log end after the record; -1 when the record was skipped
+// or no log is configured.
+func (m *Manager) ReplayLogged(generation, version uint64, ops []Op) (applied bool, offset int64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.view
+	switch {
+	case generation < cur.generation:
+		return false, -1, nil
+	case generation > cur.generation:
+		return false, -1, fmt.Errorf("delta: replicate: record generation %d is ahead of base generation %d (follower must bootstrap a newer base)", generation, cur.generation)
+	case version <= cur.version:
+		return false, -1, nil
+	case version != cur.version+1:
+		return false, -1, fmt.Errorf("delta: replicate: version jumps %d→%d, a record is missing", cur.version, version)
+	}
+	nv, _, err := cur.Apply(ops)
+	if err != nil {
+		return false, -1, fmt.Errorf("delta: replicate version %d: %w", version, err)
+	}
+	src, err := engine.NewSource(nv, nv.Lookup, nv.generation, nv.version)
+	if err != nil {
+		return false, -1, err
+	}
+	offset = -1
+	if m.cfg.Log != nil {
+		offset, err = m.cfg.Log.Append(generation, version, ops)
+		if err != nil {
+			return false, -1, &WALError{Err: err}
+		}
+	}
+	m.cfg.Engine.Swap(src)
+	m.view = nv
+	m.opsSinceBase += uint64(len(ops))
+	m.mutationsTotal.Add(uint64(len(ops)))
+	m.mutationBatches.Add(1)
+	return true, offset, nil
+}
+
+// AdoptBase replaces the manager's base with an externally produced
+// snapshot — a follower crossing its primary's compaction boundary
+// adopts the fetched generation file instead of materializing its own.
+// The overlay is discarded (the new base contains its effects by
+// construction: it is the primary's compaction of the same record
+// sequence the follower applied), the local write-ahead log is
+// truncated exactly as after a local compaction, and the engine
+// hot-swaps with Compact's zero-dropped-queries discipline. The path
+// must name a snapshot whose generation is strictly ahead of the
+// current base.
+func (m *Manager) AdoptBase(ctx context.Context, path string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap, err := store.Open(path, store.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("delta: open adopted base %s: %w", path, err)
+	}
+	if snap.Generation <= m.view.generation {
+		gen := snap.Generation
+		snap.Close()
+		return 0, fmt.Errorf("delta: adopted base generation %d is not ahead of current %d", gen, m.view.generation)
+	}
+	nv := NewView(snap.Graph, snap.Index, snap.Generation, m.cfg.Mode, m.cfg.PrestigeOptions)
+	src, err := engine.NewSource(nv, nv.Lookup, snap.Generation, 0)
+	if err != nil {
+		snap.Close()
+		return 0, err
+	}
+	// Same tolerance as Compact: a failed truncation leaves stale
+	// records that replay will skip by generation.
+	if m.cfg.Log != nil {
+		_ = m.cfg.Log.Reset()
+	}
+	m.cfg.Engine.Swap(src)
+	if err := m.cfg.Engine.Quiesce(ctx); err != nil {
+		// Swap already happened and is valid; leak the old mapping rather
+		// than risk a read fault under an unfinished query.
+		m.owned = nil
+	} else if m.owned != nil {
+		m.owned.Close()
+	}
+	m.owned = snap
+	m.view = nv
+	m.opsSinceBase = 0
+	return snap.Generation, nil
+}
+
 // CompactPath returns the snapshot path compaction would write for the
 // given generation ("" when compaction is disabled).
 func (m *Manager) CompactPath(generation uint64) string {
@@ -282,6 +378,20 @@ func (m *Manager) CompactPath(generation uint64) string {
 		return ""
 	}
 	return fmt.Sprintf("%s.gen%d", m.cfg.SnapshotPath, generation)
+}
+
+// BasePath returns the snapshot file backing the current base: the
+// compacted generation file once any compaction (or adoption) has run,
+// else the process-initial snapshot path. Empty when the manager runs
+// without a snapshot path — such an instance cannot bootstrap
+// followers.
+func (m *Manager) BasePath() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.view.generation == 0 {
+		return m.cfg.SnapshotPath
+	}
+	return m.CompactPath(m.view.generation)
 }
 
 // Compact materializes the current overlay into a generation-N+1

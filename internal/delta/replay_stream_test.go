@@ -1,0 +1,98 @@
+package delta
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReplayLoggedRules pins the idempotence contract the replication
+// follower leans on when applying a primary's log through the stream
+// seam: stale versions and older generations are skipped WITHOUT being
+// re-appended to the local log (re-appending a skip would fork the
+// follower's offsets from the primary's), holes and newer generations
+// are refused, and only the exactly-next version applies and appends.
+func TestReplayLoggedRules(t *testing.T) {
+	fl := &fakeLog{}
+	m, _ := newManagerWorldLog(t, "", fl)
+
+	ops := []Op{{Kind: OpInsertNode, Table: diffTables[0], Text: "replaylogged seam probe"}}
+
+	// Establish version 1..2 as the follower's current state.
+	for v := uint64(1); v <= 2; v++ {
+		applied, _, err := m.ReplayLogged(0, v, ops)
+		if err != nil || !applied {
+			t.Fatalf("seed v%d: applied=%v err=%v", v, applied, err)
+		}
+	}
+	if len(fl.appended) != 2 {
+		t.Fatalf("seed appends = %d, want 2", len(fl.appended))
+	}
+
+	cases := []struct {
+		name       string
+		gen, ver   uint64
+		applied    bool
+		errSubstr  string // "" = no error
+		wantAppend bool
+	}{
+		{name: "replayed version is skipped, not re-appended", gen: 0, ver: 2, applied: false},
+		{name: "ancient version is skipped", gen: 0, ver: 1, applied: false},
+		{name: "version hole is refused", gen: 0, ver: 5, errSubstr: "a record is missing"},
+		{name: "newer generation is refused", gen: 3, ver: 1, errSubstr: "ahead of base generation"},
+		{name: "exactly-next version applies and appends", gen: 0, ver: 3, applied: true, wantAppend: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := len(fl.appended)
+			verBefore := m.Stats().DeltaVersion
+			applied, _, err := m.ReplayLogged(tc.gen, tc.ver, ops)
+			if tc.errSubstr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.errSubstr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.errSubstr)
+				}
+				if applied {
+					t.Fatal("refused record reported applied")
+				}
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			if applied != tc.applied {
+				t.Fatalf("applied = %v, want %v", applied, tc.applied)
+			}
+			gotAppend := len(fl.appended) > before
+			if gotAppend != tc.wantAppend {
+				t.Fatalf("appended = %v, want %v", gotAppend, tc.wantAppend)
+			}
+			if !applied && m.Stats().DeltaVersion != verBefore {
+				t.Fatal("skipped record moved the version")
+			}
+		})
+	}
+}
+
+// TestReplayOldGeneration pins that records from a generation the
+// follower has already compacted past are skipped silently — the
+// primary's log can briefly serve pre-compaction records during the
+// re-bootstrap handshake, and applying them onto the newer base would
+// double-apply mutations the base already contains.
+func TestReplayOldGeneration(t *testing.T) {
+	m, _ := newManagerWorld(t, t.TempDir()+"/seam.banksnap")
+	ops := []Op{{Kind: OpInsertNode, Table: diffTables[0], Text: "oldgen probe"}}
+	if applied, _, err := m.ReplayLogged(0, 1, ops); err != nil || !applied {
+		t.Fatalf("seed: applied=%v err=%v", applied, err)
+	}
+	if _, err := m.Compact(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Generation != 1 {
+		t.Fatalf("generation = %d, want 1", st.Generation)
+	}
+	applied, _, err := m.ReplayLogged(0, 2, ops)
+	if err != nil || applied {
+		t.Fatalf("old-generation replay: applied=%v err=%v, want silent skip", applied, err)
+	}
+	if got := m.Stats().DeltaVersion; got != 0 {
+		t.Fatalf("delta version moved to %d on a skipped old-generation record", got)
+	}
+}

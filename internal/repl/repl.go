@@ -1,0 +1,79 @@
+// Package repl implements WAL log-shipping replication: a primary
+// serves its write-ahead log over HTTP and followers tail it, applying
+// each record through the delta manager's replay idempotence rules.
+// The wire payload is the WAL's own canonical frame encoding served
+// byte-for-byte, and followers re-append the frames to their local
+// log, so a follower's WAL file is a byte-identical copy of the
+// primary's at identical offsets. That makes wal_offset a cluster-wide
+// position: a follower that has applied through offset N answers
+// queries byte-identically to the primary as of offset N, by
+// construction rather than by comparison.
+//
+// Protocol (docs/REPLICATION.md is the spec of record):
+//
+//	GET /v1/replication/log?gen=G&from=N&wait=MS
+//	  200 → raw WAL frames [N, end) as the body (empty body: caught
+//	        up), position headers describing the primary
+//	  409 → (G, N) does not address this primary's log — the follower
+//	        is behind a compaction (or diverged) and must bootstrap;
+//	        the body is the primary's Position as JSON
+//	GET /v1/replication/snapshot
+//	  200 → the primary's current base snapshot file, position headers
+//
+// The wait parameter long-polls: a caught-up follower's request parks
+// until the log changes or the window expires, so tailing costs one
+// round-trip per mutation batch, not one per poll interval.
+package repl
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Position response headers. Every replication response carries the
+// primary's current position so followers can measure lag without a
+// second request.
+const (
+	HeaderGeneration   = "X-Banks-Generation"
+	HeaderWALSize      = "X-Banks-Wal-Size"
+	HeaderDeltaVersion = "X-Banks-Delta-Version"
+	HeaderBaseNodes    = "X-Banks-Base-Nodes"
+)
+
+// Position is a primary's replication position: the base generation,
+// the WAL end offset, the delta version (records applied since the
+// base), and the label split point followers must adopt to render
+// byte-identical answers.
+type Position struct {
+	Generation   uint64 `json:"generation"`
+	WALSize      int64  `json:"wal_size"`
+	DeltaVersion uint64 `json:"delta_version"`
+	BaseNodes    int    `json:"base_nodes"`
+}
+
+func setPositionHeaders(h http.Header, pos Position) {
+	h.Set(HeaderGeneration, strconv.FormatUint(pos.Generation, 10))
+	h.Set(HeaderWALSize, strconv.FormatInt(pos.WALSize, 10))
+	h.Set(HeaderDeltaVersion, strconv.FormatUint(pos.DeltaVersion, 10))
+	h.Set(HeaderBaseNodes, strconv.Itoa(pos.BaseNodes))
+}
+
+// parsePosition reads the position headers of a replication response.
+func parsePosition(h http.Header) (Position, error) {
+	var pos Position
+	var err error
+	if pos.Generation, err = strconv.ParseUint(h.Get(HeaderGeneration), 10, 64); err != nil {
+		return Position{}, fmt.Errorf("repl: bad %s header %q", HeaderGeneration, h.Get(HeaderGeneration))
+	}
+	if pos.WALSize, err = strconv.ParseInt(h.Get(HeaderWALSize), 10, 64); err != nil {
+		return Position{}, fmt.Errorf("repl: bad %s header %q", HeaderWALSize, h.Get(HeaderWALSize))
+	}
+	if pos.DeltaVersion, err = strconv.ParseUint(h.Get(HeaderDeltaVersion), 10, 64); err != nil {
+		return Position{}, fmt.Errorf("repl: bad %s header %q", HeaderDeltaVersion, h.Get(HeaderDeltaVersion))
+	}
+	if pos.BaseNodes, err = strconv.Atoi(h.Get(HeaderBaseNodes)); err != nil {
+		return Position{}, fmt.Errorf("repl: bad %s header %q", HeaderBaseNodes, h.Get(HeaderBaseNodes))
+	}
+	return pos, nil
+}

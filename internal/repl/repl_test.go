@@ -1,0 +1,421 @@
+package repl_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"banks"
+	"banks/internal/datagen"
+	"banks/internal/repl"
+	"banks/internal/router/faultproxy"
+)
+
+// The replication tests run against the same factor-0.05 DBLP-like
+// dataset the repo's other differential suites use, built once and
+// shared: byte identity between a primary and its follower only means
+// something when both run real searches over a real graph.
+var (
+	sharedOnce sync.Once
+	sharedDB   *banks.DB
+	sharedErr  error
+)
+
+func testDB(t testing.TB) *banks.DB {
+	t.Helper()
+	sharedOnce.Do(func() {
+		ds, err := datagen.DBLP(datagen.DefaultDBLP(0.05))
+		if err != nil {
+			sharedErr = err
+			return
+		}
+		sharedDB, sharedErr = banks.Build(ds.DB, banks.BuildOptions{})
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedDB
+}
+
+// world is one WAL-backed live serving instance rooted at its own
+// snapshot file. The result cache is disabled so every signature comes
+// from a real search.
+type world struct {
+	db   *banks.DB
+	eng  *banks.Engine
+	live *banks.Live
+
+	snapPath, walPath string
+	closed            bool
+}
+
+// openWorld materializes the shared DB as a snapshot under dir (unless
+// one is already there from a previous incarnation) and opens a live
+// instance over it with a WAL.
+func openWorld(t *testing.T, dir string) *world {
+	t.Helper()
+	snapPath := filepath.Join(dir, "base.banksnap")
+	walPath := filepath.Join(dir, "live.wal")
+	if _, err := banks.OpenSnapshot(snapPath); err != nil {
+		if err := testDB(t).WriteSnapshotFile(snapPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := banks.OpenSnapshot(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := banks.NewEngine(db, banks.EngineOptions{Workers: 4, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := banks.OpenLive(eng, banks.LiveOptions{SnapshotPath: snapPath, WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &world{db: db, eng: eng, live: live, snapPath: snapPath, walPath: walPath}
+	t.Cleanup(func() { w.close() })
+	return w
+}
+
+func (w *world) close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.live.Close()
+	w.db.Close()
+}
+
+// serve mounts the world's replication publisher on an httptest server,
+// the way internal/server mounts it on banksd.
+func serve(t *testing.T, w *world) *httptest.Server {
+	t.Helper()
+	pub, err := repl.NewPublisher(repl.PublisherConfig{Source: w.live, MaxWait: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/replication/log", pub.ServeLog)
+	mux.HandleFunc("/v1/replication/snapshot", pub.ServeSnapshot)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// follow starts a follower tailing primaryURL into w.
+func follow(t *testing.T, w *world, primaryURL string) *repl.Follower {
+	t.Helper()
+	f, err := repl.StartFollower(repl.FollowerConfig{
+		Primary:  primaryURL,
+		Target:   w.live,
+		BasePath: w.snapPath,
+		PollWait: 300 * time.Millisecond,
+		Backoff:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// waitConverged polls until the follower has applied the primary's log
+// to its end: same generation, same wal offset, zero record lag.
+func waitConverged(t *testing.T, f *repl.Follower, primary *world) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := f.Stats()
+		if st.Connected && st.Generation == primary.live.Generation() &&
+			st.WALOffset == primary.live.WALSize() && st.LagRecords == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower never converged to gen=%d size=%d: %+v",
+		primary.live.Generation(), primary.live.WALSize(), f.Stats())
+}
+
+// replTrace is the deterministic mutation trace the differential runs:
+// every op kind, phrased against the shared DB. base is the pristine
+// node count; IDs from base upward are assigned deterministically, so
+// primary and follower agree on them.
+func replTrace(base banks.NodeID) [][]banks.MutationOp {
+	return [][]banks.MutationOp{
+		{
+			{Kind: banks.OpInsertNode, Table: "paper", Text: "replqux alpha shipping"},
+			{Kind: banks.OpInsertNode, Table: "paper", Text: "replqux beta tailing"},
+		},
+		{
+			{Kind: banks.OpInsertEdge, From: base, To: base + 1, Weight: 1.0},
+		},
+		{
+			{Kind: banks.OpInsertNode, Table: "author", Text: "replqux gamma"},
+			{Kind: banks.OpInsertEdge, From: base + 2, To: base, Weight: 2.5},
+		},
+		{
+			{Kind: banks.OpInsertTerm, Node: base, Term: "replship"},
+			{Kind: banks.OpInsertTerm, Node: 3, Term: "replship"},
+		},
+		{
+			{Kind: banks.OpDeleteEdge, From: base, To: base + 1},
+			{Kind: banks.OpInsertEdge, From: base + 1, To: base + 2, Weight: 1.25},
+		},
+		{
+			{Kind: banks.OpDeleteNode, Node: 11},
+			{Kind: banks.OpInsertNode, Table: "paper", Text: "replqux delta omega"},
+			{Kind: banks.OpDeleteTerm, Node: base, Term: "replship"},
+		},
+	}
+}
+
+var replQueries = []string{
+	"replqux alpha",
+	"replqux beta gamma",
+	"replship replqux",
+	"database transaction",
+}
+
+var replAlgos = []banks.Algorithm{banks.Bidirectional, banks.SIBackward, banks.MIBackward}
+
+// signature renders everything deterministic about the world's answers
+// to every probe query under all three algorithms, plus the display
+// labels of every node the trace inserted — the exact material a
+// /v1/search response is built from.
+func signature(t *testing.T, w *world, base, inserted banks.NodeID) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, algo := range replAlgos {
+		for _, q := range replQueries {
+			res, err := w.eng.Search(context.Background(), q, algo, banks.Options{K: 5, MaxNodes: 50_000})
+			if err != nil {
+				t.Fatalf("search %q/%v: %v", q, algo, err)
+			}
+			fmt.Fprintf(&sb, "%v %q answers=%d explored=%d truncated=%v\n",
+				algo, q, len(res.Answers), res.Stats.NodesExplored, res.Stats.Truncated)
+			for i, a := range res.Answers {
+				nodes := make([]int, len(a.Nodes))
+				for j, u := range a.Nodes {
+					nodes[j] = int(u)
+				}
+				sort.Ints(nodes)
+				fmt.Fprintf(&sb, "  %d: root=%d score=%.12g edge=%.12g nodes=%v\n",
+					i, a.Root, a.Score, a.EdgeScore, nodes)
+			}
+		}
+	}
+	for u := base; u < base+inserted; u++ {
+		fmt.Fprintf(&sb, "label %d = %q\n", u, w.live.NodeLabel(u))
+	}
+	return sb.String()
+}
+
+// TestReplicationDifferential is the tentpole acceptance proof: at every
+// acked wal_offset of a multi-batch mutation trace — including across a
+// live compaction on the primary — the follower answers every probe
+// query byte-identically to the primary under all three algorithms, and
+// renders identical labels for the runtime-inserted nodes.
+func TestReplicationDifferential(t *testing.T) {
+	primary := openWorld(t, t.TempDir())
+	ts := serve(t, primary)
+	fw := openWorld(t, t.TempDir())
+	f := follow(t, fw, ts.URL)
+
+	base := banks.NodeID(primary.db.Graph.NumNodes())
+	batches := replTrace(base)
+	var inserted banks.NodeID
+
+	compactAfter := 2 // cross a compaction boundary mid-trace
+	for i, ops := range batches {
+		if _, err := primary.live.Apply(ops); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		for _, op := range ops {
+			if op.Kind == banks.OpInsertNode {
+				inserted++
+			}
+		}
+		waitConverged(t, f, primary)
+		want := signature(t, primary, base, inserted)
+		got := signature(t, fw, base, inserted)
+		if want != got {
+			t.Fatalf("offset %d (batch %d): follower diverged\nprimary:\n%s\nfollower:\n%s",
+				primary.live.WALSize(), i, want, got)
+		}
+		if i == compactAfter {
+			if _, err := primary.live.Compact(context.Background()); err != nil {
+				t.Fatalf("compact after batch %d: %v", i, err)
+			}
+			waitConverged(t, f, primary)
+			want, got := signature(t, primary, base, inserted), signature(t, fw, base, inserted)
+			if want != got {
+				t.Fatalf("after compaction: follower diverged\nprimary:\n%s\nfollower:\n%s", want, got)
+			}
+		}
+	}
+
+	st := f.Stats()
+	if st.Bootstraps != 1 {
+		t.Fatalf("bootstraps = %d, want exactly 1 (the compaction crossing)", st.Bootstraps)
+	}
+	if fw.live.Generation() != 1 || fw.live.Generation() != primary.live.Generation() {
+		t.Fatalf("generations: follower %d, primary %d", fw.live.Generation(), primary.live.Generation())
+	}
+}
+
+// TestFollowerKillAndReconnect is the crash-resilience hammer: the
+// follower is cut mid-tail (its process image discarded, state only on
+// disk), the primary keeps writing and compacts while the follower is
+// down, and a fresh incarnation recovered from the follower's own
+// snapshot + WAL must bootstrap across the compaction boundary and
+// re-converge to byte identity. Run under -race, searches keep flowing
+// on the follower while it tails.
+func TestFollowerKillAndReconnect(t *testing.T) {
+	primary := openWorld(t, t.TempDir())
+	ts := serve(t, primary)
+	fdir := t.TempDir()
+	fw := openWorld(t, fdir)
+	f := follow(t, fw, ts.URL)
+
+	base := banks.NodeID(primary.db.Graph.NumNodes())
+	mkBatch := func(i int) []banks.MutationOp {
+		return []banks.MutationOp{
+			{Kind: banks.OpInsertNode, Table: "paper", Text: fmt.Sprintf("replhammer wave %d", i)},
+		}
+	}
+
+	// Readers on the follower while it tails: every search must succeed
+	// against whichever source it binds (-race guards the swaps).
+	stopRead := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				if _, err := fw.eng.Search(context.Background(), "replhammer database",
+					banks.Bidirectional, banks.Options{K: 3, MaxNodes: 20_000}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	var inserted banks.NodeID
+	for i := 0; i < 8; i++ {
+		if _, err := primary.live.Apply(mkBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+	}
+	waitConverged(t, f, primary)
+
+	// Kill: stop the tail, close the follower's process image. Its
+	// snapshot + WAL stay on disk, exactly what a SIGKILL leaves.
+	f.Close()
+	close(stopRead)
+	rg.Wait()
+	fw.close()
+
+	// The primary moves on without it: more batches, then a compaction
+	// that resets the primary's WAL — the restarted follower cannot
+	// catch up by log alone, it must re-bootstrap.
+	for i := 8; i < 12; i++ {
+		if _, err := primary.live.Apply(mkBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+	}
+	if _, err := primary.live.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 12; i < 15; i++ {
+		if _, err := primary.live.Apply(mkBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+	}
+
+	// Restart: crash-recover the follower from its own disk state and
+	// resume tailing.
+	fw2 := openWorld(t, fdir)
+	f2 := follow(t, fw2, ts.URL)
+	waitConverged(t, f2, primary)
+
+	want := signature(t, primary, base, inserted)
+	got := signature(t, fw2, base, inserted)
+	if want != got {
+		t.Fatalf("restarted follower diverged\nprimary:\n%s\nfollower:\n%s", want, got)
+	}
+	if st := f2.Stats(); st.Bootstraps != 1 {
+		t.Fatalf("restarted follower bootstraps = %d, want 1 (the compaction it slept through)", st.Bootstraps)
+	}
+}
+
+// TestFollowerStreamCuts injects transport faults into the replication
+// stream — dropped connections and 503s, the failure classes of a dying
+// or overloaded primary — and asserts the follower's reconnect loop
+// converges to byte identity anyway.
+func TestFollowerStreamCuts(t *testing.T) {
+	primary := openWorld(t, t.TempDir())
+	ts := serve(t, primary)
+	proxy, err := faultproxy.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(proxy.Close)
+
+	replMatch := func(r *http.Request) bool {
+		return strings.HasPrefix(r.URL.Path, "/v1/replication/")
+	}
+	proxy.Set(&faultproxy.Fault{Mode: faultproxy.ModeDrop, Count: 2, Match: replMatch})
+
+	fw := openWorld(t, t.TempDir())
+	f := follow(t, fw, proxy.URL())
+
+	base := banks.NodeID(primary.db.Graph.NumNodes())
+	batches := replTrace(base)
+	var inserted banks.NodeID
+	for i, ops := range batches {
+		if _, err := primary.live.Apply(ops); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		for _, op := range ops {
+			if op.Kind == banks.OpInsertNode {
+				inserted++
+			}
+		}
+		if i == 3 {
+			// Mid-trace, a second round of faults: the overloaded-primary
+			// class this time.
+			proxy.Set(&faultproxy.Fault{Mode: faultproxy.Mode5xx, Count: 2, Match: replMatch})
+		}
+	}
+	waitConverged(t, f, primary)
+
+	want := signature(t, primary, base, inserted)
+	got := signature(t, fw, base, inserted)
+	if want != got {
+		t.Fatalf("follower diverged across stream cuts\nprimary:\n%s\nfollower:\n%s", want, got)
+	}
+	if proxy.Injected() < 3 {
+		t.Fatalf("proxy injected %d faults, want >= 3 — the cuts never landed", proxy.Injected())
+	}
+	if st := f.Stats(); st.Reconnects == 0 {
+		t.Fatalf("follower reports no reconnects across %d injected faults: %+v", proxy.Injected(), st)
+	}
+}

@@ -1,0 +1,154 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// setRepl fakes a probe's replication refresh on a replica.
+func setRepl(rep *replicaState, lag int64, connected bool) {
+	rep.mu.Lock()
+	rep.follower = true
+	rep.lagRecords = lag
+	rep.replConnected = connected
+	rep.mu.Unlock()
+}
+
+func TestCandidatesDemoteStaleFollower(t *testing.T) {
+	// Replica 0 is a follower 10 records behind a bound of 5; replica 1
+	// is a primary with a much worse load score. Freshness outranks
+	// load: the fresh replica must come first, the stale one kept as a
+	// failover candidate ahead of nothing but the unhealthy tier.
+	g := mkGroup(2)
+	g.maxLag = 5
+	setRepl(g.replicas[0], 10, true)
+	g.replicas[1].observeLatency(500 * time.Millisecond)
+	if got := order(g.candidates()); got[0] != 1 {
+		t.Fatalf("stale follower selected over fresh primary: %v", got)
+	}
+
+	// Re-promotion at lag 0: the follower caught up, and its better
+	// load score makes it first choice again.
+	setRepl(g.replicas[0], 0, true)
+	if got := order(g.candidates()); got[0] != 0 {
+		t.Fatalf("caught-up follower not re-promoted: %v", got)
+	}
+}
+
+func TestCandidatesStaleOutranksUnhealthy(t *testing.T) {
+	g := mkGroup(2)
+	g.maxLag = 5
+	setRepl(g.replicas[0], 100, true)
+	g.replicas[1].setHealth(false, "probe failed", time.Now())
+	if got := order(g.candidates()); got[0] != 0 {
+		t.Fatalf("unhealthy replica selected over stale-but-alive follower: %v", got)
+	}
+}
+
+func TestCandidatesDisconnectedFollowerIsStale(t *testing.T) {
+	// A follower whose tail is cut reports a frozen lag number; the lag
+	// alone says "fresh", but the cut means staleness is growing
+	// unboundedly — it must demote.
+	g := mkGroup(2)
+	g.maxLag = 5
+	setRepl(g.replicas[0], 0, false)
+	g.replicas[1].observeLatency(500 * time.Millisecond)
+	if got := order(g.candidates()); got[0] != 1 {
+		t.Fatalf("disconnected follower selected first: %v", got)
+	}
+}
+
+func TestCandidatesNegativeBoundDisablesDemotion(t *testing.T) {
+	g := mkGroup(2)
+	g.maxLag = -1
+	setRepl(g.replicas[0], 1_000_000, false)
+	if got := order(g.candidates()); got[0] != 0 {
+		t.Fatalf("demotion applied with a negative bound: %v", got)
+	}
+}
+
+// TestProbeReadsReplicationBlock drives the real probe path against fake
+// backends: one primary, one follower whose /statusz discloses a
+// replication block with lag beyond the bound. The router must parse the
+// block, demote the follower in selection, disclose the lag and
+// staleness in its own /statusz, and re-promote once a later probe sees
+// lag 0.
+func TestProbeReadsReplicationBlock(t *testing.T) {
+	var lag atomic.Int64
+	lag.Store(50)
+	mkBackend := func(repl bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Path {
+			case "/healthz":
+				fmt.Fprintln(w, "ok")
+			case "/statusz":
+				doc := map[string]any{"dataset": map[string]any{"nodes": 100}}
+				if repl {
+					doc["replication"] = map[string]any{
+						"primary":     "http://primary:8080",
+						"connected":   true,
+						"lag_records": lag.Load(),
+					}
+				}
+				json.NewEncoder(w).Encode(doc)
+			default:
+				http.NotFound(w, r)
+			}
+		}))
+	}
+	primary := mkBackend(false)
+	defer primary.Close()
+	follower := mkBackend(true)
+	defer follower.Close()
+
+	rt, err := New(Config{
+		Shards:        [][]string{{follower.URL, primary.URL}},
+		ProbeInterval: -1, // the initial round only; reprobes are explicit
+		MaxLagRecords: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// The initial probe round runs asynchronously; a deterministic
+	// explicit round guarantees the claims are in before asserting.
+	rt.probeAll(t.Context())
+
+	g := rt.groups[0]
+	if got := order(g.candidates()); got[0] != 1 {
+		t.Fatalf("lagging follower not demoted after probe: %v", got)
+	}
+
+	// The router's own statusz discloses the follower row.
+	req := httptest.NewRequest(http.MethodGet, "/statusz", nil)
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	var doc struct {
+		Shards []struct {
+			Replicas []replicaStatusJSON `json:"replicas"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	frow := doc.Shards[0].Replicas[0]
+	if !frow.Follower || frow.ReplicationLagRecords == nil || *frow.ReplicationLagRecords != 50 || !frow.Stale {
+		t.Fatalf("follower row not disclosed: %+v", frow)
+	}
+	if prow := doc.Shards[0].Replicas[1]; prow.Follower || prow.Stale {
+		t.Fatalf("primary row marked as follower: %+v", prow)
+	}
+
+	// The follower catches up; the next probe round re-promotes it.
+	lag.Store(0)
+	rt.probeAll(t.Context())
+	if got := order(g.candidates()); got[0] != 0 {
+		t.Fatalf("caught-up follower not re-promoted after reprobe: %v", got)
+	}
+}

@@ -27,6 +27,11 @@ type routedStats struct {
 	statsJSON
 	Shards    int `json:"shards"`
 	Failovers int `json:"failovers,omitempty"`
+	// MaxReplicaLag is the largest replication lag (in WAL records) any
+	// answering replica disclosed: how stale the merged answer can be.
+	// Omitted when every shard answered from a primary or a caught-up
+	// follower.
+	MaxReplicaLag int64 `json:"max_replica_lag,omitempty"`
 }
 
 // searchResponse is the routed /v1/search body — the same shape the
@@ -174,7 +179,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Clamped:   agg.clamped,
 		Truncated: agg.truncated,
 		Answers:   answers,
-		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers},
+		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers, MaxReplicaLag: agg.maxReplicaLag},
 	}
 	annotate(r, resp.QueryID, len(answers), resp.Truncated)
 	writeJSON(w, resp)
@@ -216,7 +221,7 @@ func (rt *Router) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 		Cached:    agg.cached,
 		Degraded:  agg.degraded,
 		Answers:   len(merged),
-		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers},
+		Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers, MaxReplicaLag: agg.maxReplicaLag},
 	}
 	if len(merged) > 0 {
 		first := merged[0].outputMS
@@ -368,7 +373,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 				Clamped:   agg.clamped,
 				Truncated: agg.truncated,
 				Answers:   answers,
-				Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers},
+				Stats:     routedStats{statsJSON: agg.stats, Shards: len(results), Failovers: agg.failovers, MaxReplicaLag: agg.maxReplicaLag},
 			}
 		}(i)
 	}
@@ -435,6 +440,14 @@ type replicaStatusJSON struct {
 	// Requests/Errors count fan-out attempts against this replica.
 	Requests uint64 `json:"requests"`
 	Errors   uint64 `json:"errors"`
+	// Follower marks a backend that discloses a replication block;
+	// ReplicationLagRecords / ReplicationConnected mirror it, and Stale
+	// reports whether the lag bound currently demotes this replica in
+	// selection.
+	Follower              bool   `json:"follower,omitempty"`
+	ReplicationLagRecords *int64 `json:"replication_lag_records,omitempty"`
+	ReplicationConnected  *bool  `json:"replication_connected,omitempty"`
+	Stale                 bool   `json:"stale,omitempty"`
 }
 
 // shardStatusJSON is one shard's row: healthy when at least one replica
@@ -503,6 +516,13 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 				cs, cn := rep.claimedShard, rep.claimedNumShards
 				rrow.ClaimedShard, rrow.ClaimedNumShards = &cs, &cn
 				rrow.Misrouted = int(cs) != i || int(cn) != len(rt.groups)
+			}
+			if rep.follower {
+				lag, conn := rep.lagRecords, rep.replConnected
+				rrow.Follower = true
+				rrow.ReplicationLagRecords = &lag
+				rrow.ReplicationConnected = &conn
+				rrow.Stale = g.maxLag >= 0 && (lag > g.maxLag || !conn)
 			}
 			rep.mu.Unlock()
 			if rrow.Healthy {

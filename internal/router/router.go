@@ -85,12 +85,25 @@ type Config struct {
 	// Replicas are deterministic, so either winner yields identical
 	// bytes. 0 disables hedging; failover on hard failures is always on.
 	HedgeAfter time.Duration
+	// MaxLagRecords bounds how far behind its primary a replication
+	// follower may be — in WAL records (mutation batches), as the
+	// backend's /statusz replication block discloses — before the router
+	// demotes it below fresh replicas: a stale follower is only selected
+	// once every fresh candidate has failed, and is re-promoted the
+	// moment its disclosed lag returns to the bound. 0 selects the
+	// default (256); negative disables freshness demotion entirely.
+	MaxLagRecords int64
 	// Logger receives one line per /v1/* request and per replica-health
 	// transition. Nil disables logging.
 	Logger *log.Logger
 }
 
 const defaultProbeInterval = 5 * time.Second
+
+// defaultMaxLagRecords is the freshness bound when Config.MaxLagRecords
+// is zero: a follower more than this many mutation batches behind its
+// primary stops being a first-choice replica.
+const defaultMaxLagRecords = 256
 
 // ewmaAlpha weights the latest latency sample in the per-replica EWMA.
 const ewmaAlpha = 0.3
@@ -119,6 +132,14 @@ type replicaState struct {
 	claimedShard     uint32
 	claimedNumShards uint32
 	claimedNodes     int
+	// follower/lagRecords/replConnected mirror the replica's /statusz
+	// replication block: whether the backend is a replication follower,
+	// how many mutation batches it reports being behind its primary, and
+	// whether its tail of the primary's log is currently healthy.
+	// Non-followers are always "fresh".
+	follower      bool
+	lagRecords    int64
+	replConnected bool
 }
 
 func (s *replicaState) setHealth(healthy bool, errMsg string, now time.Time) (changed bool) {
@@ -152,6 +173,9 @@ func (s *replicaState) name() string {
 type shardGroup struct {
 	index    int
 	replicas []*replicaState
+	// maxLag is the resolved freshness bound (Config.MaxLagRecords with
+	// the default applied); negative disables staleness demotion.
+	maxLag int64
 }
 
 // Router fans queries out across shard replica groups and merges the
@@ -217,6 +241,13 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.HedgeAfter < 0 {
 		return nil, fmt.Errorf("router: HedgeAfter must be non-negative, got %v", cfg.HedgeAfter)
+	}
+	maxLag := cfg.MaxLagRecords
+	if maxLag == 0 {
+		maxLag = defaultMaxLagRecords
+	}
+	for _, g := range groups {
+		g.maxLag = maxLag
 	}
 	rt := &Router{
 		groups:     groups,
@@ -358,6 +389,13 @@ func (rt *Router) refreshClaim(ctx context.Context, rep *replicaState) {
 				NumShards uint32 `json:"num_shards"`
 			} `json:"shard"`
 		} `json:"dataset"`
+		// Replication is the follower disclosure (internal/server
+		// statuszResponse.Replication); absent on primaries and
+		// read-only backends.
+		Replication *struct {
+			Connected  bool  `json:"connected"`
+			LagRecords int64 `json:"lag_records"`
+		} `json:"replication"`
 	}
 	if err := rt.getJSON(ctx, rep.url+"/statusz", &doc); err != nil {
 		return
@@ -369,6 +407,13 @@ func (rt *Router) refreshClaim(ctx context.Context, rep *replicaState) {
 		rep.claimedNumShards = doc.Dataset.Shard.NumShards
 	} else {
 		rep.claimedShard, rep.claimedNumShards = 0, 0
+	}
+	if doc.Replication != nil {
+		rep.follower = true
+		rep.lagRecords = doc.Replication.LagRecords
+		rep.replConnected = doc.Replication.Connected
+	} else {
+		rep.follower, rep.lagRecords, rep.replConnected = false, 0, false
 	}
 	rep.mu.Unlock()
 }

@@ -66,7 +66,11 @@ func newBackend(t *testing.T, db *banks.DB, desc string) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(server.Config{Engine: eng, DB: db, Dataset: desc})
+	// Generous admission headroom: failover tests concentrate every
+	// worker on one surviving replica, and a transient 429 from the
+	// default 4x-pool gate would read as a routing failure. Admission
+	// overflow has its own tests in internal/server.
+	srv, err := server.New(server.Config{Engine: eng, DB: db, Dataset: desc, MaxInFlight: 256})
 	if err != nil {
 		t.Fatal(err)
 	}

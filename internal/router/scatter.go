@@ -81,9 +81,13 @@ type shardResult struct {
 	shard   int
 	replica int // which replica answered
 	retried int // extra attempts launched beyond the first (failovers/hedges)
-	answers []*wireAnswer
-	trailer *shardLine
-	elapsed time.Duration
+	// lagRecords is the answering replica's last-disclosed replication
+	// lag (0 for primaries and read-only backends) — the staleness this
+	// answer may carry.
+	lagRecords int64
+	answers    []*wireAnswer
+	trailer    *shardLine
+	elapsed    time.Duration
 }
 
 // shardError identifies which shard failed a fan-out and why.
@@ -250,6 +254,11 @@ func (rt *Router) fetchReplica(ctx context.Context, rep *replicaState, orig *htt
 		rt.logger.Printf("%s healthy", rep.name())
 	}
 	res.elapsed = elapsed
+	rep.mu.Lock()
+	if rep.follower {
+		res.lagRecords = rep.lagRecords
+	}
+	rep.mu.Unlock()
 	return res, nil
 }
 
@@ -419,7 +428,11 @@ type aggregateTrailer struct {
 	cached    bool
 	degraded  bool
 	failovers int
-	stats     statsJSON
+	// maxReplicaLag is the largest replication lag any answering replica
+	// disclosed — the staleness bound of the merged answer (0 when every
+	// shard was answered by a primary or caught-up follower).
+	maxReplicaLag int64
+	stats         statsJSON
 }
 
 func aggregate(results []*shardResult) aggregateTrailer {
@@ -437,6 +450,9 @@ func aggregate(results []*shardResult) aggregateTrailer {
 		agg.cached = agg.cached && t.Cached
 		agg.degraded = agg.degraded || t.Degraded
 		agg.failovers += res.retried
+		if res.lagRecords > agg.maxReplicaLag {
+			agg.maxReplicaLag = res.lagRecords
+		}
 		agg.stats.NodesExplored += t.Stats.NodesExplored
 		agg.stats.NodesTouched += t.Stats.NodesTouched
 		agg.stats.EdgesRelaxed += t.Stats.EdgesRelaxed

@@ -3,7 +3,8 @@ package router
 import "sort"
 
 // Replica selection: one replica of each shard serves each query, chosen
-// by health- and load-driven scoring. The score of a replica is
+// by health-, freshness- and load-driven scoring. The score of a replica
+// is
 //
 //	(in-flight attempts + 1) × max(EWMA service time, 1ms)
 //
@@ -11,10 +12,15 @@ import "sort"
 // floor keeps untried replicas (EWMA 0) attractive without letting them
 // dominate, so load spreads onto fresh capacity; the in-flight factor
 // spreads concurrent queries across replicas even before latency samples
-// diverge. Unhealthy replicas (probe or query failure not yet cleared)
-// sort after every healthy one — they are still tried as a last resort,
-// because health is a cached observation and the replica may have
-// recovered since, but only once all healthy candidates failed.
+// diverge.
+//
+// Candidates sort into three tiers. Healthy, fresh replicas come first;
+// then healthy-but-stale replication followers (disclosed lag beyond the
+// group's bound, or a cut tail) — behind, but still serving a complete
+// consistent prefix of the primary's state; unhealthy replicas last, as
+// the final resort, because health is a cached observation and the
+// replica may have recovered since. A stale follower is re-promoted into
+// the first tier the moment a probe sees its lag back inside the bound.
 
 // ewmaFloorNS is the scoring floor for replicas with no latency samples
 // yet (1ms in nanoseconds).
@@ -24,13 +30,32 @@ const ewmaFloorNS = 1e6
 type loadSnapshot struct {
 	rep     *replicaState
 	healthy bool
+	stale   bool
 	score   float64
 }
 
-func (s *replicaState) snapshotLoad() loadSnapshot {
+// tier collapses the health/freshness pair into the sort rank:
+// 0 healthy+fresh, 1 healthy+stale, 2 unhealthy.
+func (s loadSnapshot) tier() int {
+	switch {
+	case !s.healthy:
+		return 2
+	case s.stale:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// snapshotLoad captures one replica's scoring inputs. maxLag is the
+// freshness bound: a follower whose disclosed replication lag exceeds it
+// — or whose tail of the primary is cut — is stale. Negative disables
+// staleness; non-followers are always fresh.
+func (s *replicaState) snapshotLoad(maxLag int64) loadSnapshot {
 	s.mu.Lock()
 	healthy := s.healthy
 	ewma := s.ewmaNS
+	stale := maxLag >= 0 && s.follower && (s.lagRecords > maxLag || !s.replConnected)
 	s.mu.Unlock()
 	if ewma < ewmaFloorNS {
 		ewma = ewmaFloorNS
@@ -38,23 +63,24 @@ func (s *replicaState) snapshotLoad() loadSnapshot {
 	return loadSnapshot{
 		rep:     s,
 		healthy: healthy,
+		stale:   stale,
 		score:   float64(s.inflight.Load()+1) * ewma,
 	}
 }
 
-// candidates orders the group's replicas for one query: healthy replicas
-// by ascending load score, then unhealthy replicas by ascending score —
-// stable, so equal scores keep replica-index order and single-replica
-// deployments behave exactly as before. The first candidate serves the
-// query; the rest are the failover/hedge order.
+// candidates orders the group's replicas for one query: by tier
+// (healthy+fresh, healthy+stale, unhealthy), then by ascending load
+// score — stable, so equal scores keep replica-index order and
+// single-replica deployments behave exactly as before. The first
+// candidate serves the query; the rest are the failover/hedge order.
 func (g *shardGroup) candidates() []*replicaState {
 	snaps := make([]loadSnapshot, len(g.replicas))
 	for i, rep := range g.replicas {
-		snaps[i] = rep.snapshotLoad()
+		snaps[i] = rep.snapshotLoad(g.maxLag)
 	}
 	sort.SliceStable(snaps, func(i, j int) bool {
-		if snaps[i].healthy != snaps[j].healthy {
-			return snaps[i].healthy
+		if ti, tj := snaps[i].tier(), snaps[j].tier(); ti != tj {
+			return ti < tj
 		}
 		return snaps[i].score < snaps[j].score
 	})

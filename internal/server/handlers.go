@@ -9,6 +9,7 @@ import (
 
 	"banks"
 	"banks/internal/api"
+	"banks/internal/repl"
 )
 
 // nodeJSON is one tree node with its display label.
@@ -181,7 +182,7 @@ func (s *Server) runSearch(ctx context.Context, req *searchRequest) (*banks.Resu
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	req, herr := decodeSearchRequest(r, s.limits(r))
 	if herr != nil {
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	ctx, cancel := queryCtx(r, req.Timeout)
@@ -189,7 +190,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	res, herr := s.runSearch(ctx, req)
 	if herr != nil {
 		annotate(r, req.queryID(), 0, false)
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	resp := s.searchResponse(req, res)
@@ -210,7 +211,7 @@ type explainResponse struct {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	req, herr := decodeSearchRequest(r, s.limits(r))
 	if herr != nil {
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	ctx, cancel := queryCtx(r, req.Timeout)
@@ -218,7 +219,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	res, herr := s.runSearch(ctx, req)
 	if herr != nil {
 		annotate(r, req.queryID(), 0, false)
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	explains := make([]string, len(res.Answers))
@@ -254,7 +255,7 @@ type nearResponse struct {
 func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 	p, herr := decodeSearchParams(r)
 	if herr != nil {
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	// Near queries have no algorithm choice, no output-bound mode, and
@@ -262,20 +263,20 @@ func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 	// and ignoring any of these would be the silent mismatch the strict
 	// decoding exists to prevent.
 	if p.Algo != "" {
-		writeError(w, badRequest("algo", "near queries have no algorithm choice"))
+		s.writeError(w, badRequest("algo", "near queries have no algorithm choice"))
 		return
 	}
 	if p.StrictBound {
-		writeError(w, badRequest("strict_bound", "near queries have no output bound mode"))
+		s.writeError(w, badRequest("strict_bound", "near queries have no output bound mode"))
 		return
 	}
 	if p.ActivationSum {
-		writeError(w, badRequest("activation_sum", "near queries always sum activations; the flag is not configurable"))
+		s.writeError(w, badRequest("activation_sum", "near queries always sum activations; the flag is not configurable"))
 		return
 	}
 	req, herr := p.resolve(s.limits(r))
 	if herr != nil {
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	// Discriminate the stable query ID from a tree search over the same
@@ -287,7 +288,7 @@ func (s *Server) handleNear(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.met.observeQuery("near", outcomeError, 0)
 		annotate(r, req.queryID(), 0, false)
-		writeError(w, mapQueryError(err))
+		s.writeError(w, mapQueryError(err))
 		return
 	}
 	outcome := outcomeOK
@@ -322,13 +323,13 @@ type batchResponse struct {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, &httpError{status: http.StatusMethodNotAllowed,
+		s.writeError(w, &httpError{status: http.StatusMethodNotAllowed,
 			code: api.CodeMethodNotAllowed, message: "batch requests are POST with a JSON body"})
 		return
 	}
 	reqs, timeout, clamped, herr := decodeBatchRequest(r, s.limits(r))
 	if herr != nil {
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	ctx, cancel := queryCtx(r, timeout)
@@ -355,6 +356,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				field = fmt.Sprintf("queries[%d].%s", i, field)
 			}
 			detail := api.NewErrorDetail(he.status, he.code, field, he.message)
+			if s.v1ErrorsOnly {
+				detail = detail.V1Only()
+			}
 			resp.Errors[i] = &detail
 			continue
 		}
@@ -425,9 +429,13 @@ type statuszResponse struct {
 	// Live discloses the mutation-overlay state when live mutations are
 	// enabled: the current generation, how much delta has accumulated
 	// since it, and cumulative mutation/compaction activity.
-	Live    *liveJSON `json:"live,omitempty"`
-	Tenants []string  `json:"tenants,omitempty"`
-	Runtime struct {
+	Live *liveJSON `json:"live,omitempty"`
+	// Replication discloses follower state when this server tails a
+	// primary's write-ahead log (banksd -follow): connection state, the
+	// local and primary log positions, and the lag between them.
+	Replication *repl.FollowerStats `json:"replication,omitempty"`
+	Tenants     []string            `json:"tenants,omitempty"`
+	Runtime     struct {
 		GoVersion  string `json:"go_version"`
 		Goroutines int    `json:"goroutines"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
@@ -578,6 +586,11 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.follower != nil {
+		st := s.follower.Stats()
+		resp.Replication = &st
+	}
+
 	resp.Tenants = s.tenants.Names()
 
 	var mem runtime.MemStats
@@ -638,6 +651,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				gauge{"banksd_wal_records", "Records currently in the write-ahead log.", float64(ws.Records)},
 			)
 		}
+	}
+	if s.follower != nil {
+		st := s.follower.Stats()
+		counters = append(counters,
+			counterExtra{"banksd_replication_records_applied_total", "WAL records applied from the primary's log.", st.RecordsApplied},
+			counterExtra{"banksd_replication_bytes_applied_total", "WAL bytes applied from the primary's log.", uint64(st.BytesApplied)},
+			counterExtra{"banksd_replication_bootstraps_total", "Snapshot bootstraps (initial sync or re-sync across a compaction).", st.Bootstraps},
+			counterExtra{"banksd_replication_reconnects_total", "Stream reconnects after an error or cut.", st.Reconnects},
+		)
+		gauges = append(gauges,
+			gauge{"banksd_replication_connected", "1 while the follower's tail of the primary's log is healthy.", boolGauge(st.Connected)},
+			gauge{"banksd_replication_lag_records", "Mutation batches the primary has acknowledged that this follower has not yet applied.", float64(st.LagRecords)},
+			gauge{"banksd_replication_lag_bytes", "WAL bytes between the primary's log end and this follower's.", float64(st.LagBytes)},
+			gauge{"banksd_replication_lag_seconds", "Seconds this follower has continuously been behind the primary (0 when caught up).", st.LagSeconds},
+		)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w, counters, gauges)

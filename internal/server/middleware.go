@@ -64,6 +64,8 @@ func infoFrom(ctx context.Context) *reqInfo {
 var knownRoutes = map[string]bool{
 	"/v1/search": true, "/v1/search/stream": true, "/v1/batch": true,
 	"/v1/near": true, "/v1/explain": true,
+	"/v1/mutate": true, "/v1/compact": true,
+	"/v1/replication/log": true, "/v1/replication/snapshot": true,
 	"/healthz": true, "/statusz": true, "/metrics": true,
 }
 
@@ -91,7 +93,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 					s.logger.Printf("panic rid=%d %s %s: %v\n%s", info.id, r.Method, r.URL.Path, p, debug.Stack())
 				}
 				if sw.status == 0 {
-					writeError(sw, &httpError{status: http.StatusInternalServerError,
+					s.writeError(sw, &httpError{status: http.StatusInternalServerError,
 						code: api.CodeInternal, message: "internal server error"})
 				}
 			}
@@ -141,7 +143,7 @@ func (s *Server) admitted(next http.HandlerFunc) http.HandlerFunc {
 				herr.code = api.CodeTenantOverCapacity
 				herr.message = fmt.Sprintf("tenant is at its in-flight limit (%d); retry after the indicated delay", quota)
 			}
-			writeError(w, herr)
+			s.writeError(w, herr)
 			return
 		}
 		defer func() { s.adm.release(tenant, quota, token) }()
@@ -156,13 +158,17 @@ type errorBody = api.ErrorEnvelope
 
 type errorJSON = api.ErrorDetail
 
-func writeError(w http.ResponseWriter, e *httpError) {
+func (s *Server) writeError(w http.ResponseWriter, e *httpError) {
 	w.Header().Set("Content-Type", "application/json")
 	if e.retryAfter > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfter))
 	}
 	w.WriteHeader(e.status)
-	json.NewEncoder(w).Encode(api.NewError(e.status, e.code, e.field, e.message))
+	env := api.NewError(e.status, e.code, e.field, e.message)
+	if s.v1ErrorsOnly {
+		env = env.V1Only()
+	}
+	json.NewEncoder(w).Encode(env)
 }
 
 // writeJSON encodes the response body. An encode error at this point is a

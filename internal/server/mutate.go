@@ -172,17 +172,25 @@ func decodeMutateOps(body io.Reader, maxOps int) ([]banks.MutationOp, *httpError
 func (s *Server) requireLive(w http.ResponseWriter, r *http.Request) bool {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, &httpError{status: http.StatusMethodNotAllowed,
+		s.writeError(w, &httpError{status: http.StatusMethodNotAllowed,
 			code: api.CodeMethodNotAllowed, message: "mutations are POST with a JSON body"})
 		return false
 	}
 	if s.live == nil {
-		writeError(w, &httpError{status: http.StatusNotImplemented, code: api.CodeNotMutable,
+		s.writeError(w, &httpError{status: http.StatusNotImplemented, code: api.CodeNotMutable,
 			message: "this server was started without live mutations (banksd -live)"})
 		return false
 	}
+	if s.follower != nil {
+		// A follower's state is a replica of its primary's log; a local
+		// write would fork it. Point the client at the leader.
+		st := s.follower.Stats()
+		s.writeError(w, &httpError{status: http.StatusConflict, code: api.CodeNotPrimary,
+			message: fmt.Sprintf("this server is a replication follower; write to the primary at %s", st.Primary)})
+		return false
+	}
 	if !s.limits(r).MutateAllowed() {
-		writeError(w, &httpError{status: http.StatusForbidden, code: api.CodeMutateDenied,
+		s.writeError(w, &httpError{status: http.StatusForbidden, code: api.CodeMutateDenied,
 			message: "this tenant is not allowed to mutate"})
 		return false
 	}
@@ -195,7 +203,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 	ops, herr := decodeMutateOps(http.MaxBytesReader(nil, r.Body, maxBodyBytes), s.limits(r).MaxMutateOps)
 	if herr != nil {
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	res, err := s.live.Apply(ops)
@@ -205,13 +213,13 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			// The batch was valid but could not be made durable — and
 			// therefore was not applied. 503: the client may retry, the
 			// data is intact.
-			writeError(w, &httpError{status: http.StatusServiceUnavailable,
+			s.writeError(w, &httpError{status: http.StatusServiceUnavailable,
 				code: api.CodeWALAppendFailed, message: err.Error()})
 			return
 		}
 		// Semantic rejections from the delta layer are the caller's to
 		// fix; the batch was not applied.
-		writeError(w, badRequest("ops", "%v", err))
+		s.writeError(w, badRequest("ops", "%v", err))
 		return
 	}
 	annotate(r, "mutate", len(ops), false)
@@ -237,7 +245,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := s.live.Compact(r.Context())
 	if err != nil {
-		writeError(w, &httpError{status: http.StatusInternalServerError, code: api.CodeCompactFailed,
+		s.writeError(w, &httpError{status: http.StatusInternalServerError, code: api.CodeCompactFailed,
 			message: err.Error()})
 		return
 	}

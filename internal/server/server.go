@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"banks"
+	"banks/internal/repl"
 )
 
 // Config assembles a Server. Engine and DB are required; everything else
@@ -74,6 +75,16 @@ type Config struct {
 	// degrades such streams to batch delivery so a slow client never
 	// throttles the search (the trailer discloses "degraded").
 	StreamDropToBatch bool
+	// Follower, when non-nil, marks this instance a replication
+	// follower: /v1/mutate and /v1/compact are rejected with not_primary
+	// pointing at the primary, and /statusz + /metrics expose the
+	// replication lag the Follower reports.
+	Follower *repl.Follower
+	// V1ErrorsOnly drops the deprecated error-envelope mirror fields
+	// (top-level "code", error.status, error.message), emitting the pure
+	// v1 contract. The zero value keeps the legacy mirrors during the
+	// deprecation window (banksd -legacy-errors=false sets this).
+	V1ErrorsOnly bool
 }
 
 // Server routes HTTP requests into a banks.Engine.
@@ -88,6 +99,9 @@ type Server struct {
 	dataset string
 
 	streamDropToBatch bool
+	follower          *repl.Follower
+	publisher         *repl.Publisher // non-nil when Live has a WAL
+	v1ErrorsOnly      bool
 
 	start    time.Time
 	draining atomic.Bool
@@ -127,7 +141,23 @@ func New(cfg Config) (*Server, error) {
 		logger:            cfg.Logger,
 		dataset:           cfg.Dataset,
 		streamDropToBatch: cfg.StreamDropToBatch,
+		follower:          cfg.Follower,
+		v1ErrorsOnly:      cfg.V1ErrorsOnly,
 		start:             time.Now(),
+	}
+	if cfg.Live != nil && cfg.Live.HasWAL() {
+		// Any WAL-backed live instance can serve its log — a primary to
+		// its followers, and a follower to chained replicas downstream.
+		pub, err := repl.NewPublisher(repl.PublisherConfig{
+			Source: cfg.Live,
+			WriteError: func(w http.ResponseWriter, status int, code, field, detail string) {
+				s.writeError(w, &httpError{status: status, code: code, field: field, message: detail})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.publisher = pub
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/search", s.admitted(s.handleSearch))
@@ -137,6 +167,13 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/v1/explain", s.admitted(s.handleExplain))
 	mux.HandleFunc("/v1/mutate", s.admitted(s.handleMutate))
 	mux.HandleFunc("/v1/compact", s.admitted(s.handleCompact))
+	if s.publisher != nil {
+		// Replication bypasses admission: a parked long-poll must not
+		// hold a query slot, and followers must be able to catch up even
+		// when the query path is saturated.
+		mux.HandleFunc("/v1/replication/log", s.publisher.ServeLog)
+		mux.HandleFunc("/v1/replication/snapshot", s.publisher.ServeSnapshot)
+	}
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/metrics", s.handleMetrics)

@@ -74,7 +74,7 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 	req, herr := decodeStreamRequest(r, s.limits(r))
 	if herr != nil {
-		writeError(w, herr)
+		s.writeError(w, herr)
 		return
 	}
 	ctx, cancel := queryCtx(r, req.Timeout)
@@ -84,7 +84,7 @@ func (s *Server) handleSearchStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.met.observeQuery(string(req.Algo), outcomeError, 0)
 		annotate(r, req.queryID(), 0, false)
-		writeError(w, mapQueryError(err))
+		s.writeError(w, mapQueryError(err))
 		return
 	}
 

@@ -15,13 +15,19 @@ func newWALServer(t *testing.T) (*Server, *httptest.Server, string) {
 	t.Helper()
 	dir := t.TempDir()
 	walPath := filepath.Join(dir, "live.wal")
+	snapPath := filepath.Join(dir, "live.banksnap")
 	db := testDB(t)
+	// Materialize the base snapshot as banksd does, so the replication
+	// snapshot endpoint has a file to bootstrap followers from.
+	if err := db.WriteSnapshotFile(snapPath); err != nil {
+		t.Fatal(err)
+	}
 	eng, err := banks.NewEngine(db, banks.EngineOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	live, err := banks.OpenLive(eng, banks.LiveOptions{
-		SnapshotPath: filepath.Join(dir, "live.banksnap"),
+		SnapshotPath: snapPath,
 		WALPath:      walPath,
 	})
 	if err != nil {

@@ -52,6 +52,10 @@ const (
 	headerSize      = 16 // magic(8) + version(4) + reserved(4)
 	frameHeaderSize = 8  // payloadLen(4) + crc32c(4)
 
+	// HeaderSize is the file-header length — the offset of the first
+	// record, and therefore the smallest valid read/replication offset.
+	HeaderSize = headerSize
+
 	// MaxPayload bounds one record's payload. A mutation batch is at most
 	// a tenant's op cap of short strings; 16 MiB is far above any sane
 	// batch and small enough that a forged length field cannot make the
@@ -158,6 +162,16 @@ type Log struct {
 	lastSync time.Time
 	failed   error // non-nil once the log is poisoned
 
+	// changed is closed (and replaced) whenever the log's contents move —
+	// an append or a reset — so replication readers can long-poll the
+	// tail without spinning.
+	changed chan struct{}
+	// dirty marks bytes written since the last fsync; the PolicyInterval
+	// flusher goroutine syncs when it sees it set.
+	dirty     bool
+	flushStop chan struct{}
+	flushDone chan struct{}
+
 	records      uint64
 	appends      uint64
 	syncs        uint64
@@ -230,15 +244,65 @@ func Open(path string, opts Options) (*Log, []Record, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &Log{
+	l := &Log{
 		f:        f,
 		path:     path,
 		policy:   opts.Policy,
 		interval: opts.Interval,
 		size:     validEnd,
 		lastSync: time.Now(),
+		changed:  make(chan struct{}),
 		records:  uint64(len(recs)),
-	}, recs, nil
+	}
+	if l.policy == PolicyInterval {
+		// Group commit: appends only mark the log dirty; this goroutine
+		// issues at most one fsync per interval no matter how many
+		// writers land in the window.
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop(l.flushStop)
+	}
+	return l, recs, nil
+}
+
+// flushLoop is PolicyInterval's group-commit engine: one fsync per
+// interval covers every append that landed in the window. A failing
+// sync poisons the log — the interval contract already concedes the
+// last window to power loss, but a disk that cannot sync must not keep
+// acknowledging writes.
+// The stop channel is passed in rather than read from the field:
+// stopFlusher nils l.flushStop for idempotence, and a select on a nil
+// channel would block this loop forever.
+func (l *Log) flushLoop(stop <-chan struct{}) {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && l.failed == nil {
+				if err := l.syncLocked(); err != nil {
+					l.failed = fmt.Errorf("group-commit sync failed: %w", err)
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// stopFlusher stops the group-commit goroutine (idempotent).
+func (l *Log) stopFlusher() {
+	l.mu.Lock()
+	stop, done := l.flushStop, l.flushDone
+	l.flushStop = nil
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 }
 
 // Append logs one acknowledged-batch record and returns the file offset
@@ -279,17 +343,84 @@ func (l *Log) Append(generation, version uint64, ops []delta.Op) (int64, error) 
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 	case PolicyInterval:
-		if time.Since(l.lastSync) >= l.interval {
-			if err := l.syncLocked(); err != nil {
-				l.appendErrors++
-				l.rollback(start, err)
-				return 0, fmt.Errorf("wal: sync: %w", err)
-			}
-		}
+		// Group commit: mark dirty and return; the flusher goroutine
+		// issues one fsync per interval for every append in the window.
+		l.dirty = true
 	}
 	l.records++
 	l.appends++
+	l.notifyLocked()
 	return l.size, nil
+}
+
+// notifyLocked wakes every Changed waiter; must hold l.mu.
+func (l *Log) notifyLocked() {
+	close(l.changed)
+	l.changed = make(chan struct{})
+}
+
+// Changed returns a channel that is closed the next time the log's
+// contents change (an append or a reset). Grab the channel, check
+// Size, then wait on the channel — the classic missed-wakeup-free
+// long-poll order for tailing replicas.
+func (l *Log) Changed() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.changed
+}
+
+// Size returns the current valid end offset — the offset the next
+// append will be acknowledged at, and the exclusive upper bound for
+// ReadAt.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// ReadAt reads whole frames starting at byte offset from (HeaderSize ≤
+// from ≤ Size) and returns the raw frame bytes plus the offset of the
+// end of the returned data. At most max bytes are returned, except
+// that the first frame is always returned whole even if it alone
+// exceeds max; (nil, from, nil) means the reader is caught up. The
+// read is a pread under the append lock, so it can never observe a
+// partial append or a pre-rollback state. This is the replication
+// publisher's data source: the bytes are the canonical frame encoding,
+// so a follower appending them locally reproduces the file
+// byte-identically at identical offsets.
+func (l *Log) ReadAt(from int64, max int) ([]byte, int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return nil, 0, fmt.Errorf("wal: log is failed: %w", l.failed)
+	}
+	if from < headerSize || from > l.size {
+		return nil, 0, fmt.Errorf("wal: read offset %d out of range [%d, %d]", from, headerSize, l.size)
+	}
+	end := from
+	var hdr [frameHeaderSize]byte
+	for end < l.size {
+		if _, err := l.f.ReadAt(hdr[:], end); err != nil {
+			return nil, 0, fmt.Errorf("wal: read frame header at %d: %w", end, err)
+		}
+		payloadLen := int64(binary.LittleEndian.Uint32(hdr[:4]))
+		frameEnd := end + frameHeaderSize + payloadLen
+		if payloadLen > MaxPayload || frameEnd > l.size {
+			return nil, 0, &ErrCorrupt{Offset: end, Reason: fmt.Sprintf("frame length %d does not land on the log's end %d", payloadLen, l.size)}
+		}
+		if end > from && frameEnd-from > int64(max) {
+			break
+		}
+		end = frameEnd
+	}
+	if end == from {
+		return nil, from, nil
+	}
+	buf := make([]byte, end-from)
+	if _, err := l.f.ReadAt(buf, from); err != nil {
+		return nil, 0, fmt.Errorf("wal: read %d bytes at %d: %w", len(buf), from, err)
+	}
+	return buf, end, nil
 }
 
 // rollback undoes a failed append so the file cannot carry a partial
@@ -314,6 +445,7 @@ func (l *Log) syncLocked() error {
 	}
 	l.syncs++
 	l.lastSync = time.Now()
+	l.dirty = false
 	return nil
 }
 
@@ -351,6 +483,7 @@ func (l *Log) Reset() error {
 		return fmt.Errorf("wal: sync after reset: %w", err)
 	}
 	l.resets++
+	l.notifyLocked()
 	return nil
 }
 
@@ -370,9 +503,11 @@ func (l *Log) Stats() Stats {
 	}
 }
 
-// Close syncs (best effort under PolicyNever nothing was promised, but a
-// clean shutdown should not lose the tail) and closes the file.
+// Close stops the group-commit flusher, syncs (best effort — under
+// PolicyNever nothing was promised, but a clean shutdown should not
+// lose the tail) and closes the file.
 func (l *Log) Close() error {
+	l.stopFlusher()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failed == nil {
@@ -440,6 +575,42 @@ func DecodeAll(data []byte) (recs []Record, validEnd int64, err error) {
 		recs = append(recs, rec)
 		off = frameEnd
 	}
+}
+
+// DecodeFrames parses a chunk of concatenated frames with no file
+// header — the replication wire format ReadAt produces. Unlike
+// DecodeAll there is no torn-tail tolerance: the publisher only ships
+// whole frames, so an incomplete, oversized, CRC-failing, or
+// structurally invalid frame is an error and the follower must drop
+// the chunk and reconnect rather than apply a prefix of it.
+func DecodeFrames(data []byte) ([]Record, error) {
+	var recs []Record
+	off := int64(0)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			return nil, &ErrCorrupt{Offset: off, Reason: fmt.Sprintf("incomplete frame header: %d bytes", len(rest))}
+		}
+		payloadLen := int64(binary.LittleEndian.Uint32(rest[0:]))
+		if payloadLen > MaxPayload {
+			return nil, &ErrCorrupt{Offset: off, Reason: fmt.Sprintf("forged length %d exceeds cap %d", payloadLen, MaxPayload)}
+		}
+		frameEnd := off + frameHeaderSize + payloadLen
+		if frameEnd > int64(len(data)) {
+			return nil, &ErrCorrupt{Offset: off, Reason: fmt.Sprintf("frame of %d bytes extends past chunk end %d", payloadLen, len(data))}
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+payloadLen]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:]) {
+			return nil, &ErrCorrupt{Offset: off, Reason: "CRC mismatch"}
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return nil, &ErrCorrupt{Offset: off, Reason: err.Error()}
+		}
+		recs = append(recs, rec)
+		off = frameEnd
+	}
+	return recs, nil
 }
 
 // encodePayload serializes one record payload canonically: the byte

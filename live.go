@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"banks/internal/delta"
@@ -117,7 +118,9 @@ type Live struct {
 	// baseNodes is the node count of the process-initial base. The DB's
 	// row mapping covers exactly those nodes; nodes appended later get
 	// synthetic labels even after a compaction folds them into the base.
-	baseNodes int
+	// Atomic because a replication follower overrides it with the
+	// primary's value (SetBaseNodes) while queries render labels.
+	baseNodes atomic.Int64
 	// replayed is how many WAL records OpenLive recovered.
 	replayed int
 }
@@ -187,7 +190,8 @@ func OpenLive(e *Engine, opts LiveOptions) (*Live, error) {
 		}
 		return nil, err
 	}
-	l := &Live{e: e, m: m, w: log, baseNodes: d.Graph.NumNodes()}
+	l := &Live{e: e, m: m, w: log}
+	l.baseNodes.Store(int64(d.Graph.NumNodes()))
 	for _, rec := range recs {
 		applied, err := m.Replay(rec.Generation, rec.Version, rec.Ops)
 		if err != nil {
@@ -255,6 +259,71 @@ func (l *Live) Close() error {
 // Generation returns the current base snapshot generation.
 func (l *Live) Generation() uint64 { return l.m.Stats().Generation }
 
+// DeltaVersion returns the number of mutation batches applied onto the
+// current base — with Generation, the logical position replication lag
+// is measured against.
+func (l *Live) DeltaVersion() uint64 { return l.m.Stats().DeltaVersion }
+
+// BasePath returns the snapshot file backing the current base (the
+// newest compacted generation, or the process-initial snapshot). Empty
+// when no snapshot path is configured — such an instance cannot
+// bootstrap replication followers.
+func (l *Live) BasePath() string { return l.m.BasePath() }
+
+// BaseNodes returns the node count that splits mapped row labels from
+// synthetic "+k" labels (see NodeLabel).
+func (l *Live) BaseNodes() int { return int(l.baseNodes.Load()) }
+
+// SetBaseNodes overrides the label split point. A replication follower
+// adopts its primary's value so both render byte-identical labels even
+// when the follower bootstrapped from a compacted snapshot whose node
+// count already includes appended nodes.
+func (l *Live) SetBaseNodes(n int) { l.baseNodes.Store(int64(n)) }
+
+// WALSize returns the write-ahead log's current end offset (0 without
+// a WAL). For a primary this is the replication position followers
+// chase; for a follower it is the position already applied locally.
+func (l *Live) WALSize() int64 {
+	if l.w == nil {
+		return 0
+	}
+	return l.w.Size()
+}
+
+// WALChanged returns a channel closed at the log's next append or
+// reset (nil without a WAL) — the replication publisher's long-poll
+// hook. Grab the channel, then check WALSize, then wait.
+func (l *Live) WALChanged() <-chan struct{} {
+	if l.w == nil {
+		return nil
+	}
+	return l.w.Changed()
+}
+
+// WALReadAt serves whole log frames from the given offset (the
+// replication wire payload). See wal.Log.ReadAt for the contract.
+func (l *Live) WALReadAt(from int64, max int) ([]byte, int64, error) {
+	if l.w == nil {
+		return nil, 0, errors.New("banks: no write-ahead log configured")
+	}
+	return l.w.ReadAt(from, max)
+}
+
+// ReplayLogged applies one replicated record under the WAL replay
+// idempotence rules and appends it to the local log, keeping the
+// follower's log byte-identical to the primary's. See
+// delta.Manager.ReplayLogged.
+func (l *Live) ReplayLogged(generation, version uint64, ops []MutationOp) (applied bool, offset int64, err error) {
+	return l.m.ReplayLogged(generation, version, ops)
+}
+
+// AdoptSnapshot hot-swaps an externally fetched snapshot in as the new
+// base (a follower crossing its primary's compaction), truncating the
+// local WAL. Returns the adopted generation.
+func (l *Live) AdoptSnapshot(ctx context.Context, path string) (uint64, error) {
+	return l.m.AdoptBase(ctx, path)
+}
+
 // LatestSnapshotPath resolves the newest snapshot generation for a base
 // path: the highest path+".genN" compaction output if any exists, else
 // the base path itself. Restarting servers open this so recovery
@@ -292,10 +361,11 @@ func (l *Live) NodeLabel(u NodeID) string {
 	if v.Deleted(u) {
 		return fmt.Sprintf("%s[deleted %d]", v.Table(u), u)
 	}
-	if int(u) < l.baseNodes {
+	base := int(l.baseNodes.Load())
+	if int(u) < base {
 		return l.e.db.NodeLabel(u)
 	}
-	return fmt.Sprintf("%s[+%d]", v.Table(u), int(u)-l.baseNodes)
+	return fmt.Sprintf("%s[+%d]", v.Table(u), int(u)-base)
 }
 
 // Explain renders an answer tree like DB.Explain, routing labels through

@@ -9,6 +9,12 @@
 //	        [-query "database query" | -queries file] [-k 10]
 //	        [-algo bidirectional] [-tenant name] [-timeout 2s]
 //	        [-expect-zero-errors]
+//	loadgen -mutate -url http://127.0.0.1:8080 -n 40 [-mutate-ops 8]
+//	        [-mutate-seed 1] [-mutate-table paper] [-mutate-interval 25ms]
+//
+// With -mutate the workload is writes instead of queries: a
+// deterministic seeded trace of POST /v1/mutate batches, issued
+// sequentially (see mutate.go). The report shape is the same.
 //
 // Queries run round-robin from -queries (one query per line, '#'
 // comments) or the single -query. Every worker loops until -duration
@@ -270,6 +276,11 @@ func main() {
 	algo := flag.String("algo", "", "algorithm (empty = server default)")
 	tenant := flag.String("tenant", "", "X-Tenant header value")
 	timeout := flag.Duration("timeout", 0, "per-query deadline passed to the server (0 = tenant default)")
+	mutate := flag.Bool("mutate", false, "generate a deterministic write workload (sequential POST /v1/mutate batches) instead of queries; -n counts batches and -c is ignored")
+	mutateOps := flag.Int("mutate-ops", 8, "ops per -mutate batch")
+	mutateSeed := flag.Int64("mutate-seed", 1, "seed for the -mutate trace generator (same seed + same starting server = same trace)")
+	mutateTable := flag.String("mutate-table", "paper", "relation name for -mutate insert_node ops (created if the graph lacks it)")
+	mutateInterval := flag.Duration("mutate-interval", 0, "pause between -mutate batches (0 = back to back)")
 	flag.Parse()
 
 	queries := []string{*query}
@@ -288,6 +299,14 @@ func main() {
 	}
 
 	client := &http.Client{}
+
+	if *mutate {
+		samples, elapsed := runMutate(client, base, *count, *duration, *mutateInterval,
+			*mutateOps, *mutateSeed, *mutateTable, *tenant)
+		report(buildReport(samples, elapsed, false), *expectZero)
+		return
+	}
+
 	var (
 		mu      sync.Mutex
 		samples []sample
@@ -320,15 +339,20 @@ func main() {
 		}(w)
 	}
 	wg.Wait()
-	rep := buildReport(samples, time.Since(start), *stream)
+	report(buildReport(samples, time.Since(start), *stream), *expectZero)
+}
 
+// report prints the JSON summary and exits non-zero on any error: 1
+// normally, 3 (with a per-code stderr breakdown) under -expect-zero-errors
+// so fault-injection jobs can tell dropped requests from harness failure.
+func report(rep summary, expectZero bool) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
 		log.Fatal(err)
 	}
 	if rep.Errors > 0 {
-		if *expectZero {
+		if expectZero {
 			codes := make([]string, 0, len(rep.ErrorsByCode))
 			for code := range rep.ErrorsByCode {
 				codes = append(codes, code)

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTraceGenDeterministic pins the property the replication smoke job
+// leans on: the same seed against the same starting server produces the
+// same byte-for-byte trace, so a rerun (or a second loadgen against a
+// rebuilt primary) replays identical mutations.
+func TestTraceGenDeterministic(t *testing.T) {
+	mkTrace := func() []map[string]any {
+		g := newTraceGen(7, 100, "paper")
+		var batches []map[string]any
+		for i := 0; i < 10; i++ {
+			batches = append(batches, g.batch(8))
+		}
+		return batches
+	}
+	if a, b := mkTrace(), mkTrace(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different traces:\n%v\n%v", a, b)
+	}
+	g := newTraceGen(8, 100, "paper")
+	if reflect.DeepEqual(mkTrace()[0], g.batch(8)) {
+		t.Fatal("different seeds produced the same first batch")
+	}
+}
+
+// TestTraceGenOpsValid checks every generated op is valid by
+// construction against a server whose node count was base when the
+// trace began: the trace opens with an insert_node, edges run from a
+// trace-inserted node to a base node (so never a self-loop, never out of
+// range), and terms land on trace-inserted nodes.
+func TestTraceGenOpsValid(t *testing.T) {
+	const base = int64(50)
+	g := newTraceGen(1, base, "paper")
+	next := base // the ID the server will assign to the next insert_node
+	kinds := map[string]int{}
+	for b := 0; b < 20; b++ {
+		batch := g.batch(8)
+		ops := batch["ops"].([]map[string]any)
+		if len(ops) != 8 {
+			t.Fatalf("batch %d has %d ops, want 8", b, len(ops))
+		}
+		for i, op := range ops {
+			kind := op["op"].(string)
+			kinds[kind]++
+			switch kind {
+			case "insert_node":
+				if op["table"] != "paper" {
+					t.Fatalf("insert_node table %v", op["table"])
+				}
+				if !strings.Contains(op["text"].(string), "mutatetrace") {
+					t.Fatalf("insert_node text %q lacks the trace marker", op["text"])
+				}
+				next++
+			case "insert_edge":
+				from, to := op["from"].(int64), op["to"].(int64)
+				if from < base || from >= next {
+					t.Fatalf("batch %d op %d: edge from %d outside inserted range [%d,%d)", b, i, from, base, next)
+				}
+				if to < 0 || to >= base {
+					t.Fatalf("batch %d op %d: edge to %d outside base range [0,%d)", b, i, to, base)
+				}
+				if from == to {
+					t.Fatalf("batch %d op %d: self-loop on %d", b, i, from)
+				}
+			case "insert_term":
+				node := op["node"].(int64)
+				if node < base || node >= next {
+					t.Fatalf("batch %d op %d: term node %d outside inserted range [%d,%d)", b, i, node, base, next)
+				}
+			default:
+				t.Fatalf("batch %d op %d: unexpected kind %q", b, i, kind)
+			}
+		}
+		if b == 0 && ops[0]["op"] != "insert_node" {
+			t.Fatalf("trace does not open with insert_node: %v", ops[0])
+		}
+	}
+	for _, kind := range []string{"insert_node", "insert_edge", "insert_term"} {
+		if kinds[kind] == 0 {
+			t.Fatalf("20 batches generated no %s ops (mix: %v)", kind, kinds)
+		}
+	}
+}
+
+// TestTraceGenEmptyBase covers the fresh-server fallback (statusz
+// unreachable → base 0): with no base nodes there are no valid edge
+// targets, so the trace must degrade to node and term inserts only.
+func TestTraceGenEmptyBase(t *testing.T) {
+	g := newTraceGen(3, 0, "paper")
+	for b := 0; b < 10; b++ {
+		batch := g.batch(8)
+		for i, op := range batch["ops"].([]map[string]any) {
+			if op["op"] == "insert_edge" {
+				t.Fatalf("batch %d op %d: edge generated with no base nodes", b, i)
+			}
+		}
+	}
+}
